@@ -1,0 +1,79 @@
+"""Table 1 — number of components and gate counts of the benchmark SoCs.
+
+Paper reference (C / gates): MS2 18/27, MS4 30/51, MS6 42/75, MS8 54/99,
+MS10 66/123, ESEN4x1 14/13, ESEN4x2 26/26, ESEN4x4 34/74, ESEN8x1 32/73,
+ESEN8x2 56/122, ESEN8x4 72/314.  The component counts must match exactly;
+the gate counts depend on how the structure function is factored into gates,
+so only their magnitude and growth are compared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import table1
+from repro.soc import BENCHMARK_NAMES, benchmark_problem
+
+from .conftest import print_table
+
+#: Component counts from Table 1 of the paper (exact reproduction target).
+PAPER_COMPONENTS = {
+    "MS2": 18,
+    "MS4": 30,
+    "MS6": 42,
+    "MS8": 54,
+    "MS10": 66,
+    "ESEN4x1": 14,
+    "ESEN4x2": 26,
+    "ESEN4x4": 34,
+    "ESEN8x1": 32,
+    "ESEN8x2": 56,
+    "ESEN8x4": 72,
+}
+
+#: Gate counts reported by the paper (shape reference only).
+PAPER_GATES = {
+    "MS2": 27,
+    "MS4": 51,
+    "MS6": 75,
+    "MS8": 99,
+    "MS10": 123,
+    "ESEN4x1": 13,
+    "ESEN4x2": 26,
+    "ESEN4x4": 74,
+    "ESEN8x1": 73,
+    "ESEN8x2": 122,
+    "ESEN8x4": 314,
+}
+
+
+def test_table1_component_and_gate_counts(benchmark):
+    headers, rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+
+    merged = []
+    for name, components, gates in rows:
+        merged.append(
+            [name, components, PAPER_COMPONENTS[name], gates, PAPER_GATES[name]]
+        )
+    print_table(
+        "Table 1 — benchmark sizes (ours vs paper)",
+        ["benchmark", "C", "C (paper)", "gates", "gates (paper)"],
+        merged,
+    )
+
+    # component counts reproduce the paper exactly
+    for name, components, _ in rows:
+        assert components == PAPER_COMPONENTS[name], name
+
+    # gate counts: same order of magnitude and same growth ordering
+    gates = {name: g for name, _, g in rows}
+    assert gates["MS10"] > gates["MS8"] > gates["MS6"] > gates["MS4"] > gates["MS2"]
+    assert gates["ESEN8x4"] > gates["ESEN8x2"] > gates["ESEN8x1"]
+    for name in BENCHMARK_NAMES:
+        assert gates[name] <= 6 * PAPER_GATES[name] + 60
+
+
+def test_fault_tree_generation_speed(benchmark):
+    """Micro-benchmark: generating the largest benchmark's fault tree."""
+    problem = benchmark(lambda: benchmark_problem("ESEN8x4"))
+    assert problem.num_components == 72

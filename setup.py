@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e .`` without the ``wheel``
+package available) keep working in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

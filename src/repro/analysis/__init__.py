@@ -1,0 +1,28 @@
+"""Reporting helpers: regeneration of the paper's tables and parameter sweeps."""
+
+from .report import format_cell, format_markdown_table, format_table
+from .sweep import defect_density_sweep, truncation_sweep
+from .tables import (
+    DEFAULT_SMALL_BENCHMARKS,
+    TABLE2_ORDERINGS,
+    TABLE3_BIT_ORDERINGS,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_cell",
+    "truncation_sweep",
+    "defect_density_sweep",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "DEFAULT_SMALL_BENCHMARKS",
+    "TABLE2_ORDERINGS",
+    "TABLE3_BIT_ORDERINGS",
+]

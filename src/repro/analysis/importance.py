@@ -1,0 +1,135 @@
+"""Component importance measures for yield-driven design decisions.
+
+The paper computes a single number (the yield); a designer deciding *where*
+to add fault tolerance needs to know which components limit that number.
+This module provides two complementary measures, both defined directly on
+the paper's defect model and computed by re-running the combinatorial method
+on perturbed problems:
+
+* **hardening potential** — the yield gained if a component were made
+  (practically) immune to defects, e.g. by layout hardening or by moving it
+  to a more mature process corner.  Making component ``i`` immune removes
+  its contribution from the lethality ``P_L``, so both the number of lethal
+  defects and their location distribution change consistently.
+* **yield sensitivity** — the derivative of the yield with respect to a
+  relative change of a component's defect probability ``P_i`` (finite
+  differences), useful for area/yield trade-off studies where a component's
+  footprint grows or shrinks by a few percent.
+
+Both are exact up to the truncation error of the underlying method (no
+sampling), and both rank components, which is what the designer acts on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.method import YieldAnalyzer
+from ..core.problem import YieldProblem
+from ..distributions import ComponentDefectModel
+from ..ordering.strategies import OrderingSpec
+
+#: Residual relative weight used for an "immune" component (cannot be exactly
+#: zero because the component model requires positive probabilities).
+_IMMUNE_FACTOR = 1e-9
+
+
+def _perturbed_problem(problem: YieldProblem, scale: Dict[str, float]) -> YieldProblem:
+    """Return a copy of ``problem`` with selected ``P_i`` values rescaled."""
+    probabilities = problem.components.as_dict()
+    for name, factor in scale.items():
+        if name not in probabilities:
+            raise KeyError("unknown component %r" % (name,))
+        probabilities[name] = probabilities[name] * factor
+    return YieldProblem(
+        problem.fault_tree,
+        ComponentDefectModel(probabilities),
+        problem.defect_distribution,
+        name=problem.name,
+    )
+
+
+def hardening_potential(
+    problem: YieldProblem,
+    *,
+    components: Optional[Sequence[str]] = None,
+    max_defects: Optional[int] = None,
+    epsilon: float = 1e-4,
+    ordering: Optional[OrderingSpec] = None,
+) -> List[Tuple[str, float]]:
+    """Rank components by the yield gained if they were immune to defects.
+
+    Returns ``[(component, yield_gain), ...]`` sorted by decreasing gain.
+    Components outside the fault tree's support always have zero structural
+    effect on the system, but hardening them still reduces the overall
+    lethality, so they can carry a small positive gain.
+    """
+    analyzer = YieldAnalyzer(ordering, epsilon=epsilon)
+    baseline = analyzer.evaluate(problem, max_defects=max_defects).yield_estimate
+    names = list(components) if components is not None else list(problem.component_names)
+
+    ranking: List[Tuple[str, float]] = []
+    for name in names:
+        perturbed = _perturbed_problem(problem, {name: _IMMUNE_FACTOR})
+        improved = analyzer.evaluate(perturbed, max_defects=max_defects).yield_estimate
+        ranking.append((name, improved - baseline))
+    ranking.sort(key=lambda item: item[1], reverse=True)
+    return ranking
+
+
+def yield_sensitivity(
+    problem: YieldProblem,
+    *,
+    components: Optional[Sequence[str]] = None,
+    relative_step: float = 0.05,
+    max_defects: Optional[int] = None,
+    epsilon: float = 1e-4,
+    ordering: Optional[OrderingSpec] = None,
+) -> List[Tuple[str, float]]:
+    """Finite-difference sensitivity ``dY / d(log P_i)`` for every component.
+
+    A value of ``-0.02`` means that growing the component's defect
+    probability by 10% costs about ``0.002`` of yield.  Returns
+    ``[(component, sensitivity), ...]`` sorted by increasing (most negative
+    first) sensitivity.
+    """
+    if relative_step <= 0.0:
+        raise ValueError("relative_step must be positive")
+    analyzer = YieldAnalyzer(ordering, epsilon=epsilon)
+    names = list(components) if components is not None else list(problem.component_names)
+
+    ranking: List[Tuple[str, float]] = []
+    for name in names:
+        up = _perturbed_problem(problem, {name: 1.0 + relative_step})
+        down = _perturbed_problem(problem, {name: 1.0 - relative_step})
+        yield_up = analyzer.evaluate(up, max_defects=max_defects).yield_estimate
+        yield_down = analyzer.evaluate(down, max_defects=max_defects).yield_estimate
+        derivative = (yield_up - yield_down) / (2.0 * relative_step)
+        ranking.append((name, derivative))
+    ranking.sort(key=lambda item: item[1])
+    return ranking
+
+
+def class_hardening_potential(
+    problem: YieldProblem,
+    classes: Dict[str, Sequence[str]],
+    *,
+    max_defects: Optional[int] = None,
+    epsilon: float = 1e-4,
+    ordering: Optional[OrderingSpec] = None,
+) -> List[Tuple[str, float]]:
+    """Hardening potential of whole component classes (e.g. "all IPMs").
+
+    ``classes`` maps a label to the component names it covers; the measure is
+    the yield gained when the entire class is made immune at once, which is
+    what a process or layout decision typically affects.
+    """
+    analyzer = YieldAnalyzer(ordering, epsilon=epsilon)
+    baseline = analyzer.evaluate(problem, max_defects=max_defects).yield_estimate
+    ranking: List[Tuple[str, float]] = []
+    for label, names in classes.items():
+        perturbed = _perturbed_problem(problem, {name: _IMMUNE_FACTOR for name in names})
+        improved = analyzer.evaluate(perturbed, max_defects=max_defects).yield_estimate
+        ranking.append((label, improved - baseline))
+    ranking.sort(key=lambda item: item[1], reverse=True)
+    return ranking

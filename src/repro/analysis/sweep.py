@@ -1,0 +1,55 @@
+"""Parameter sweeps around the combinatorial method.
+
+These helpers back the ablation benchmarks: the truncation sweep shows the
+pessimistic estimate converging to the yield as ``M`` grows (with the exact
+error bound alongside), and the defect-density sweep shows how the yield
+degrades with the expected number of lethal defects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.method import YieldAnalyzer
+from ..core.problem import YieldProblem
+from ..ordering.strategies import OrderingSpec
+
+
+def truncation_sweep(
+    problem: YieldProblem,
+    max_defects_values: Sequence[int],
+    *,
+    ordering: Optional[OrderingSpec] = None,
+) -> List[Tuple[int, float, float]]:
+    """Return ``(M, yield_estimate, error_bound)`` for every requested ``M``.
+
+    The yield estimates are non-decreasing in ``M`` and the error bounds are
+    non-increasing; both facts are asserted by the test-suite.
+    """
+    analyzer = YieldAnalyzer(ordering or OrderingSpec("w", "ml"))
+    out: List[Tuple[int, float, float]] = []
+    for max_defects in max_defects_values:
+        result = analyzer.evaluate(problem, max_defects=max_defects)
+        out.append((max_defects, result.yield_estimate, result.error_bound))
+    return out
+
+
+def defect_density_sweep(
+    problem_factory: Callable[[float], YieldProblem],
+    mean_defect_values: Sequence[float],
+    *,
+    epsilon: float = 1e-4,
+    ordering: Optional[OrderingSpec] = None,
+) -> List[Tuple[float, float, int]]:
+    """Return ``(mean_defects, yield_estimate, M)`` over a defect-density sweep.
+
+    ``problem_factory`` maps the expected number of manufacturing defects to a
+    :class:`YieldProblem` (e.g. ``lambda mean: ms_problem(2, mean_defects=mean)``).
+    """
+    analyzer = YieldAnalyzer(ordering or OrderingSpec("w", "ml"), epsilon=epsilon)
+    out: List[Tuple[float, float, int]] = []
+    for mean in mean_defect_values:
+        problem = problem_factory(mean)
+        result = analyzer.evaluate(problem)
+        out.append((mean, result.yield_estimate, result.truncation))
+    return out

@@ -1,0 +1,149 @@
+"""Regeneration of the paper's result tables.
+
+Each ``table*`` function returns ``(headers, rows)`` so that benchmark
+harnesses, tests and the examples can render or assert on them uniformly.
+The heavy tables accept the benchmark list and the defect parameters as
+arguments because the full paper-scale runs (MS10, ESEN8x2, ``lambda' = 2``)
+take far longer in pure Python than the small/medium configurations do; the
+defaults are sized for interactive use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bdd.builder import ResourceLimitExceeded
+from ..core.method import YieldAnalyzer
+from ..core.problem import YieldProblem
+from ..ordering.strategies import OrderingSpec
+from ..soc import BENCHMARK_NAMES, benchmark_problem
+
+#: Benchmarks small enough for interactive table regeneration in pure Python.
+DEFAULT_SMALL_BENCHMARKS: Tuple[str, ...] = ("MS2", "ESEN4x1", "ESEN4x2")
+
+#: Multiple-valued orderings compared in Table 2 of the paper.
+TABLE2_ORDERINGS: Tuple[str, ...] = ("wv", "wvr", "vw", "vrw", "t", "w", "h")
+
+#: Bit-group orderings compared in Table 3 of the paper.
+TABLE3_BIT_ORDERINGS: Tuple[str, ...] = ("ml", "lm", "w")
+
+
+def table1() -> Tuple[List[str], List[List]]:
+    """Table 1: number of components and fault-tree gate count per benchmark."""
+    headers = ["benchmark", "C", "gates"]
+    rows: List[List] = []
+    for name in BENCHMARK_NAMES:
+        problem = benchmark_problem(name)
+        rows.append([name, problem.num_components, problem.fault_tree.num_gates])
+    return headers, rows
+
+
+def _spec_for(mv: str, bits: str) -> OrderingSpec:
+    """Build an :class:`OrderingSpec`, honouring the paper's combination rule."""
+    if bits in ("t", "w", "h") and bits != mv:
+        bits = "ml"
+    return OrderingSpec(mv, bits)
+
+
+def table2(
+    benchmarks: Sequence[str] = DEFAULT_SMALL_BENCHMARKS,
+    *,
+    mean_defects: float = 2.0,
+    epsilon: float = 1e-3,
+    max_defects: Optional[int] = None,
+    orderings: Sequence[str] = TABLE2_ORDERINGS,
+    node_limit: Optional[int] = 2_000_000,
+) -> Tuple[List[str], List[List]]:
+    """Table 2: ROMDD size for every multiple-valued variable ordering.
+
+    Entries are ``None`` when the build exceeded ``node_limit`` (the paper's
+    "failed due to excessive memory requirements").
+    """
+    headers = ["benchmark"] + list(orderings)
+    rows: List[List] = []
+    for name in benchmarks:
+        problem = benchmark_problem(name, mean_defects=mean_defects)
+        row: List = [name]
+        for mv in orderings:
+            analyzer = YieldAnalyzer(
+                _spec_for(mv, "ml"), epsilon=epsilon, node_limit=node_limit
+            )
+            try:
+                _, romdd_size = analyzer.diagram_sizes(problem, max_defects=max_defects)
+                row.append(romdd_size)
+            except ResourceLimitExceeded:
+                row.append(None)
+        rows.append(row)
+    return headers, rows
+
+
+def table3(
+    benchmarks: Sequence[str] = DEFAULT_SMALL_BENCHMARKS,
+    *,
+    mean_defects: float = 2.0,
+    epsilon: float = 1e-3,
+    max_defects: Optional[int] = None,
+    bit_orderings: Sequence[str] = TABLE3_BIT_ORDERINGS,
+    node_limit: Optional[int] = 2_000_000,
+) -> Tuple[List[str], List[List]]:
+    """Table 3: coded-ROBDD size under the ``w`` multiple-valued ordering."""
+    headers = ["benchmark"] + list(bit_orderings)
+    rows: List[List] = []
+    for name in benchmarks:
+        problem = benchmark_problem(name, mean_defects=mean_defects)
+        row: List = [name]
+        for bits in bit_orderings:
+            analyzer = YieldAnalyzer(
+                _spec_for("w", bits), epsilon=epsilon, node_limit=node_limit
+            )
+            try:
+                robdd_size, _ = analyzer.diagram_sizes(problem, max_defects=max_defects)
+                row.append(robdd_size)
+            except ResourceLimitExceeded:
+                row.append(None)
+        rows.append(row)
+    return headers, rows
+
+
+def table4(
+    benchmarks: Sequence[str] = DEFAULT_SMALL_BENCHMARKS,
+    *,
+    mean_defects: float = 2.0,
+    epsilon: float = 1e-3,
+    max_defects: Optional[int] = None,
+    track_peak: bool = True,
+    peak_stride: int = 1,
+    node_limit: Optional[int] = 2_000_000,
+) -> Tuple[List[str], List[List]]:
+    """Table 4: CPU time, ROBDD peak, coded-ROBDD size, ROMDD size and yield."""
+    headers = ["benchmark", "cpu_s", "robdd_peak", "robdd", "romdd", "M", "yield"]
+    rows: List[List] = []
+    for name in benchmarks:
+        problem = benchmark_problem(name, mean_defects=mean_defects)
+        analyzer = YieldAnalyzer(
+            OrderingSpec("w", "ml"),
+            epsilon=epsilon,
+            track_peak=track_peak,
+            peak_stride=peak_stride,
+            node_limit=node_limit,
+        )
+        try:
+            start = time.perf_counter()
+            result = analyzer.evaluate(problem, max_defects=max_defects)
+            elapsed = time.perf_counter() - start
+        except ResourceLimitExceeded:
+            rows.append([name, None, None, None, None, None, None])
+            continue
+        rows.append(
+            [
+                name,
+                round(elapsed, 2),
+                result.robdd_peak,
+                result.coded_robdd_size,
+                result.romdd_size,
+                result.truncation,
+                round(result.yield_estimate, 4),
+            ]
+        )
+    return headers, rows

@@ -1,0 +1,28 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+This subpackage replaces the CMU BDD library the paper relies on:
+
+* :class:`~repro.bdd.manager.BDDManager` — unique-table based ROBDD engine
+  with ITE/apply, restriction, counting and traversal utilities;
+* :class:`~repro.bdd.builder.CircuitBDDBuilder` /
+  :func:`~repro.bdd.builder.build_circuit_bdd` — gate-by-gate construction of
+  the coded ROBDD of a circuit with live-peak tracking;
+* :func:`~repro.bdd.dot.bdd_to_dot` — Graphviz export.
+"""
+
+from .builder import BuildStats, CircuitBDDBuilder, ResourceLimitExceeded, build_circuit_bdd
+from .dot import bdd_to_dot, write_bdd_dot
+from .manager import FALSE, TRUE, BDDError, BDDManager
+
+__all__ = [
+    "BDDManager",
+    "BDDError",
+    "FALSE",
+    "TRUE",
+    "BuildStats",
+    "CircuitBDDBuilder",
+    "ResourceLimitExceeded",
+    "build_circuit_bdd",
+    "bdd_to_dot",
+    "write_bdd_dot",
+]

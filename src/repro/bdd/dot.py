@@ -1,0 +1,37 @@
+"""Graphviz (DOT) export of ROBDDs, mainly for documentation and debugging."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .manager import FALSE, TRUE, BDDManager
+
+
+def bdd_to_dot(manager: BDDManager, root: int, *, name: str = "robdd") -> str:
+    """Return a DOT description of the ROBDD rooted at ``root``.
+
+    Solid edges are 1-edges, dashed edges are 0-edges, following the usual
+    BDD drawing convention.
+    """
+    lines = ["digraph %s {" % name, "  rankdir=TB;"]
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+    reachable = sorted(manager.reachable(root))
+    for handle in reachable:
+        if handle <= TRUE:
+            continue
+        var = manager.variable_at_level(manager.level(handle))
+        lines.append('  node%d [label="%s", shape=circle];' % (handle, var))
+    for handle in reachable:
+        if handle <= TRUE:
+            continue
+        lines.append("  node%d -> node%d [style=dashed];" % (handle, manager.low(handle)))
+        lines.append("  node%d -> node%d;" % (handle, manager.high(handle)))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_bdd_dot(manager: BDDManager, root: int, path: str, *, name: Optional[str] = None) -> None:
+    """Write the DOT description of the ROBDD rooted at ``root`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(bdd_to_dot(manager, root, name=name or "robdd"))

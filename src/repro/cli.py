@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+``python -m repro <command>`` gives access to the library without writing
+Python:
+
+* ``evaluate FILE``     — yield of a fault tree in the textual format of
+  :mod:`repro.faulttree.parser` under a negative-binomial defect model;
+* ``benchmark NAME``    — run one of the paper's benchmarks end to end
+  (optionally with a Monte-Carlo cross-check);
+* ``table {1,2,3,4}``   — regenerate one of the paper's tables on the small
+  benchmark set;
+* ``list``              — list the available benchmark names.
+
+Every command prints a plain-text report to stdout and returns a non-zero
+exit code on user errors (unknown benchmark, malformed file...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .analysis import format_table, table1, table2, table3, table4
+from .core.method import evaluate_yield
+from .core.montecarlo import estimate_yield_montecarlo
+from .core.problem import YieldProblem
+from .distributions import DistributionError, NegativeBinomialDefectDistribution
+from .faulttree.parser import FaultTreeParseError, load
+from .ordering import OrderingSpec
+from .ordering.grouped import OrderingError
+from .soc import BENCHMARK_NAMES, benchmark_problem
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for the test-suite and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Combinatorial yield evaluation of fault-tolerant systems-on-chip "
+        "(DSN 2003 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version="repro %s" % __version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate the yield of a fault-tree file"
+    )
+    evaluate.add_argument("file", help="fault-tree file (see repro.faulttree.parser)")
+    _add_defect_options(evaluate)
+    _add_method_options(evaluate)
+    evaluate.add_argument(
+        "--montecarlo",
+        type=int,
+        metavar="SAMPLES",
+        default=0,
+        help="also run a Monte-Carlo cross-check with this many samples",
+    )
+
+    bench = subparsers.add_parser("benchmark", help="run one of the paper's benchmarks")
+    bench.add_argument("name", help="benchmark name, e.g. MS2 or ESEN4x1")
+    _add_defect_options(bench, include_lethality=False)
+    _add_method_options(bench)
+    bench.add_argument(
+        "--montecarlo",
+        type=int,
+        metavar="SAMPLES",
+        default=0,
+        help="also run a Monte-Carlo cross-check with this many samples",
+    )
+
+    table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    table.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="benchmarks to include (default: the small set)",
+    )
+    table.add_argument("--max-defects", type=int, default=None, help="truncation override")
+
+    subparsers.add_parser("list", help="list the available benchmark names")
+    return parser
+
+
+def _add_defect_options(parser: argparse.ArgumentParser, include_lethality: bool = True) -> None:
+    parser.add_argument(
+        "--mean-defects",
+        type=float,
+        default=2.0,
+        help="expected number of manufacturing defects (default 2.0)",
+    )
+    parser.add_argument(
+        "--clustering",
+        type=float,
+        default=4.0,
+        help="negative-binomial clustering parameter alpha (default 4.0)",
+    )
+    if include_lethality:
+        parser.add_argument(
+            "--poisson",
+            action="store_true",
+            help="use a Poisson defect count instead of the negative binomial",
+        )
+
+
+def _add_method_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=1e-4,
+        help="guaranteed absolute error of the yield estimate (default 1e-4)",
+    )
+    parser.add_argument("--max-defects", type=int, default=None, help="truncation override")
+    parser.add_argument(
+        "--ordering",
+        default="w",
+        help="multiple-valued variable ordering: wv, wvr, vw, vrw, t, w, h (default w)",
+    )
+    parser.add_argument(
+        "--bit-ordering",
+        default="ml",
+        help="bit-group ordering: ml, lm, t, w, h (default ml)",
+    )
+
+
+def _report_result(result, montecarlo_result=None) -> None:
+    print(result.summary())
+    print("  guaranteed interval : [%.6f, %.6f]" % (result.yield_estimate, result.yield_upper_bound))
+    print("  truncation level M  : %d" % result.truncation)
+    print("  coded ROBDD nodes   : %d" % result.coded_robdd_size)
+    print("  ROMDD nodes         : %d" % result.romdd_size)
+    print("  variable ordering   : %s / %s" % result.ordering)
+    print("  time (s)            : %.2f" % result.timings.total)
+    if montecarlo_result is not None:
+        print("  Monte-Carlo check   : %s" % montecarlo_result.summary())
+
+
+def _run_evaluate(args) -> int:
+    try:
+        circuit, model = load(args.file)
+    except OSError as exc:
+        print("error: cannot read %s: %s" % (args.file, exc), file=sys.stderr)
+        return 2
+    except FaultTreeParseError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.poisson:
+        from .distributions import PoissonDefectDistribution
+
+        distribution = PoissonDefectDistribution(args.mean_defects)
+    else:
+        distribution = NegativeBinomialDefectDistribution(args.mean_defects, args.clustering)
+    try:
+        problem = YieldProblem(circuit, model, distribution)
+        result = evaluate_yield(
+            problem,
+            epsilon=args.epsilon,
+            max_defects=args.max_defects,
+            ordering=OrderingSpec(args.ordering, args.bit_ordering),
+        )
+    except (DistributionError, OrderingError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    montecarlo_result = None
+    if args.montecarlo:
+        montecarlo_result = estimate_yield_montecarlo(problem, args.montecarlo, seed=0)
+    _report_result(result, montecarlo_result)
+    return 0
+
+
+def _run_benchmark(args) -> int:
+    try:
+        problem = benchmark_problem(
+            args.name, mean_defects=args.mean_defects, clustering=args.clustering
+        )
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        result = evaluate_yield(
+            problem,
+            epsilon=args.epsilon,
+            max_defects=args.max_defects,
+            ordering=OrderingSpec(args.ordering, args.bit_ordering),
+        )
+    except (OrderingError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    montecarlo_result = None
+    if args.montecarlo:
+        montecarlo_result = estimate_yield_montecarlo(problem, args.montecarlo, seed=0)
+    _report_result(result, montecarlo_result)
+    return 0
+
+
+def _run_table(args) -> int:
+    kwargs = {}
+    if args.benchmarks is not None:
+        unknown = [name for name in args.benchmarks if name not in BENCHMARK_NAMES]
+        if unknown:
+            print("error: unknown benchmarks: %s" % ", ".join(unknown), file=sys.stderr)
+            return 2
+        kwargs["benchmarks"] = args.benchmarks
+    if args.number == 1:
+        headers, rows = table1()
+    elif args.number == 2:
+        headers, rows = table2(max_defects=args.max_defects, **kwargs)
+    elif args.number == 3:
+        headers, rows = table3(max_defects=args.max_defects, **kwargs)
+    else:
+        headers, rows = table4(max_defects=args.max_defects, **kwargs)
+    print("Table %d" % args.number)
+    print(format_table(headers, rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "evaluate":
+        return _run_evaluate(args)
+    if args.command == "benchmark":
+        return _run_benchmark(args)
+    if args.command == "table":
+        return _run_table(args)
+    if args.command == "list":
+        for name in BENCHMARK_NAMES:
+            print(name)
+        return 0
+    parser.error("unknown command %r" % args.command)  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The combinatorial yield-evaluation method and its baselines.
+
+* :class:`~repro.core.problem.YieldProblem` — fault tree + defect model;
+* :class:`~repro.core.gfunction.GeneralizedFaultTree` — the function
+  ``G(w, v_1 .. v_M)`` of Theorem 1;
+* :class:`~repro.core.method.YieldAnalyzer` /
+  :func:`~repro.core.method.evaluate_yield` — the full pipeline;
+* :class:`~repro.core.montecarlo.MonteCarloYieldEstimator` — the simulation
+  baseline;
+* :func:`~repro.core.exact.exact_yield` — enumeration-based cross-check for
+  small systems.
+"""
+
+from .exact import exact_conditional_yield, exact_yield
+from .gfunction import GeneralizedFaultTree, GFunctionError
+from .method import YieldAnalyzer, evaluate_yield
+from .montecarlo import MonteCarloYieldEstimator, estimate_yield_montecarlo
+from .problem import ProblemError, YieldProblem
+from .results import ExactResult, MonteCarloResult, StageTimings, YieldResult
+
+__all__ = [
+    "YieldProblem",
+    "ProblemError",
+    "GeneralizedFaultTree",
+    "GFunctionError",
+    "YieldAnalyzer",
+    "evaluate_yield",
+    "MonteCarloYieldEstimator",
+    "estimate_yield_montecarlo",
+    "exact_yield",
+    "exact_conditional_yield",
+    "YieldResult",
+    "MonteCarloResult",
+    "ExactResult",
+    "StageTimings",
+]

@@ -1,0 +1,226 @@
+"""The combinatorial yield-evaluation method (the paper's contribution).
+
+:class:`YieldAnalyzer` wires the full pipeline of Section 2 together:
+
+1. map the defect model to the lethal-defect model ``(Q'_k, P'_i)``;
+2. pick the truncation level ``M`` from the error budget ``epsilon``
+   (or accept an explicit ``M``);
+3. build the generalized fault tree ``G(w, v_1 .. v_M)`` and its gate-level
+   description in binary logic;
+4. compute the grouped variable order with the requested heuristics;
+5. build the coded ROBDD of ``G`` gate by gate;
+6. convert the coded ROBDD into the ROMDD (bottom-up layer procedure);
+7. evaluate ``P(G = 1)`` by the depth-first probability traversal and return
+   ``Y_M = 1 - P(G = 1)`` together with the error bound and the size /
+   timing statistics the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from ..bdd.builder import CircuitBDDBuilder
+from ..mdd.from_bdd import convert_bdd_to_mdd
+from ..mdd.probability import probability_of_one
+from ..ordering.grouped import GroupedVariableOrder
+from ..ordering.strategies import OrderingSpec, compute_grouped_order
+from .gfunction import GeneralizedFaultTree
+from .problem import YieldProblem
+from .results import StageTimings, YieldResult
+
+
+class YieldAnalyzer:
+    """Evaluates the yield of a fault-tolerant SoC with the combinatorial method.
+
+    Parameters
+    ----------
+    ordering:
+        The variable-ordering strategy.  Defaults to the pair the paper found
+        best: weight heuristic for the multiple-valued variables, most
+        significant bit first inside each group.
+    epsilon:
+        Absolute error budget used to select the truncation level ``M`` when
+        :meth:`evaluate` is not given an explicit ``max_defects``.
+    track_peak:
+        Record the live ROBDD peak (the paper's "ROBDD peak" column).  Costs
+        one reachability sweep every ``peak_stride`` gates.
+    peak_stride:
+        Stride for peak sampling.
+    node_limit:
+        Optional cap on allocated ROBDD nodes; exceeding it raises
+        :class:`repro.bdd.builder.ResourceLimitExceeded` (the paper's
+        "failed" entries).
+    """
+
+    def __init__(
+        self,
+        ordering: Optional[OrderingSpec] = None,
+        *,
+        epsilon: float = 1e-4,
+        track_peak: bool = False,
+        peak_stride: int = 1,
+        node_limit: Optional[int] = None,
+    ) -> None:
+        self.ordering = ordering or OrderingSpec("w", "ml")
+        self.epsilon = float(epsilon)
+        self.track_peak = track_peak
+        self.peak_stride = peak_stride
+        self.node_limit = node_limit
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self,
+        problem: YieldProblem,
+        *,
+        max_defects: Optional[int] = None,
+        epsilon: Optional[float] = None,
+    ) -> YieldResult:
+        """Run the full method on ``problem`` and return a :class:`YieldResult`.
+
+        ``max_defects`` overrides the error-driven choice of ``M``; when it is
+        given, the reported error bound is still the exact tail mass beyond
+        it, so the result remains a guaranteed lower bound on the yield.
+        """
+        lethal_distribution = problem.lethal_defect_distribution()
+        if max_defects is None:
+            budget = self.epsilon if epsilon is None else float(epsilon)
+            truncation = lethal_distribution.truncation_level(budget)
+        else:
+            truncation = int(max_defects)
+        error_bound = lethal_distribution.tail(truncation)
+
+        gfunction = GeneralizedFaultTree(
+            problem.fault_tree, problem.component_names, truncation
+        )
+
+        t0 = time.perf_counter()
+        grouped_order = self._grouped_order(gfunction)
+        t1 = time.perf_counter()
+
+        bdd_manager, bdd_root, build_stats = self._build_coded_robdd(
+            gfunction, grouped_order
+        )
+        t2 = time.perf_counter()
+
+        mdd_manager, mdd_root = convert_bdd_to_mdd(
+            bdd_manager, bdd_root, grouped_order.groups
+        )
+        romdd_size = mdd_manager.size(mdd_root)
+        t3 = time.perf_counter()
+
+        distributions = gfunction.variable_distributions(
+            lethal_distribution, problem.lethal_component_probabilities()
+        )
+        probability_failed = probability_of_one(mdd_manager, mdd_root, distributions)
+        yield_estimate = 1.0 - probability_failed
+        t4 = time.perf_counter()
+
+        timings = StageTimings(
+            ordering=t1 - t0,
+            robdd_build=t2 - t1,
+            mdd_conversion=t3 - t2,
+            probability=t4 - t3,
+        )
+        return YieldResult(
+            name=problem.name,
+            yield_estimate=yield_estimate,
+            error_bound=error_bound,
+            truncation=truncation,
+            probability_not_functioning=probability_failed,
+            coded_robdd_size=build_stats.final_size,
+            robdd_peak=build_stats.peak_live_nodes if self.track_peak else 0,
+            romdd_size=romdd_size,
+            ordering=(self.ordering.mv, self.ordering.bits),
+            variable_order=grouped_order.variable_names,
+            timings=timings,
+            extra={
+                "robdd_allocated": float(build_stats.allocated_nodes),
+                "mdd_allocated": float(mdd_manager.num_nodes_allocated),
+                "binary_variables": float(len(grouped_order.flat_bit_order())),
+                "gates_processed": float(build_stats.gates_processed),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Partial pipelines (used by the size-comparison benchmarks)
+    # ------------------------------------------------------------------ #
+
+    def grouped_order_for(self, problem: YieldProblem, max_defects: int) -> GroupedVariableOrder:
+        """Return the grouped variable order for the problem at truncation ``M``."""
+        gfunction = GeneralizedFaultTree(
+            problem.fault_tree, problem.component_names, max_defects
+        )
+        return self._grouped_order(gfunction)
+
+    def diagram_sizes(
+        self, problem: YieldProblem, *, max_defects: Optional[int] = None
+    ) -> Tuple[int, int]:
+        """Return ``(coded_robdd_size, romdd_size)`` without the probability pass.
+
+        This is what Tables 2 and 3 of the paper compare across orderings.
+        """
+        lethal_distribution = problem.lethal_defect_distribution()
+        if max_defects is None:
+            truncation = lethal_distribution.truncation_level(self.epsilon)
+        else:
+            truncation = int(max_defects)
+        gfunction = GeneralizedFaultTree(
+            problem.fault_tree, problem.component_names, truncation
+        )
+        grouped_order = self._grouped_order(gfunction)
+        bdd_manager, bdd_root, build_stats = self._build_coded_robdd(
+            gfunction, grouped_order
+        )
+        mdd_manager, mdd_root = convert_bdd_to_mdd(
+            bdd_manager, bdd_root, grouped_order.groups
+        )
+        return build_stats.final_size, mdd_manager.size(mdd_root)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _grouped_order(self, gfunction: GeneralizedFaultTree) -> GroupedVariableOrder:
+        binary_circuit = (
+            gfunction.binary_circuit() if self.ordering.needs_circuit() else None
+        )
+        return compute_grouped_order(
+            gfunction.count_variable,
+            gfunction.location_variables,
+            self.ordering,
+            binary_circuit,
+        )
+
+    def _build_coded_robdd(
+        self, gfunction: GeneralizedFaultTree, grouped_order: GroupedVariableOrder
+    ):
+        builder = CircuitBDDBuilder(
+            grouped_order.flat_bit_order(),
+            track_peak=self.track_peak,
+            peak_stride=self.peak_stride,
+            node_limit=self.node_limit,
+        )
+        return builder.build(gfunction.binary_circuit())
+
+
+def evaluate_yield(
+    problem: YieldProblem,
+    *,
+    epsilon: float = 1e-4,
+    max_defects: Optional[int] = None,
+    ordering: Optional[OrderingSpec] = None,
+    track_peak: bool = False,
+    node_limit: Optional[int] = None,
+) -> YieldResult:
+    """One-call convenience wrapper around :class:`YieldAnalyzer`."""
+    analyzer = YieldAnalyzer(
+        ordering,
+        epsilon=epsilon,
+        track_peak=track_peak,
+        node_limit=node_limit,
+    )
+    return analyzer.evaluate(problem, max_defects=max_defects)

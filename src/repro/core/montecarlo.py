@@ -1,0 +1,131 @@
+"""Monte-Carlo yield estimation (the baseline the paper's introduction discusses).
+
+The introduction of the paper notes that simulation "is not severely limited
+by the complexity of the system, but tends to be expensive and does not
+provide strict error control".  This module implements that baseline so the
+claim can be checked quantitatively: dies are sampled from the defect model
+(number of defects from ``Q_k``, each defect independently lethal on
+component ``i`` with probability ``P_i``), the structure function is
+evaluated on every sampled die and the yield is the fraction of functioning
+dies, reported with a confidence interval rather than a guaranteed bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from .problem import YieldProblem
+from .results import MonteCarloResult
+
+#: Two-sided standard-normal quantiles for the confidence levels we support.
+_Z_VALUES = {
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.99: 2.5758293035489004,
+}
+
+
+class MonteCarloYieldEstimator:
+    """Estimates the yield by direct simulation of the defect model.
+
+    Parameters
+    ----------
+    samples:
+        Number of dies to simulate.
+    seed:
+        Seed of the pseudo-random generator (simulations are reproducible for
+        a fixed seed).
+    confidence:
+        Confidence level of the reported interval (0.90, 0.95 or 0.99).
+    """
+
+    def __init__(
+        self, samples: int = 100_000, *, seed: Optional[int] = None, confidence: float = 0.95
+    ) -> None:
+        if samples < 1:
+            raise ValueError("samples must be positive, got %d" % samples)
+        if confidence not in _Z_VALUES:
+            raise ValueError(
+                "confidence must be one of %s" % sorted(_Z_VALUES.keys())
+            )
+        self.samples = int(samples)
+        self.seed = seed
+        self.confidence = float(confidence)
+
+    def estimate(self, problem: YieldProblem) -> MonteCarloResult:
+        """Simulate ``samples`` dies of ``problem`` and return the estimate."""
+        rng = random.Random(self.seed)
+        start = time.perf_counter()
+
+        names = problem.component_names
+        raw_probabilities = problem.components.raw_probabilities()
+        cumulative = _cumulative(raw_probabilities)
+        distribution = problem.defect_distribution
+
+        # Pre-resolve the fault-tree evaluation interface once.
+        fault_tree = problem.fault_tree
+        tree_inputs = fault_tree.input_names
+
+        functioning = 0
+        for _ in range(self.samples):
+            defect_count = distribution.sample(rng, 1)[0]
+            failed = set()
+            for _ in range(defect_count):
+                hit = _sample_component(rng, cumulative)
+                if hit is not None:
+                    failed.add(names[hit])
+            assignment = {name: (name in failed) for name in tree_inputs}
+            if not fault_tree.evaluate_output(assignment, "F"):
+                functioning += 1
+
+        elapsed = time.perf_counter() - start
+        estimate = functioning / float(self.samples)
+        stderr = math.sqrt(max(estimate * (1.0 - estimate), 1e-12) / self.samples)
+        z = _Z_VALUES[self.confidence]
+        interval = (max(0.0, estimate - z * stderr), min(1.0, estimate + z * stderr))
+        return MonteCarloResult(
+            name=problem.name,
+            yield_estimate=estimate,
+            standard_error=stderr,
+            samples=self.samples,
+            confidence=self.confidence,
+            confidence_interval=interval,
+            elapsed_seconds=elapsed,
+        )
+
+
+def _cumulative(probabilities: Sequence[float]) -> List[float]:
+    """Return the cumulative sums of the per-component lethal-hit probabilities."""
+    cumulative: List[float] = []
+    acc = 0.0
+    for p in probabilities:
+        acc += p
+        cumulative.append(acc)
+    return cumulative
+
+
+def _sample_component(rng: random.Random, cumulative: Sequence[float]) -> Optional[int]:
+    """Sample which component a defect lethally hits (``None`` = not lethal)."""
+    u = rng.random()
+    if u >= cumulative[-1]:
+        return None
+    # linear scan is fine: component counts are tens, not millions
+    for index, threshold in enumerate(cumulative):
+        if u < threshold:
+            return index
+    return None  # pragma: no cover - floating point guard
+
+
+def estimate_yield_montecarlo(
+    problem: YieldProblem,
+    samples: int = 100_000,
+    *,
+    seed: Optional[int] = None,
+    confidence: float = 0.95,
+) -> MonteCarloResult:
+    """One-call convenience wrapper around :class:`MonteCarloYieldEstimator`."""
+    estimator = MonteCarloYieldEstimator(samples, seed=seed, confidence=confidence)
+    return estimator.estimate(problem)

@@ -1,0 +1,138 @@
+"""Result records produced by the yield analyses.
+
+Every analysis route (combinatorial method, Monte-Carlo simulation, exact
+enumeration) returns a small frozen record so that benchmark harnesses and
+reports can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Wall-clock seconds spent in each stage of the combinatorial method."""
+
+    ordering: float = 0.0
+    robdd_build: float = 0.0
+    mdd_conversion: float = 0.0
+    probability: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total wall-clock time of the pipeline."""
+        return self.ordering + self.robdd_build + self.mdd_conversion + self.probability
+
+
+@dataclass(frozen=True)
+class YieldResult:
+    """Outcome of the combinatorial yield evaluation (the paper's Table 4 row).
+
+    Attributes
+    ----------
+    yield_estimate:
+        The pessimistic estimate ``Y_M``; the true yield lies in
+        ``[yield_estimate, yield_estimate + error_bound]``.
+    error_bound:
+        The truncation error bound ``1 - sum_{k<=M} Q'_k``.
+    truncation:
+        The number of lethal defects analyzed, ``M``.
+    probability_not_functioning:
+        ``P(G = 1)``, i.e. ``1 - Y_M``.
+    coded_robdd_size:
+        Number of nodes of the final coded ROBDD.
+    robdd_peak:
+        Maximum number of live ROBDD nodes during the build (0 when peak
+        tracking is disabled).
+    romdd_size:
+        Number of nodes of the ROMDD used for the probability traversal.
+    ordering:
+        The ``(mv, bits)`` strategy pair that was used.
+    variable_order:
+        The multiple-valued variable names, top of the ROMDD first.
+    timings:
+        Per-stage wall-clock timings.
+    extra:
+        Free-form diagnostic values (e.g. allocated node counts).
+    """
+
+    name: str
+    yield_estimate: float
+    error_bound: float
+    truncation: int
+    probability_not_functioning: float
+    coded_robdd_size: int
+    robdd_peak: int
+    romdd_size: int
+    ordering: Tuple[str, str]
+    variable_order: Tuple[str, ...]
+    timings: StageTimings
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def yield_upper_bound(self) -> float:
+        """The upper end of the guaranteed yield interval."""
+        return min(1.0, self.yield_estimate + self.error_bound)
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            "%s: yield >= %.6f (error <= %.2e, M=%d, ROBDD=%d, ROMDD=%d, %.2fs)"
+            % (
+                self.name,
+                self.yield_estimate,
+                self.error_bound,
+                self.truncation,
+                self.coded_robdd_size,
+                self.romdd_size,
+                self.timings.total,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of the Monte-Carlo yield estimation baseline."""
+
+    name: str
+    yield_estimate: float
+    standard_error: float
+    samples: int
+    confidence: float
+    confidence_interval: Tuple[float, float]
+    elapsed_seconds: float
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        low, high = self.confidence_interval
+        return "%s: yield ~= %.6f  [%.6f, %.6f] @%.0f%% (%d samples, %.2fs)" % (
+            self.name,
+            self.yield_estimate,
+            low,
+            high,
+            100.0 * self.confidence,
+            self.samples,
+            self.elapsed_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Outcome of the exact (enumeration-based) yield computation."""
+
+    name: str
+    yield_estimate: float
+    error_bound: float
+    truncation: int
+    conditional_yields: Tuple[float, ...]
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        return "%s: yield >= %.6f (error <= %.2e, M=%d, exact enumeration)" % (
+            self.name,
+            self.yield_estimate,
+            self.error_bound,
+            self.truncation,
+        )

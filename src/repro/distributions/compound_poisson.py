@@ -1,0 +1,88 @@
+"""Compound-Poisson (mixed-Poisson) defect-count distributions.
+
+The paper notes its defect model "is consistent with all compound Poisson
+yield models", i.e. models in which the defect count is Poisson with a random
+rate ``Lambda``:
+
+    Q_k = E[ exp(-Lambda) Lambda^k / k! ]
+
+The negative binomial is the special case where ``Lambda`` is Gamma
+distributed.  This module provides a *discrete* mixture implementation: the
+mixing distribution is given by a finite set of rates and weights, which is
+how mixed-Poisson models are typically fitted from wafer-map data in
+practice.  Thinning with lethality ``P_L`` scales every mixture rate by
+``P_L`` (the compound-Poisson closure property the paper cites).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from .base import DefectCountDistribution, DistributionError
+
+
+class CompoundPoissonDefectDistribution(DefectCountDistribution):
+    """Finite mixture of Poisson distributions.
+
+    Parameters
+    ----------
+    rates:
+        Poisson rates of the mixture components (all > 0).
+    weights:
+        Mixture weights (non-negative, summing to 1 within tolerance).
+    """
+
+    def __init__(self, rates: Sequence[float], weights: Sequence[float]) -> None:
+        rates = [float(r) for r in rates]
+        weights = [float(w) for w in weights]
+        if not rates or len(rates) != len(weights):
+            raise DistributionError(
+                "rates and weights must be non-empty and of equal length"
+            )
+        for r in rates:
+            if r <= 0.0 or math.isnan(r) or math.isinf(r):
+                raise DistributionError("mixture rates must be positive finite, got %r" % (r,))
+        for w in weights:
+            if w < 0.0 or math.isnan(w):
+                raise DistributionError("mixture weights must be non-negative, got %r" % (w,))
+        total = math.fsum(weights)
+        if abs(total - 1.0) > 1e-9:
+            raise DistributionError("mixture weights must sum to 1, got %g" % total)
+        self._components: Tuple[Tuple[float, float], ...] = tuple(zip(rates, weights))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def components(self) -> Tuple[Tuple[float, float], ...]:
+        """The ``(rate, weight)`` pairs of the mixture."""
+        return self._components
+
+    def mean(self) -> float:
+        return math.fsum(rate * weight for rate, weight in self._components)
+
+    def variance(self) -> float:
+        """Return the variance ``E[Lambda] + Var[Lambda]`` of the mixture."""
+        mean_rate = self.mean()
+        second_moment = math.fsum(weight * rate * rate for rate, weight in self._components)
+        return mean_rate + second_moment - mean_rate * mean_rate
+
+    def pmf(self, k: int) -> float:
+        if k < 0:
+            return 0.0
+        acc = 0.0
+        for rate, weight in self._components:
+            acc += weight * math.exp(k * math.log(rate) - rate - math.lgamma(k + 1))
+        return acc
+
+    def thinned(self, retain_probability: float) -> "CompoundPoissonDefectDistribution":
+        if not 0.0 < retain_probability <= 1.0:
+            raise DistributionError(
+                "retain_probability must be in (0, 1], got %r" % (retain_probability,)
+            )
+        return CompoundPoissonDefectDistribution(
+            rates=[rate * retain_probability for rate, _ in self._components],
+            weights=[weight for _, weight in self._components],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CompoundPoissonDefectDistribution(components=%r)" % (self._components,)

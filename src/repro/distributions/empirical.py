@@ -1,0 +1,108 @@
+"""Arbitrary (empirical) defect-count distributions and the lethal mapping.
+
+The paper allows the distribution ``Q_k`` of the number of manufacturing
+defects to be *arbitrary* — e.g. a histogram supplied by the foundry.  This
+module provides that case, plus the generic lethal-defect mapping of eq. (1):
+
+    Q'_k = sum_{m >= k} Q_m * C(m, k) * P_L^k * (1 - P_L)^(m - k)
+
+which is the binomial thinning of ``Q`` with retention probability ``P_L``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .base import DefectCountDistribution, DistributionError, validate_probability_vector
+
+
+def binomial_thinning(pmf: Sequence[float], retain_probability: float) -> List[float]:
+    """Apply eq. (1) of the paper to a finite pmf.
+
+    Parameters
+    ----------
+    pmf:
+        ``pmf[m]`` is the probability of ``m`` defects; the vector is assumed
+        to carry (essentially) all the mass of the distribution.
+    retain_probability:
+        The lethality probability ``P_L``: each defect is independently
+        retained with this probability.
+
+    Returns
+    -------
+    list of float
+        ``out[k]`` = probability of ``k`` retained (lethal) defects, same
+        length as the input.
+    """
+    if not 0.0 < retain_probability <= 1.0:
+        raise DistributionError(
+            "retain_probability must be in (0, 1], got %r" % (retain_probability,)
+        )
+    n = len(pmf)
+    p = retain_probability
+    log_p = math.log(p)
+    log_q = math.log1p(-p) if p < 1.0 else None
+    out = [0.0] * n
+    for m, q_m in enumerate(pmf):
+        if q_m == 0.0:
+            continue
+        if p == 1.0:
+            out[m] += q_m
+            continue
+        # binomial terms in log space: C(m, k) overflows a float for the long
+        # supports heavy-tailed distributions need
+        log_m_factorial = math.lgamma(m + 1)
+        for k in range(m + 1):
+            log_term = (
+                log_m_factorial
+                - math.lgamma(k + 1)
+                - math.lgamma(m - k + 1)
+                + k * log_p
+                + (m - k) * log_q
+            )
+            out[k] += q_m * math.exp(log_term)
+    return out
+
+
+class EmpiricalDefectDistribution(DefectCountDistribution):
+    """Defect-count distribution given by an explicit finite pmf.
+
+    Parameters
+    ----------
+    pmf:
+        ``pmf[k]`` is the probability of ``k`` defects.  The values must be
+        non-negative and sum to at most 1; any missing mass is implicitly
+        assigned to the value ``len(pmf)`` so that tail bounds stay
+        conservative (``tail(k)`` never under-reports).
+    """
+
+    def __init__(self, pmf: Sequence[float]) -> None:
+        self._pmf = validate_probability_vector(pmf, name="pmf")
+        self._missing = max(0.0, 1.0 - math.fsum(self._pmf))
+
+    def mean(self) -> float:
+        mean = math.fsum(k * p for k, p in enumerate(self._pmf))
+        return mean + self._missing * len(self._pmf)
+
+    def pmf(self, k: int) -> float:
+        if k < 0:
+            return 0.0
+        if k < len(self._pmf):
+            return self._pmf[k]
+        if k == len(self._pmf):
+            return self._missing
+        return 0.0
+
+    def support_size(self) -> int:
+        """Return the length of the explicit pmf vector."""
+        return len(self._pmf)
+
+    def thinned(self, retain_probability: float) -> "EmpiricalDefectDistribution":
+        full = list(self._pmf)
+        if self._missing > 0.0:
+            full.append(self._missing)
+        return EmpiricalDefectDistribution(binomial_thinning(full, retain_probability))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "EmpiricalDefectDistribution(pmf=%r)" % (self._pmf,)

@@ -1,0 +1,46 @@
+"""Poisson defect-count distribution.
+
+The Poisson model is the classical no-clustering yield model; it is the
+``alpha -> inf`` limit of the negative binomial and the simplest member of
+the compound-Poisson family the paper's model is consistent with.  Thinning
+a Poisson with lethality probability ``P_L`` gives a Poisson with mean
+``lambda * P_L``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import DefectCountDistribution, DistributionError
+
+
+class PoissonDefectDistribution(DefectCountDistribution):
+    """Poisson distribution of the number of defects with the given mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0.0 or math.isnan(mean) or math.isinf(mean):
+            raise DistributionError("mean must be a positive finite number, got %r" % (mean,))
+        self._mean = float(mean)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def variance(self) -> float:
+        """Return the variance (equal to the mean for a Poisson)."""
+        return self._mean
+
+    def pmf(self, k: int) -> float:
+        if k < 0:
+            return 0.0
+        lam = self._mean
+        return math.exp(k * math.log(lam) - lam - math.lgamma(k + 1))
+
+    def thinned(self, retain_probability: float) -> "PoissonDefectDistribution":
+        if not 0.0 < retain_probability <= 1.0:
+            raise DistributionError(
+                "retain_probability must be in (0, 1], got %r" % (retain_probability,)
+            )
+        return PoissonDefectDistribution(mean=self._mean * retain_probability)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PoissonDefectDistribution(mean=%g)" % self._mean

@@ -1,0 +1,43 @@
+"""Gate-level fault trees, multiple-valued variables and binary encodings.
+
+The subpackage provides:
+
+* :class:`~repro.faulttree.circuit.Circuit` — the plain gate-level netlist
+  representation (what the paper calls "a gate-level description of the
+  function");
+* :class:`~repro.faulttree.builder.FaultTreeBuilder` — an expression DSL for
+  writing structure functions, including k-out-of-n helpers;
+* :class:`~repro.faulttree.encoding.BinaryCode` — minimum-width binary codes
+  for multiple-valued variables;
+* :class:`~repro.faulttree.multivalued.MVCircuit` — boolean functions of
+  multiple-valued variables built from "filter" gates (the form of the
+  generalized fault tree ``G`` of Fig. 1).
+"""
+
+from .builder import Expr, FaultTreeBuilder
+from .circuit import Circuit, Node
+from .encoding import BinaryCode, bits_needed
+from .multivalued import FilterGate, FilterKind, MVCircuit, MultiValuedVariable
+from .ops import CircuitError, GateOp, evaluate_gate
+from .parser import FaultTreeParseError, dump, dumps, load, loads
+
+__all__ = [
+    "Circuit",
+    "Node",
+    "Expr",
+    "FaultTreeBuilder",
+    "FaultTreeParseError",
+    "load",
+    "loads",
+    "dump",
+    "dumps",
+    "BinaryCode",
+    "bits_needed",
+    "MVCircuit",
+    "MultiValuedVariable",
+    "FilterGate",
+    "FilterKind",
+    "CircuitError",
+    "GateOp",
+    "evaluate_gate",
+]

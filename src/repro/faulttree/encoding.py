@@ -1,0 +1,131 @@
+"""Minimum-width binary codes for multiple-valued variables.
+
+Section 2 of the paper encodes each multiple-valued variable with a binary
+code of minimum width: the defect-count variable ``w`` (values
+``0 .. M+1``) is encoded directly, while the defect-location variables
+``v_l`` (values ``1 .. C``) are encoded as ``v_l - 1`` "since they have
+values in the domain {1, ..., C}".  :class:`BinaryCode` captures exactly
+this: a value set, an integer offset and the resulting codewords, most
+significant bit first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .ops import CircuitError
+
+
+def bits_needed(count: int) -> int:
+    """Return the minimum number of bits able to distinguish ``count`` values."""
+    if count < 1:
+        raise CircuitError("a code needs at least one value, got %d" % count)
+    if count == 1:
+        return 1
+    return (count - 1).bit_length()
+
+
+class BinaryCode:
+    """Minimum-width binary encoding of a contiguous integer domain.
+
+    Parameters
+    ----------
+    values:
+        The domain, a sequence of distinct integers (ordered as given).
+    offset:
+        The integer subtracted from a value before encoding it in binary
+        (the paper encodes ``v_i - 1``).  Defaults to the minimum value so
+        that codes always start at 0.
+    """
+
+    def __init__(self, values: Sequence[int], offset: int = None) -> None:
+        values = [int(v) for v in values]
+        if not values:
+            raise CircuitError("a code needs at least one value")
+        if len(set(values)) != len(values):
+            raise CircuitError("code values must be distinct")
+        if offset is None:
+            offset = min(values)
+        self._values: Tuple[int, ...] = tuple(values)
+        self._offset = int(offset)
+        shifted = [v - self._offset for v in values]
+        if min(shifted) < 0:
+            raise CircuitError("offset %d larger than the minimum value" % self._offset)
+        self._width = bits_needed(max(shifted) + 1)
+        self._codewords: Dict[int, Tuple[int, ...]] = {
+            v: self._encode_int(v - self._offset) for v in values
+        }
+        self._decode: Dict[Tuple[int, ...], int] = {
+            bits: v for v, bits in self._codewords.items()
+        }
+
+    def _encode_int(self, raw: int) -> Tuple[int, ...]:
+        return tuple((raw >> (self._width - 1 - b)) & 1 for b in range(self._width))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> Tuple[int, ...]:
+        """The encoded domain, in the order supplied at construction."""
+        return self._values
+
+    @property
+    def width(self) -> int:
+        """Number of bits of the code."""
+        return self._width
+
+    @property
+    def offset(self) -> int:
+        """The offset subtracted before encoding."""
+        return self._offset
+
+    def codeword(self, value: int) -> Tuple[int, ...]:
+        """Return the codeword of ``value``, most significant bit first."""
+        try:
+            return self._codewords[value]
+        except KeyError:
+            raise CircuitError("value %r is not in the coded domain" % (value,)) from None
+
+    def bit(self, value: int, position: int) -> int:
+        """Return bit ``position`` (0 = most significant) of ``value``'s codeword."""
+        word = self.codeword(value)
+        if not 0 <= position < self._width:
+            raise CircuitError("bit position %d out of range" % position)
+        return word[position]
+
+    def decode(self, bits: Sequence[int]) -> int:
+        """Return the domain value encoded by ``bits`` (MSB first).
+
+        Raises :class:`CircuitError` for codewords that do not encode any
+        domain value (the "don't care" codewords the conversion procedure of
+        the paper has to skip).
+        """
+        key = tuple(int(b) & 1 for b in bits)
+        if len(key) != self._width:
+            raise CircuitError("expected %d bits, got %d" % (self._width, len(key)))
+        if key not in self._decode:
+            raise CircuitError("codeword %r does not encode a domain value" % (key,))
+        return self._decode[key]
+
+    def encodes(self, bits: Sequence[int]) -> bool:
+        """Return whether ``bits`` is the codeword of some domain value."""
+        key = tuple(int(b) & 1 for b in bits)
+        return key in self._decode
+
+    def unused_codewords(self) -> List[Tuple[int, ...]]:
+        """Return the codewords of the code space that encode no domain value."""
+        out = []
+        for raw in range(1 << self._width):
+            bits = self._encode_int(raw)
+            if bits not in self._decode:
+                out.append(bits)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BinaryCode(values=%d, width=%d, offset=%d)" % (
+            len(self._values),
+            self._width,
+            self._offset,
+        )

@@ -1,0 +1,299 @@
+"""Multiple-valued variables and circuits with "filter" gates.
+
+The generalized fault tree ``G(w, v_1 .. v_M)`` of the paper (Fig. 1) is a
+boolean function of *multiple-valued* variables: the defect-count variable
+``w`` and the defect-location variables ``v_l``.  Its leaves are "filter"
+gates — boolean functions of a single multiple-valued variable that test
+``var == value`` or ``var >= value``.
+
+:class:`MVCircuit` represents such a function as a binary
+:class:`repro.faulttree.circuit.Circuit` whose inputs are filter signals,
+plus a registry describing which multiple-valued variable and predicate each
+filter input stands for.  This single representation serves three consumers:
+
+* direct evaluation on a multiple-valued assignment (used by tests and the
+  Monte-Carlo baseline);
+* binary expansion into a plain circuit over the encoding bits, using exactly
+  the literal logic of Section 2 (consumed by the ordering heuristics and the
+  coded-ROBDD builder);
+* direct ROMDD construction (the ablation baseline in
+  :mod:`repro.mdd.direct`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .circuit import Circuit, Node
+from .encoding import BinaryCode
+from .ops import CircuitError, GateOp
+
+
+class MultiValuedVariable:
+    """A named variable taking values in a finite integer domain."""
+
+    __slots__ = ("name", "values", "code")
+
+    def __init__(self, name: str, values: Sequence[int], offset: Optional[int] = None) -> None:
+        self.name = str(name)
+        self.values: Tuple[int, ...] = tuple(int(v) for v in values)
+        if len(self.values) < 2:
+            raise CircuitError(
+                "multiple-valued variable %r needs at least two values" % (name,)
+            )
+        self.code = BinaryCode(self.values, offset=offset)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of values in the domain."""
+        return len(self.values)
+
+    @property
+    def width(self) -> int:
+        """Number of bits of the minimum-width binary code."""
+        return self.code.width
+
+    def bit_names(self) -> Tuple[str, ...]:
+        """Names of the encoding bits, most significant first (``name[0]`` is MSB)."""
+        return tuple("%s[%d]" % (self.name, b) for b in range(self.width))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MultiValuedVariable(%r, |D|=%d, width=%d)" % (
+            self.name,
+            self.cardinality,
+            self.width,
+        )
+
+
+class FilterKind:
+    """Predicates a filter gate may test on its multiple-valued input."""
+
+    EQ = "eq"   #: value == constant  (the gate labeled "i" in Fig. 1)
+    GEQ = "geq"  #: value >= constant  (the gate labeled ">= i" in Fig. 1)
+
+
+class FilterGate:
+    """Description of one filter input of an :class:`MVCircuit`."""
+
+    __slots__ = ("variable", "kind", "constant")
+
+    def __init__(self, variable: MultiValuedVariable, kind: str, constant: int) -> None:
+        if kind not in (FilterKind.EQ, FilterKind.GEQ):
+            raise CircuitError("unknown filter kind %r" % (kind,))
+        self.variable = variable
+        self.kind = kind
+        self.constant = int(constant)
+
+    def evaluate(self, value: int) -> bool:
+        """Evaluate the filter predicate on a concrete variable value."""
+        if self.kind == FilterKind.EQ:
+            return value == self.constant
+        return value >= self.constant
+
+    def label(self) -> str:
+        """Return the canonical input name used inside the binary circuit."""
+        op = "==" if self.kind == FilterKind.EQ else ">="
+        return "%s%s%d" % (self.variable.name, op, self.constant)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "FilterGate(%s)" % self.label()
+
+
+class MVCircuit:
+    """A boolean function of multiple-valued variables built from filter gates."""
+
+    def __init__(self, name: str = "mv-circuit") -> None:
+        self._circuit = Circuit(name)
+        self._variables: List[MultiValuedVariable] = []
+        self._var_index: Dict[str, int] = {}
+        self._filters: Dict[str, FilterGate] = {}
+        self._top: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_variable(self, variable: MultiValuedVariable) -> MultiValuedVariable:
+        """Register a multiple-valued input variable."""
+        if variable.name in self._var_index:
+            raise CircuitError("variable %r already registered" % (variable.name,))
+        self._var_index[variable.name] = len(self._variables)
+        self._variables.append(variable)
+        return variable
+
+    def filter_eq(self, variable: MultiValuedVariable, constant: int) -> int:
+        """Return the circuit node testing ``variable == constant``."""
+        return self._filter(variable, FilterKind.EQ, constant)
+
+    def filter_geq(self, variable: MultiValuedVariable, constant: int) -> int:
+        """Return the circuit node testing ``variable >= constant``."""
+        return self._filter(variable, FilterKind.GEQ, constant)
+
+    def _filter(self, variable: MultiValuedVariable, kind: str, constant: int) -> int:
+        if variable.name not in self._var_index:
+            raise CircuitError("variable %r is not registered" % (variable.name,))
+        gate = FilterGate(variable, kind, constant)
+        label = gate.label()
+        if label not in self._filters:
+            self._filters[label] = gate
+        return self._circuit.add_input(label)
+
+    def gate(self, op: GateOp, fanins: Sequence[int]) -> int:
+        """Add a binary gate over filter signals / previous gates."""
+        return self._circuit.add_gate(op, fanins)
+
+    def const(self, value: bool) -> int:
+        """Add (or reuse) a boolean constant node."""
+        return self._circuit.add_const(value)
+
+    def set_top(self, index: int) -> None:
+        """Declare the output node of the function."""
+        self._circuit.set_output(index, "G")
+        self._top = index
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def variables(self) -> Tuple[MultiValuedVariable, ...]:
+        """The multiple-valued input variables, in registration order."""
+        return tuple(self._variables)
+
+    def variable(self, name: str) -> MultiValuedVariable:
+        """Return the registered variable called ``name``."""
+        try:
+            return self._variables[self._var_index[name]]
+        except KeyError:
+            raise CircuitError("unknown variable %r" % (name,)) from None
+
+    @property
+    def filters(self) -> Mapping[str, FilterGate]:
+        """Mapping from filter label to :class:`FilterGate`."""
+        return dict(self._filters)
+
+    @property
+    def circuit(self) -> Circuit:
+        """The underlying binary circuit whose inputs are the filter signals."""
+        return self._circuit
+
+    @property
+    def num_gates(self) -> int:
+        """Number of binary gates (filter gates are counted as inputs)."""
+        return self._circuit.num_gates
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Evaluate the function on a complete multiple-valued assignment."""
+        filter_values: Dict[str, bool] = {}
+        for label, gate in self._filters.items():
+            if gate.variable.name not in assignment:
+                raise CircuitError("missing value for variable %r" % (gate.variable.name,))
+            value = int(assignment[gate.variable.name])
+            if value not in gate.variable.values:
+                raise CircuitError(
+                    "value %r outside the domain of %r" % (value, gate.variable.name)
+                )
+            filter_values[label] = gate.evaluate(value)
+        # inputs of the underlying circuit that are not filters (should not
+        # happen, but keep the error readable)
+        for name in self._circuit.input_names:
+            if name not in filter_values:
+                raise CircuitError("input %r has no filter definition" % (name,))
+        return self._circuit.evaluate_output(filter_values, "G")
+
+    # ------------------------------------------------------------------ #
+    # Binary expansion (Section 2 literal logic)
+    # ------------------------------------------------------------------ #
+
+    def binary_encode(self, name: Optional[str] = None) -> "Circuit":
+        """Expand the function into a plain circuit over the encoding bits.
+
+        Every multiple-valued variable contributes ``width`` binary inputs
+        named ``"var[b]"`` (``b = 0`` is the most significant bit).  Filter
+        gates are replaced by the literal logic of Section 2 of the paper:
+
+        * ``var == c``  becomes the minterm of ``c``'s codeword;
+        * ``var >= c``  becomes the chain
+          ``(var >= c+1) OR (var == c)`` terminated at the top of the domain,
+          which is exactly the ``z_k = z_{k+1} + lit(...)`` recurrence.
+
+        The bit inputs are created variable by variable (in registration
+        order), most significant bit first; the ordering heuristics may later
+        reorder them freely, this method only fixes which inputs exist.
+        """
+        out = Circuit(name or (self._circuit.name + "-binary"))
+        # create all bit inputs up front so each variable's bits exist even if
+        # some are unused by the logic (keeps encodings predictable)
+        bit_nodes: Dict[Tuple[str, int], int] = {}
+        for var in self._variables:
+            for b, bit_name in enumerate(var.bit_names()):
+                bit_nodes[(var.name, b)] = out.add_input(bit_name)
+
+        def minterm(var: MultiValuedVariable, value: int) -> int:
+            literals = []
+            word = var.code.codeword(value)
+            for b, bit in enumerate(word):
+                node = bit_nodes[(var.name, b)]
+                if bit == 1:
+                    literals.append(node)
+                else:
+                    literals.append(out.add_gate(GateOp.NOT, [node]))
+            if len(literals) == 1:
+                return literals[0]
+            return out.add_gate(GateOp.AND, literals)
+
+        geq_cache: Dict[Tuple[str, int], int] = {}
+
+        def geq(var: MultiValuedVariable, constant: int) -> int:
+            values_above = [v for v in var.values if v >= constant]
+            if not values_above:
+                return out.add_const(False)
+            if len(values_above) == len(var.values):
+                return out.add_const(True)
+            key = (var.name, constant)
+            if key in geq_cache:
+                return geq_cache[key]
+            # z_{>=c} = z_{>=c'} OR minterm(c) where c' is the next domain
+            # value above c (the paper's recurrence specialised to contiguous
+            # domains).
+            this = minterm(var, constant) if constant in var.values else None
+            above = sorted(v for v in var.values if v > constant)
+            if above:
+                rest = geq(var, above[0])
+                node = out.add_gate(GateOp.OR, [rest, this]) if this is not None else rest
+            else:
+                node = this if this is not None else out.add_const(False)
+            geq_cache[key] = node
+            return node
+
+        filter_nodes: Dict[str, int] = {}
+        for label, gate in self._filters.items():
+            if gate.kind == FilterKind.EQ:
+                filter_nodes[label] = minterm(gate.variable, gate.constant)
+            else:
+                filter_nodes[label] = geq(gate.variable, gate.constant)
+
+        # copy the gate structure, substituting filter inputs
+        mapping: Dict[int, int] = {}
+        for node in self._circuit.nodes:
+            if node.is_input:
+                mapping[node.index] = filter_nodes[node.name]
+            elif node.is_const:
+                mapping[node.index] = out.add_const(node.name == "1")
+            else:
+                mapping[node.index] = out.add_gate(node.op, [mapping[f] for f in node.fanins])
+        if self._top is None:
+            raise CircuitError("MV circuit has no output; call set_top() first")
+        out.set_output(mapping[self._top], "G")
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MVCircuit(vars=%d, filters=%d, gates=%d)" % (
+            len(self._variables),
+            len(self._filters),
+            self.num_gates,
+        )

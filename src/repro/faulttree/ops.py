@@ -1,0 +1,80 @@
+"""Gate operators for gate-level fault-tree descriptions.
+
+The paper assumes a gate-level description of the fault-tree function
+``F(x_1 .. x_C)`` is available (Section 1).  We support the usual monotone
+fault-tree operators plus the non-monotone ones needed to express the binary
+"filter" logic of Section 2 (complemented literals, XOR/XNOR).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+
+class GateOp(Enum):
+    """Boolean gate operators supported by :class:`repro.faulttree.circuit.Circuit`."""
+
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    BUF = "buf"
+    XOR = "xor"
+    XNOR = "xnor"
+    NAND = "nand"
+    NOR = "nor"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "GateOp.%s" % self.name
+
+
+#: Operators that take exactly one operand.
+UNARY_OPS = frozenset({GateOp.NOT, GateOp.BUF})
+
+#: Operators that accept two or more operands.
+NARY_OPS = frozenset(
+    {GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.XNOR, GateOp.NAND, GateOp.NOR}
+)
+
+
+class CircuitError(ValueError):
+    """Raised on malformed circuit construction or evaluation requests."""
+
+
+def validate_arity(op: GateOp, fanin_count: int) -> None:
+    """Raise :class:`CircuitError` if ``fanin_count`` is invalid for ``op``."""
+    if op in UNARY_OPS:
+        if fanin_count != 1:
+            raise CircuitError("%s gate requires exactly 1 fanin, got %d" % (op.name, fanin_count))
+    elif op in NARY_OPS:
+        if fanin_count < 1:
+            raise CircuitError("%s gate requires at least 1 fanin, got %d" % (op.name, fanin_count))
+    else:  # pragma: no cover - exhaustiveness guard
+        raise CircuitError("unknown gate operator %r" % (op,))
+
+
+def evaluate_gate(op: GateOp, values: Sequence[bool]) -> bool:
+    """Evaluate a single gate on concrete boolean fanin values."""
+    if op is GateOp.AND:
+        return all(values)
+    if op is GateOp.OR:
+        return any(values)
+    if op is GateOp.NAND:
+        return not all(values)
+    if op is GateOp.NOR:
+        return not any(values)
+    if op is GateOp.XOR:
+        acc = False
+        for v in values:
+            acc ^= bool(v)
+        return acc
+    if op is GateOp.XNOR:
+        acc = False
+        for v in values:
+            acc ^= bool(v)
+        return not acc
+    if op is GateOp.NOT:
+        return not values[0]
+    if op is GateOp.BUF:
+        return bool(values[0])
+    raise CircuitError("unknown gate operator %r" % (op,))  # pragma: no cover

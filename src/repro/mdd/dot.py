@@ -1,0 +1,43 @@
+"""Graphviz (DOT) export of ROMDDs, for documentation and debugging.
+
+Edges leading to the same child are merged and labeled with the set of
+values, matching the drawing convention of Fig. 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from .manager import TRUE, MDDManager
+
+
+def mdd_to_dot(manager: MDDManager, root: int, *, name: str = "romdd") -> str:
+    """Return a DOT description of the ROMDD rooted at ``root``."""
+    lines = ["digraph %s {" % name, "  rankdir=TB;"]
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+    reachable = sorted(manager.reachable(root))
+    for handle in reachable:
+        if handle <= TRUE:
+            continue
+        variable = manager.variable_at_level(manager.level(handle))
+        lines.append('  node%d [label="%s", shape=circle];' % (handle, variable.name))
+    for handle in reachable:
+        if handle <= TRUE:
+            continue
+        variable = manager.variable_at_level(manager.level(handle))
+        grouped = defaultdict(list)
+        for value, child in zip(variable.values, manager.children(handle)):
+            grouped[child].append(value)
+        for child, values in grouped.items():
+            label = ",".join(str(v) for v in values)
+            lines.append('  node%d -> node%d [label="%s"];' % (handle, child, label))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_mdd_dot(manager: MDDManager, root: int, path: str, *, name: Optional[str] = None) -> None:
+    """Write the DOT description of the ROMDD rooted at ``root`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(mdd_to_dot(manager, root, name=name or "romdd"))

@@ -1,0 +1,170 @@
+"""Conversion of a coded ROBDD into the ROMDD required by the yield method.
+
+The paper's implementation strategy (Section 2, Fig. 3): it is most efficient
+to *build* the decision diagram as a coded ROBDD — an ROBDD over binary
+variables that encode the multiple-valued variables — and only at the end
+convert it into the ROMDD on which the probability traversal runs.  The
+conversion requires the binary variables of each multiple-valued variable to
+be kept grouped in the ROBDD order, with the groups following the chosen
+multiple-valued variable order.
+
+The conversion processes the coded ROBDD layer by layer, bottom-up.  A
+*layer* is the set of ROBDD nodes whose binary variable encodes a given
+multiple-valued variable; its *entry nodes* are the nodes reached by edges
+coming from other (higher) layers, plus the root.  For every entry node and
+every value of the layer's variable, the group's code bits are "simulated"
+downward through the layer to find the node reached; the ROMDD node for the
+entry node has the (already converted) images of those reached nodes as
+children.  Hash-consing in :class:`repro.mdd.manager.MDDManager` performs the
+two reductions the paper describes (all-equal children collapse, structural
+sharing), and unreachable nodes created through unused codewords are simply
+never hit by the final size/probability traversals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bdd.manager import FALSE as BDD_FALSE
+from ..bdd.manager import TRUE as BDD_TRUE
+from ..bdd.manager import BDDManager
+from ..faulttree.multivalued import MultiValuedVariable
+from .manager import FALSE as MDD_FALSE
+from .manager import TRUE as MDD_TRUE
+from .manager import MDDError, MDDManager
+
+#: A grouped order: each entry is ``(variable, bit_names_top_to_bottom)``.
+GroupSpec = Sequence[Tuple[MultiValuedVariable, Sequence[str]]]
+
+
+def _bit_positions(groups: GroupSpec) -> Dict[str, Tuple[int, int]]:
+    """Map each bit name to ``(layer_index, msb_first_bit_position)``."""
+    info: Dict[str, Tuple[int, int]] = {}
+    for layer, (variable, bit_names) in enumerate(groups):
+        canonical = {name: pos for pos, name in enumerate(variable.bit_names())}
+        for name in bit_names:
+            if name not in canonical:
+                raise MDDError(
+                    "bit %r does not belong to variable %r" % (name, variable.name)
+                )
+            if name in info:
+                raise MDDError("bit %r appears in more than one group" % (name,))
+            info[name] = (layer, canonical[name])
+    return info
+
+
+def _validate_grouping(bdd: BDDManager, groups: GroupSpec, bit_info) -> List[Tuple[int, int]]:
+    """Check the ROBDD order keeps groups contiguous and in the group order.
+
+    Returns, for every ROBDD level, the ``(layer, bit_position)`` pair.
+    """
+    per_level: List[Tuple[int, int]] = []
+    previous_layer = -1
+    seen_layers: Set[int] = set()
+    for name in bdd.variable_order:
+        if name not in bit_info:
+            raise MDDError("ROBDD variable %r is not a bit of any group" % (name,))
+        layer, bitpos = bit_info[name]
+        if layer != previous_layer:
+            if layer in seen_layers:
+                raise MDDError(
+                    "bits of variable %r are not contiguous in the ROBDD order"
+                    % (groups[layer][0].name,)
+                )
+            if layer < previous_layer:
+                raise MDDError(
+                    "groups appear out of order in the ROBDD order (layer %d after %d)"
+                    % (layer, previous_layer)
+                )
+            seen_layers.add(layer)
+            previous_layer = layer
+        per_level.append((layer, bitpos))
+    expected_bits = sum(len(bits) for _, bits in groups)
+    if len(per_level) != expected_bits:
+        raise MDDError(
+            "ROBDD order has %d variables but the groups define %d bits"
+            % (len(per_level), expected_bits)
+        )
+    return per_level
+
+
+def convert_bdd_to_mdd(
+    bdd: BDDManager,
+    root: int,
+    groups: GroupSpec,
+    mdd: Optional[MDDManager] = None,
+) -> Tuple[MDDManager, int]:
+    """Convert the coded ROBDD rooted at ``root`` into a ROMDD.
+
+    Parameters
+    ----------
+    bdd:
+        The manager holding the coded ROBDD.  Its variable order must consist
+        exactly of the bits listed in ``groups``, contiguous per group and
+        with the groups in order.
+    root:
+        Handle of the coded ROBDD to convert.
+    groups:
+        The multiple-valued variables (top to bottom) together with the names
+        of their encoding bits in the order they appear in the ROBDD.
+    mdd:
+        Optional existing :class:`MDDManager` whose variable order matches
+        ``groups``; a fresh one is created when omitted.
+
+    Returns
+    -------
+    (MDDManager, int)
+        The ROMDD manager and the handle of the converted function.
+    """
+    variables = [variable for variable, _ in groups]
+    if mdd is None:
+        mdd = MDDManager(variables)
+    else:
+        existing = [v.name for v in mdd.variables]
+        if existing != [v.name for v in variables]:
+            raise MDDError("supplied MDD manager has a different variable order")
+
+    bit_info = _bit_positions(groups)
+    per_level = _validate_grouping(bdd, groups, bit_info)
+
+    mapping: Dict[int, int] = {BDD_FALSE: MDD_FALSE, BDD_TRUE: MDD_TRUE}
+    if root <= BDD_TRUE:
+        return mdd, mapping[root]
+
+    def layer_of(node: int) -> int:
+        return per_level[bdd.level(node)][0]
+
+    # collect the entry nodes of every layer: the root plus every node whose
+    # incoming edge crosses a layer boundary
+    entries: Dict[int, Set[int]] = defaultdict(set)
+    reachable = bdd.reachable(root)
+    entries[layer_of(root)].add(root)
+    for node in reachable:
+        if node <= BDD_TRUE:
+            continue
+        node_layer = layer_of(node)
+        for child in (bdd.low(node), bdd.high(node)):
+            if child <= BDD_TRUE:
+                continue
+            if layer_of(child) != node_layer:
+                entries[layer_of(child)].add(child)
+
+    # bottom-up over the layers that actually have entry nodes
+    for layer_index in sorted(entries.keys(), reverse=True):
+        variable = variables[layer_index]
+        for entry in entries[layer_index]:
+            children: List[int] = []
+            for value in variable.values:
+                codeword = variable.code.codeword(value)
+                current = entry
+                while current > BDD_TRUE and per_level[bdd.level(current)][0] == layer_index:
+                    bit_position = per_level[bdd.level(current)][1]
+                    if codeword[bit_position]:
+                        current = bdd.high(current)
+                    else:
+                        current = bdd.low(current)
+                children.append(mapping[current])
+            mapping[entry] = mdd.mk(layer_index, children)
+
+    return mdd, mapping[root]

@@ -1,0 +1,319 @@
+"""A reduced ordered multiple-valued decision diagram (ROMDD) engine.
+
+ROMDDs extend ROBDDs by letting every non-terminal node branch on a
+multiple-valued variable: a node labeled with variable ``x`` has one
+outgoing edge per value of ``x``'s domain.  The paper evaluates the yield by
+a single depth-first traversal of the ROMDD of the generalized fault tree
+``G(w, v_1 .. v_M)``, so this engine keeps exactly the machinery that
+traversal (and the construction routes feeding it) needs:
+
+* hash-consed node creation with the usual reduction rule (a node whose
+  children are all identical collapses to that child), which makes the
+  representation canonical for a fixed variable order;
+* generic ``apply`` for building ROMDDs directly from a filter-gate circuit
+  (used by the ablation baseline in :mod:`repro.mdd.direct`);
+* traversal, evaluation and size queries.
+
+The function itself is boolean (terminals 0/1); only the variables are
+multiple-valued, which is all the yield method requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..faulttree.multivalued import MultiValuedVariable
+
+
+class MDDError(ValueError):
+    """Raised on invalid ROMDD operations."""
+
+
+#: Handle of the FALSE terminal.
+FALSE = 0
+#: Handle of the TRUE terminal.
+TRUE = 1
+
+_TERMINAL_LEVEL = 1 << 30
+
+
+class MDDManager:
+    """Manager holding ROMDD nodes for a fixed multiple-valued variable order.
+
+    Parameters
+    ----------
+    variables:
+        The multiple-valued variables from the top of the diagrams (level 0)
+        downwards.
+    """
+
+    def __init__(self, variables: Sequence[MultiValuedVariable]) -> None:
+        if not variables:
+            raise MDDError("at least one variable is required")
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise MDDError("variable names must be unique")
+        self._variables: Tuple[MultiValuedVariable, ...] = tuple(variables)
+        self._level_of: Dict[str, int] = {v.name: i for i, v in enumerate(variables)}
+
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._children: List[Tuple[int, ...]] = [(), ()]
+
+        self._unique: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def variables(self) -> Tuple[MultiValuedVariable, ...]:
+        """The variables from level 0 (top) downwards."""
+        return self._variables
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_nodes_allocated(self) -> int:
+        """Total number of nodes ever created, terminals included."""
+        return len(self._level)
+
+    def level_of(self, name: str) -> int:
+        """Return the level of variable ``name``."""
+        try:
+            return self._level_of[name]
+        except KeyError:
+            raise MDDError("unknown variable %r" % (name,)) from None
+
+    def variable_at_level(self, level: int) -> MultiValuedVariable:
+        """Return the variable at ``level``."""
+        if not 0 <= level < len(self._variables):
+            raise MDDError("level %d out of range" % level)
+        return self._variables[level]
+
+    def level(self, node: int) -> int:
+        """Return the level of ``node`` (terminals report a sentinel large level)."""
+        return self._level[node]
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        """Return the children of ``node``, aligned with the variable's value order."""
+        return self._children[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """Return whether ``node`` is one of the two terminals."""
+        return node <= TRUE
+
+    # ------------------------------------------------------------------ #
+    # Node construction
+    # ------------------------------------------------------------------ #
+
+    def constant(self, value: bool) -> int:
+        """Return the terminal for ``value``."""
+        return TRUE if value else FALSE
+
+    def mk(self, level: int, children: Sequence[int]) -> int:
+        """Return the (reduced, hash-consed) node at ``level`` with ``children``.
+
+        ``children`` must have one entry per value of the level's variable, in
+        the variable's value order.
+        """
+        var = self.variable_at_level(level)
+        children = tuple(int(c) for c in children)
+        if len(children) != var.cardinality:
+            raise MDDError(
+                "variable %r expects %d children, got %d"
+                % (var.name, var.cardinality, len(children))
+            )
+        first = children[0]
+        if all(c == first for c in children):
+            return first
+        key = (level, children)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        handle = len(self._level)
+        self._level.append(level)
+        self._children.append(children)
+        self._unique[key] = handle
+        return handle
+
+    def literal(self, name: str, accepted_values: Iterable[int]) -> int:
+        """Return the ROMDD of the filter "variable ``name`` takes a value in the set"."""
+        level = self.level_of(name)
+        var = self._variables[level]
+        accepted = set(int(v) for v in accepted_values)
+        unknown = accepted.difference(var.values)
+        if unknown:
+            raise MDDError(
+                "values %s are outside the domain of %r" % (sorted(unknown), name)
+            )
+        children = [TRUE if value in accepted else FALSE for value in var.values]
+        return self.mk(level, children)
+
+    # ------------------------------------------------------------------ #
+    # Apply-style boolean operations
+    # ------------------------------------------------------------------ #
+
+    def not_(self, f: int) -> int:
+        """Return the complement of ``f``."""
+        return self._apply_unary(f)
+
+    def _apply_unary(self, f: int) -> int:
+        if f == TRUE:
+            return FALSE
+        if f == FALSE:
+            return TRUE
+        key = ("not", f, -1)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        result = self.mk(level, [self._apply_unary(c) for c in self._children[f]])
+        self._apply_cache[key] = result
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        """Return ``f AND g``."""
+        return self._apply(f, g, "and")
+
+    def or_(self, f: int, g: int) -> int:
+        """Return ``f OR g``."""
+        return self._apply(f, g, "or")
+
+    def xor_(self, f: int, g: int) -> int:
+        """Return ``f XOR g``."""
+        return self._apply(f, g, "xor")
+
+    def and_many(self, operands: Iterable[int]) -> int:
+        """Return the conjunction of all operands (TRUE for an empty list)."""
+        result = TRUE
+        for op in operands:
+            result = self.and_(result, op)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def or_many(self, operands: Iterable[int]) -> int:
+        """Return the disjunction of all operands (FALSE for an empty list)."""
+        result = FALSE
+        for op in operands:
+            result = self.or_(result, op)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    def _apply(self, f: int, g: int, op: str) -> int:
+        # terminal shortcuts
+        if op == "and":
+            if f == FALSE or g == FALSE:
+                return FALSE
+            if f == TRUE:
+                return g
+            if g == TRUE:
+                return f
+            if f == g:
+                return f
+        elif op == "or":
+            if f == TRUE or g == TRUE:
+                return TRUE
+            if f == FALSE:
+                return g
+            if g == FALSE:
+                return f
+            if f == g:
+                return f
+        elif op == "xor":
+            if f == g:
+                return FALSE
+            if f == FALSE:
+                return g
+            if g == FALSE:
+                return f
+            if f == TRUE:
+                return self.not_(g)
+            if g == TRUE:
+                return self.not_(f)
+        else:  # pragma: no cover - exhaustiveness guard
+            raise MDDError("unknown apply operator %r" % (op,))
+
+        if f > g:
+            # the operators are commutative; normalize for better cache hits
+            f, g = g, f
+        key = (op, f, g)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+
+        level = min(self._level[f], self._level[g])
+        cardinality = self._variables[level].cardinality
+        f_children = self._expand(f, level, cardinality)
+        g_children = self._expand(g, level, cardinality)
+        children = [
+            self._apply(fc, gc, op) for fc, gc in zip(f_children, g_children)
+        ]
+        result = self.mk(level, children)
+        self._apply_cache[key] = result
+        return result
+
+    def _expand(self, node: int, level: int, cardinality: int) -> Sequence[int]:
+        if node > TRUE and self._level[node] == level:
+            return self._children[node]
+        return (node,) * cardinality
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, node: int, assignment: Mapping[str, int]) -> bool:
+        """Evaluate the function rooted at ``node`` on a complete assignment."""
+        current = node
+        while current > TRUE:
+            var = self._variables[self._level[current]]
+            if var.name not in assignment:
+                raise MDDError("missing value for variable %r" % (var.name,))
+            value = int(assignment[var.name])
+            try:
+                position = var.values.index(value)
+            except ValueError:
+                raise MDDError(
+                    "value %r outside the domain of %r" % (value, var.name)
+                ) from None
+            current = self._children[current][position]
+        return current == TRUE
+
+    def reachable(self, node: int) -> Set[int]:
+        """Return all node handles reachable from ``node`` (terminals included)."""
+        seen: Set[int] = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if n > TRUE:
+                stack.extend(self._children[n])
+        return seen
+
+    def size(self, node: int) -> int:
+        """Return the number of nodes reachable from ``node`` (terminals included)."""
+        return len(self.reachable(node))
+
+    def support(self, node: int) -> List[str]:
+        """Return the names of the variables the function depends on."""
+        levels = {self._level[n] for n in self.reachable(node) if n > TRUE}
+        return [self._variables[lvl].name for lvl in sorted(levels)]
+
+    def iter_nodes(self, node: int):
+        """Yield ``(handle, level, children)`` for every reachable non-terminal node."""
+        for n in sorted(self.reachable(node)):
+            if n > TRUE:
+                yield n, self._level[n], self._children[n]
+
+    def clear_operation_cache(self) -> None:
+        """Drop the apply computed table."""
+        self._apply_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MDDManager(vars=%d, nodes=%d)" % (self.num_variables, self.num_nodes_allocated)

@@ -1,0 +1,94 @@
+"""Probability evaluation on ROMDDs.
+
+This is the last step of the paper's method (Section 2): given the ROMDD of
+``G(w, v_1 .. v_M)`` and the probability distribution of every (independent)
+multiple-valued variable, compute ``P(G = 1)`` by a depth-first, left-most
+traversal that assigns
+
+* value 1 to the terminal labeled "1", value 0 to the terminal labeled "0";
+* to every non-terminal node labeled with variable ``x`` the sum over its
+  outgoing edges of ``P(x in edge values) * value(child)``.
+
+The independence of ``W, V_1, ..., V_M`` plus the fact that a node's function
+only depends on the variables below it make this single pass exact.  Skipped
+variables contribute a factor of 1 because their value probabilities sum to
+one, so no correction is needed for edges that jump levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .manager import FALSE, TRUE, MDDError, MDDManager
+
+
+class VariableDistributions:
+    """Per-variable value probabilities for the ROMDD traversal.
+
+    Parameters
+    ----------
+    manager:
+        The ROMDD manager (provides the variables and their domains).
+    distributions:
+        Mapping from variable name to ``{value: probability}``.  Every domain
+        value must be present; probabilities must be non-negative and sum to
+        1 within a small tolerance.
+    """
+
+    def __init__(
+        self, manager: MDDManager, distributions: Mapping[str, Mapping[int, float]]
+    ) -> None:
+        self._by_level: Dict[int, tuple] = {}
+        for variable in manager.variables:
+            if variable.name not in distributions:
+                raise MDDError("missing distribution for variable %r" % (variable.name,))
+            dist = distributions[variable.name]
+            probs = []
+            for value in variable.values:
+                if value not in dist:
+                    raise MDDError(
+                        "distribution of %r missing value %r" % (variable.name, value)
+                    )
+                p = float(dist[value])
+                if p < 0.0:
+                    raise MDDError(
+                        "negative probability %r for %r=%r" % (p, variable.name, value)
+                    )
+                probs.append(p)
+            total = sum(probs)
+            if abs(total - 1.0) > 1e-6:
+                raise MDDError(
+                    "distribution of %r sums to %g, expected 1" % (variable.name, total)
+                )
+            self._by_level[manager.level_of(variable.name)] = tuple(probs)
+
+    def probabilities_at_level(self, level: int) -> tuple:
+        """Return the value-probability vector of the variable at ``level``."""
+        return self._by_level[level]
+
+
+def probability_of_one(
+    manager: MDDManager,
+    root: int,
+    distributions: Mapping[str, Mapping[int, float]],
+) -> float:
+    """Return ``P(function rooted at root == 1)`` for independent variables.
+
+    ``distributions`` maps every variable name to ``{value: probability}``.
+    """
+    dist = VariableDistributions(manager, distributions)
+    cache: Dict[int, float] = {FALSE: 0.0, TRUE: 1.0}
+
+    def visit(node: int) -> float:
+        if node in cache:
+            return cache[node]
+        level = manager.level(node)
+        probs = dist.probabilities_at_level(level)
+        total = 0.0
+        for p, child in zip(probs, manager.children(node)):
+            if p != 0.0:
+                total += p * visit(child)
+        cache[node] = total
+        return total
+
+    return visit(root)

@@ -1,0 +1,30 @@
+"""Variable-ordering heuristics and grouped orders.
+
+* :func:`~repro.ordering.heuristics.topology_order`,
+  :func:`~repro.ordering.heuristics.weight_order`,
+  :func:`~repro.ordering.heuristics.h4_order` — the three static heuristics
+  of the paper for gate-level descriptions;
+* :class:`~repro.ordering.grouped.GroupedVariableOrder` — a multiple-valued
+  variable order with ordered code-bit groups (the shape the coded-ROBDD →
+  ROMDD conversion requires);
+* :class:`~repro.ordering.strategies.OrderingSpec` /
+  :func:`~repro.ordering.strategies.compute_grouped_order` — the paper's
+  ``wv, wvr, vw, vrw, t, w, h`` × ``ml, lm, t, w, h`` strategy matrix.
+"""
+
+from .grouped import GroupedVariableOrder, OrderingError
+from .heuristics import HEURISTICS, h4_order, topology_order, weight_order
+from .strategies import BIT_ORDERINGS, MV_ORDERINGS, OrderingSpec, compute_grouped_order
+
+__all__ = [
+    "GroupedVariableOrder",
+    "OrderingError",
+    "HEURISTICS",
+    "topology_order",
+    "weight_order",
+    "h4_order",
+    "OrderingSpec",
+    "compute_grouped_order",
+    "MV_ORDERINGS",
+    "BIT_ORDERINGS",
+]

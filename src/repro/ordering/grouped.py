@@ -1,0 +1,88 @@
+"""Grouped variable orders: multiple-valued variables plus their code bits.
+
+The method needs two nested orders (Section 2 of the paper):
+
+* an order of the **multiple-valued** variables ``w, v_1, ..., v_M`` — it
+  determines the ROMDD and, through the grouping requirement, the macro
+  structure of the coded ROBDD;
+* an order of the **binary** variables *within* each group — it only affects
+  the size of the coded ROBDD.
+
+:class:`GroupedVariableOrder` captures both: an ordered list of
+``(variable, bit_names)`` pairs whose concatenation is the coded-ROBDD
+variable order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..faulttree.multivalued import MultiValuedVariable
+
+
+class OrderingError(ValueError):
+    """Raised when an ordering specification is inconsistent."""
+
+
+class GroupedVariableOrder:
+    """An ordered list of multiple-valued variables with ordered bit groups."""
+
+    def __init__(self, groups: Sequence[Tuple[MultiValuedVariable, Sequence[str]]]) -> None:
+        if not groups:
+            raise OrderingError("a grouped order needs at least one variable")
+        normalized: List[Tuple[MultiValuedVariable, Tuple[str, ...]]] = []
+        seen_vars = set()
+        seen_bits = set()
+        for variable, bit_names in groups:
+            if variable.name in seen_vars:
+                raise OrderingError("variable %r appears twice" % (variable.name,))
+            seen_vars.add(variable.name)
+            bit_names = tuple(str(b) for b in bit_names)
+            canonical = set(variable.bit_names())
+            if set(bit_names) != canonical or len(bit_names) != len(canonical):
+                raise OrderingError(
+                    "group of %r must be a permutation of its %d code bits"
+                    % (variable.name, variable.width)
+                )
+            for bit in bit_names:
+                if bit in seen_bits:
+                    raise OrderingError("bit %r appears in more than one group" % (bit,))
+                seen_bits.add(bit)
+            normalized.append((variable, bit_names))
+        self._groups: Tuple[Tuple[MultiValuedVariable, Tuple[str, ...]], ...] = tuple(normalized)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def groups(self) -> Tuple[Tuple[MultiValuedVariable, Tuple[str, ...]], ...]:
+        """The ``(variable, bit_names)`` pairs, top of the diagrams first."""
+        return self._groups
+
+    @property
+    def variables(self) -> Tuple[MultiValuedVariable, ...]:
+        """The multiple-valued variables in order."""
+        return tuple(variable for variable, _ in self._groups)
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """The multiple-valued variable names in order."""
+        return tuple(variable.name for variable, _ in self._groups)
+
+    def flat_bit_order(self) -> List[str]:
+        """Return the coded-ROBDD variable order (concatenation of the groups)."""
+        flat: List[str] = []
+        for _, bit_names in self._groups:
+            flat.extend(bit_names)
+        return flat
+
+    def bits_of(self, variable_name: str) -> Tuple[str, ...]:
+        """Return the ordered bits of the named variable."""
+        for variable, bit_names in self._groups:
+            if variable.name == variable_name:
+                return bit_names
+        raise OrderingError("unknown variable %r" % (variable_name,))
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "GroupedVariableOrder(%s)" % ", ".join(self.variable_names)

@@ -1,0 +1,159 @@
+"""Static variable-ordering heuristics for gate-level descriptions.
+
+The size of an ROBDD (and of an ROMDD) depends critically on the variable
+order.  The paper uses three static heuristics that work on the gate-level
+description of the function, all based on a depth-first, left-most traversal
+from the output:
+
+* **topology** [Nikolskaia, Rauzy & Sherman 1998]: inputs are ordered as
+  first encountered by the plain depth-first, left-most traversal;
+* **weight** [Minato, Ishiura & Yajima 1990]: every input gets weight 1,
+  every gate the sum of its fanins' weights (computed bottom-up); the fanins
+  of every gate are then re-sorted by increasing weight (stable), and the
+  traversal of the re-ordered description gives the input order;
+* **H4** [Bouissou, Bruyère & Rauzy 1997]: a depth-first, left-most traversal
+  in which the fanins of a gate are sorted *when the gate is first visited*
+  by (1) the number of not-yet-visited inputs in their dependency cone
+  (fewest first) and (2) the sum of the order indices of the already-visited
+  inputs in their cone (smallest first), preserving the original fanin order
+  on ties.
+
+Each heuristic returns the circuit's input *names*; inputs outside the cone
+of the output are appended at the end in their declaration order so that the
+result is always a complete order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..faulttree.circuit import Circuit
+
+
+def _complete(circuit: Circuit, partial: List[str]) -> List[str]:
+    """Append inputs missing from ``partial`` in declaration order."""
+    seen = set(partial)
+    for name in circuit.input_names:
+        if name not in seen:
+            partial.append(name)
+            seen.add(name)
+    return partial
+
+
+def topology_order(circuit: Circuit, root: int = None) -> List[str]:
+    """Return the input order produced by the *topology* heuristic."""
+    if root is None:
+        root = circuit.primary_output
+    order: List[str] = []
+    for index in circuit.dfs_leftmost(root):
+        node = circuit.node(index)
+        if node.is_input:
+            order.append(node.name)
+    return _complete(circuit, order)
+
+
+def weight_order(circuit: Circuit, root: int = None) -> List[str]:
+    """Return the input order produced by the *weight* heuristic."""
+    if root is None:
+        root = circuit.primary_output
+    cone = circuit.cone(root)
+
+    weights: Dict[int, int] = {}
+    for index in sorted(cone):
+        node = circuit.node(index)
+        if node.is_gate:
+            weights[index] = sum(weights[f] for f in node.fanins)
+        else:
+            weights[index] = 1
+
+    order: List[str] = []
+    seen: Set[int] = set()
+
+    def visit(index: int) -> None:
+        if index in seen:
+            return
+        seen.add(index)
+        node = circuit.node(index)
+        if node.is_input:
+            order.append(node.name)
+            return
+        if node.is_const:
+            return
+        # stable sort by increasing weight keeps the original order on ties
+        for fanin in sorted(node.fanins, key=lambda f: weights[f]):
+            visit(fanin)
+
+    _visit_iteratively(circuit, root, visit)
+    return _complete(circuit, order)
+
+
+def h4_order(circuit: Circuit, root: int = None) -> List[str]:
+    """Return the input order produced by the *H4* heuristic."""
+    if root is None:
+        root = circuit.primary_output
+    cone = circuit.cone(root)
+
+    # dependency cone (set of input indices) of every node in the cone
+    cones: Dict[int, frozenset] = {}
+    for index in sorted(cone):
+        node = circuit.node(index)
+        if node.is_input:
+            cones[index] = frozenset((index,))
+        elif node.is_const:
+            cones[index] = frozenset()
+        else:
+            acc: Set[int] = set()
+            for fanin in node.fanins:
+                acc.update(cones[fanin])
+            cones[index] = frozenset(acc)
+
+    order: List[str] = []
+    order_index: Dict[int, int] = {}
+    seen: Set[int] = set()
+
+    def visit(index: int) -> None:
+        if index in seen:
+            return
+        seen.add(index)
+        node = circuit.node(index)
+        if node.is_input:
+            order_index[index] = len(order)
+            order.append(node.name)
+            return
+        if node.is_const:
+            return
+
+        def keys(fanin_position: int):
+            fanin = node.fanins[fanin_position]
+            unvisited = sum(1 for i in cones[fanin] if i not in order_index)
+            visited_sum = sum(order_index[i] for i in cones[fanin] if i in order_index)
+            return (unvisited, visited_sum, fanin_position)
+
+        for position in sorted(range(len(node.fanins)), key=keys):
+            visit(node.fanins[position])
+
+    _visit_iteratively(circuit, root, visit)
+    return _complete(circuit, order)
+
+
+def _visit_iteratively(circuit: Circuit, root: int, visit) -> None:
+    """Run a recursive visitor with a recursion limit suited to deep netlists."""
+    import sys
+
+    depth_needed = len(circuit.nodes) + 100
+    old_limit = sys.getrecursionlimit()
+    if depth_needed > old_limit:
+        sys.setrecursionlimit(depth_needed)
+    try:
+        visit(root)
+    finally:
+        if depth_needed > old_limit:
+            sys.setrecursionlimit(old_limit)
+
+
+#: Registry of the binary-circuit heuristics keyed by the paper's short names.
+HEURISTICS = {
+    "t": topology_order,
+    "w": weight_order,
+    "h": h4_order,
+}

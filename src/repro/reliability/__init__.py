@@ -1,0 +1,42 @@
+"""Operational reliability of fault-tolerant SoCs under manufacturing defects.
+
+This subpackage implements the extension announced in the paper's
+conclusions: besides lethal manufacturing defects, components may fail in the
+field, and the quantity of interest is the probability that the system is
+still operational at a mission time ``t`` (optionally conditioned on having
+passed the manufacturing test).
+
+* :class:`~repro.reliability.field.ExponentialFieldModel`,
+  :class:`~repro.reliability.field.WeibullFieldModel`,
+  :class:`~repro.reliability.field.TabularFieldModel` — per-component field
+  failure models;
+* :class:`~repro.reliability.gfunction.ReliabilityFaultTree` — the extended
+  function ``G_rel(w, v_1..v_M, y_1..y_C)``;
+* :class:`~repro.reliability.analyzer.ReliabilityAnalyzer` /
+  :func:`~repro.reliability.analyzer.evaluate_reliability` — the full
+  pipeline and mission-time sweeps;
+* :func:`~repro.reliability.montecarlo.estimate_reliability_montecarlo` —
+  simulation cross-check.
+"""
+
+from .analyzer import ReliabilityAnalyzer, ReliabilityResult, evaluate_reliability
+from .field import (
+    ExponentialFieldModel,
+    FieldFailureModel,
+    TabularFieldModel,
+    WeibullFieldModel,
+)
+from .gfunction import ReliabilityFaultTree
+from .montecarlo import estimate_reliability_montecarlo
+
+__all__ = [
+    "FieldFailureModel",
+    "ExponentialFieldModel",
+    "WeibullFieldModel",
+    "TabularFieldModel",
+    "ReliabilityFaultTree",
+    "ReliabilityAnalyzer",
+    "ReliabilityResult",
+    "evaluate_reliability",
+    "estimate_reliability_montecarlo",
+]

@@ -1,0 +1,140 @@
+"""Field-failure models for operational-reliability evaluation.
+
+The conclusions of the paper announce an extension of the method "to allow
+the evaluation of the operational reliability of a fault-tolerant
+system-on-chip taking into account manufacturing defects".  This subpackage
+implements that extension: besides being hit by lethal manufacturing
+defects, every component may also fail *in the field* before the mission
+time ``t``; the system survives the mission when the structure function
+evaluates to "functioning" on the union of both failure sets.
+
+A :class:`FieldFailureModel` supplies, for every component, the probability
+of having failed in the field by time ``t`` (its *unreliability*).  The two
+standard parametric families (exponential and Weibull lifetimes) are
+provided, plus a direct per-component probability table for data-driven use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..distributions.base import DistributionError
+
+
+class FieldFailureModel:
+    """Base class: per-component probability of field failure by time ``t``."""
+
+    def unreliability(self, component: str, time: float) -> float:
+        """Return ``P(component failed in the field by time)``."""
+        raise NotImplementedError
+
+    def unreliabilities(self, components: Iterable[str], time: float) -> Dict[str, float]:
+        """Return ``{component: unreliability}`` for all requested components."""
+        return {name: self.unreliability(name, time) for name in components}
+
+
+class ExponentialFieldModel(FieldFailureModel):
+    """Exponential (constant-rate) lifetimes.
+
+    Parameters
+    ----------
+    rates:
+        Mapping from component name to failure rate (per unit time).
+    default_rate:
+        Rate used for components not listed in ``rates`` (``None`` means a
+        missing component is an error).
+    """
+
+    def __init__(
+        self, rates: Mapping[str, float], default_rate: Optional[float] = None
+    ) -> None:
+        self._rates = {str(k): float(v) for k, v in rates.items()}
+        for name, rate in self._rates.items():
+            if rate < 0.0 or math.isnan(rate):
+                raise DistributionError("rate for %r must be >= 0, got %r" % (name, rate))
+        if default_rate is not None and default_rate < 0.0:
+            raise DistributionError("default_rate must be >= 0")
+        self._default_rate = default_rate
+
+    def rate(self, component: str) -> float:
+        """Return the failure rate of ``component``."""
+        if component in self._rates:
+            return self._rates[component]
+        if self._default_rate is not None:
+            return self._default_rate
+        raise DistributionError("no failure rate for component %r" % (component,))
+
+    def unreliability(self, component: str, time: float) -> float:
+        if time < 0.0:
+            raise DistributionError("time must be >= 0, got %r" % (time,))
+        return 1.0 - math.exp(-self.rate(component) * time)
+
+
+class WeibullFieldModel(FieldFailureModel):
+    """Weibull lifetimes, the standard wear-out / infant-mortality model.
+
+    Parameters
+    ----------
+    scales:
+        Mapping from component name to the Weibull scale parameter ``eta``.
+    shape:
+        Common shape parameter ``beta`` (> 0); ``beta = 1`` recovers the
+        exponential model.
+    default_scale:
+        Scale used for unlisted components (``None`` means error).
+    """
+
+    def __init__(
+        self,
+        scales: Mapping[str, float],
+        shape: float = 1.0,
+        default_scale: Optional[float] = None,
+    ) -> None:
+        if shape <= 0.0 or math.isnan(shape):
+            raise DistributionError("shape must be > 0, got %r" % (shape,))
+        self._scales = {str(k): float(v) for k, v in scales.items()}
+        for name, scale in self._scales.items():
+            if scale <= 0.0:
+                raise DistributionError("scale for %r must be > 0, got %r" % (name, scale))
+        if default_scale is not None and default_scale <= 0.0:
+            raise DistributionError("default_scale must be > 0")
+        self._shape = float(shape)
+        self._default_scale = default_scale
+
+    def unreliability(self, component: str, time: float) -> float:
+        if time < 0.0:
+            raise DistributionError("time must be >= 0, got %r" % (time,))
+        if component in self._scales:
+            scale = self._scales[component]
+        elif self._default_scale is not None:
+            scale = self._default_scale
+        else:
+            raise DistributionError("no Weibull scale for component %r" % (component,))
+        return 1.0 - math.exp(-((time / scale) ** self._shape))
+
+
+class TabularFieldModel(FieldFailureModel):
+    """Field unreliabilities given directly as probabilities (time-independent).
+
+    Useful when per-component mission unreliabilities come from an external
+    reliability prediction tool.
+    """
+
+    def __init__(self, probabilities: Mapping[str, float], default: Optional[float] = None) -> None:
+        self._probabilities = {str(k): float(v) for k, v in probabilities.items()}
+        for name, value in self._probabilities.items():
+            if not 0.0 <= value <= 1.0:
+                raise DistributionError(
+                    "unreliability for %r must be in [0, 1], got %r" % (name, value)
+                )
+        if default is not None and not 0.0 <= default <= 1.0:
+            raise DistributionError("default unreliability must be in [0, 1]")
+        self._default = default
+
+    def unreliability(self, component: str, time: float) -> float:
+        if component in self._probabilities:
+            return self._probabilities[component]
+        if self._default is not None:
+            return self._default
+        raise DistributionError("no unreliability for component %r" % (component,))

@@ -1,0 +1,73 @@
+"""Monte-Carlo baseline for the operational-reliability extension.
+
+Samples dies exactly like :mod:`repro.core.montecarlo` and additionally
+samples, for every component, whether it fails in the field before the
+mission time.  Used to cross-validate the combinatorial extension.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Optional
+
+from ..core.montecarlo import _cumulative, _sample_component
+from ..core.problem import YieldProblem
+from ..core.results import MonteCarloResult
+from .field import FieldFailureModel
+
+
+def estimate_reliability_montecarlo(
+    problem: YieldProblem,
+    field_model: FieldFailureModel,
+    mission_time: float,
+    samples: int = 100_000,
+    *,
+    seed: Optional[int] = None,
+    confidence_z: float = 1.959963984540054,
+) -> MonteCarloResult:
+    """Estimate ``P(system operational at mission_time)`` by simulation."""
+    if samples < 1:
+        raise ValueError("samples must be positive, got %d" % samples)
+    rng = random.Random(seed)
+    start = time.perf_counter()
+
+    names = problem.component_names
+    cumulative = _cumulative(problem.components.raw_probabilities())
+    distribution = problem.defect_distribution
+    fault_tree = problem.fault_tree
+    tree_inputs = fault_tree.input_names
+    unreliabilities = field_model.unreliabilities(tree_inputs, mission_time)
+
+    surviving = 0
+    for _ in range(samples):
+        defect_count = distribution.sample(rng, 1)[0]
+        failed = set()
+        for _ in range(defect_count):
+            hit = _sample_component(rng, cumulative)
+            if hit is not None:
+                failed.add(names[hit])
+        for name in tree_inputs:
+            if name not in failed and rng.random() < unreliabilities[name]:
+                failed.add(name)
+        assignment = {name: (name in failed) for name in tree_inputs}
+        if not fault_tree.evaluate_output(assignment, "F"):
+            surviving += 1
+
+    elapsed = time.perf_counter() - start
+    estimate = surviving / float(samples)
+    stderr = math.sqrt(max(estimate * (1.0 - estimate), 1e-12) / samples)
+    interval = (
+        max(0.0, estimate - confidence_z * stderr),
+        min(1.0, estimate + confidence_z * stderr),
+    )
+    return MonteCarloResult(
+        name=problem.name,
+        yield_estimate=estimate,
+        standard_error=stderr,
+        samples=samples,
+        confidence=0.95,
+        confidence_interval=interval,
+        elapsed_seconds=elapsed,
+    )

@@ -1,0 +1,80 @@
+"""Tests for the component importance measures."""
+
+import pytest
+
+from repro.analysis.importance import (
+    class_hardening_potential,
+    hardening_potential,
+    yield_sensitivity,
+)
+from repro.core.problem import YieldProblem
+from repro.distributions import ComponentDefectModel, NegativeBinomialDefectDistribution
+from repro.faulttree import FaultTreeBuilder
+
+
+@pytest.fixture
+def series_parallel_problem():
+    """SYSTEM fails if S fails, or if both P1 and P2 fail.
+
+    S is a single point of failure, P1/P2 are redundant, and PAD does not
+    appear in the structure function at all.
+    """
+    ft = FaultTreeBuilder("series-parallel")
+    ft.set_top(ft.or_(ft.failed("S"), ft.and_(ft.failed("P1"), ft.failed("P2"))))
+    model = ComponentDefectModel({"S": 0.15, "P1": 0.15, "P2": 0.15, "PAD": 0.05})
+    dist = NegativeBinomialDefectDistribution(mean=1.5, clustering=4.0)
+    return YieldProblem(ft.build(), model, dist, name="series-parallel")
+
+
+class TestHardeningPotential:
+    def test_single_point_of_failure_ranks_first(self, series_parallel_problem):
+        ranking = hardening_potential(series_parallel_problem, max_defects=3)
+        names = [name for name, _ in ranking]
+        assert names[0] == "S"
+        gains = dict(ranking)
+        assert gains["S"] > gains["P1"] > 0.0
+        # hardening a component that the structure never reads still helps a
+        # little (fewer lethal defects overall), but far less than hardening S
+        assert gains["PAD"] >= 0.0
+        assert gains["S"] > 5 * gains["PAD"]
+
+    def test_redundant_pair_is_symmetric(self, series_parallel_problem):
+        gains = dict(hardening_potential(series_parallel_problem, max_defects=3))
+        assert gains["P1"] == pytest.approx(gains["P2"], rel=1e-6)
+
+    def test_component_subset(self, series_parallel_problem):
+        ranking = hardening_potential(
+            series_parallel_problem, components=["S", "P1"], max_defects=2
+        )
+        assert [name for name, _ in ranking] == ["S", "P1"]
+
+    def test_unknown_component(self, series_parallel_problem):
+        with pytest.raises(KeyError):
+            hardening_potential(series_parallel_problem, components=["ZZZ"], max_defects=2)
+
+
+class TestYieldSensitivity:
+    def test_sensitivities_are_negative_for_used_components(self, series_parallel_problem):
+        ranking = yield_sensitivity(series_parallel_problem, max_defects=3)
+        values = dict(ranking)
+        assert values["S"] < 0.0
+        # the single point of failure is the most sensitive component
+        assert ranking[0][0] == "S"
+
+    def test_invalid_step(self, series_parallel_problem):
+        with pytest.raises(ValueError):
+            yield_sensitivity(series_parallel_problem, relative_step=0.0)
+
+
+class TestClassHardening:
+    def test_class_measure_orders_series_before_parallel(self, series_parallel_problem):
+        ranking = class_hardening_potential(
+            series_parallel_problem,
+            {"single-point": ["S"], "redundant-pair": ["P1", "P2"], "padding": ["PAD"]},
+            max_defects=3,
+        )
+        labels = [label for label, _ in ranking]
+        gains = dict(ranking)
+        assert gains["single-point"] > 0.0
+        assert gains["redundant-pair"] > 0.0
+        assert labels[-1] == "padding"

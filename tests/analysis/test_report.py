@@ -1,0 +1,40 @@
+"""Unit tests for the table formatting helpers."""
+
+from repro.analysis import format_cell, format_markdown_table, format_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_integral_float(self):
+        assert format_cell(3.0) == "3"
+
+    def test_fractional_float(self):
+        assert format_cell(0.123456789) == "0.123457"
+
+    def test_strings_and_ints(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestTables:
+    HEADERS = ["name", "value"]
+    ROWS = [["alpha", 1], ["beta", None], ["gamma", 2.5]]
+
+    def test_plain_table_alignment(self):
+        text = format_table(self.HEADERS, self.ROWS)
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(self.ROWS)
+        assert lines[0].startswith("name")
+        # all lines padded to the same column widths
+        assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1
+        assert "alpha" in lines[2]
+        assert "-" in lines[3]
+
+    def test_markdown_table(self):
+        text = format_markdown_table(self.HEADERS, self.ROWS)
+        lines = text.splitlines()
+        assert lines[0] == "| name | value |"
+        assert lines[1].startswith("|")
+        assert lines[2] == "| alpha | 1 |"

@@ -1,0 +1,42 @@
+"""Unit tests for the parameter sweep helpers."""
+
+import pytest
+
+from repro.analysis import defect_density_sweep, truncation_sweep
+from repro.core.problem import YieldProblem
+from repro.distributions import ComponentDefectModel, NegativeBinomialDefectDistribution
+from repro.faulttree import FaultTreeBuilder
+
+
+def make_problem(mean_defects=1.5):
+    ft = FaultTreeBuilder("sweep")
+    ft.set_top(ft.k_out_of_n_failed(2, ["A", "B", "C", "D"]))
+    model = ComponentDefectModel.uniform(["A", "B", "C", "D"], lethality=0.5)
+    dist = NegativeBinomialDefectDistribution(mean=mean_defects, clustering=4.0)
+    return YieldProblem(ft.build(), model, dist, name="sweep")
+
+
+class TestTruncationSweep:
+    def test_estimates_increase_and_bounds_decrease(self):
+        rows = truncation_sweep(make_problem(), [0, 1, 2, 3, 4])
+        estimates = [r[1] for r in rows]
+        bounds = [r[2] for r in rows]
+        assert estimates == sorted(estimates)
+        assert bounds == sorted(bounds, reverse=True)
+        assert rows[0][0] == 0 and rows[-1][0] == 4
+
+    def test_estimate_plus_bound_brackets_the_limit(self):
+        rows = truncation_sweep(make_problem(), [1, 6])
+        best = rows[-1][1]
+        for _, estimate, bound in rows:
+            assert estimate <= best + 1e-12
+            assert best <= estimate + bound + 1e-12
+
+
+class TestDefectDensitySweep:
+    def test_yield_decreases_with_defect_density(self):
+        rows = defect_density_sweep(make_problem, [0.5, 1.0, 2.0, 4.0], epsilon=1e-3)
+        yields = [r[1] for r in rows]
+        assert yields == sorted(yields, reverse=True)
+        # truncation level grows with the defect density
+        assert rows[-1][2] >= rows[0][2]

@@ -1,0 +1,70 @@
+"""Unit tests for the paper-table regeneration helpers.
+
+The table functions are exercised on the smallest benchmark (MS2) with a
+reduced truncation level so the whole module stays fast; the full paper-scale
+runs live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.analysis import table1, table2, table3, table4
+from repro.analysis.tables import _spec_for
+
+
+class TestTable1:
+    def test_reproduces_paper_component_counts(self):
+        headers, rows = table1()
+        assert headers == ["benchmark", "C", "gates"]
+        counts = {row[0]: row[1] for row in rows}
+        assert counts["MS2"] == 18
+        assert counts["ESEN8x4"] == 72
+        assert len(rows) == 11
+        # gate counts are positive and grow with the system size
+        gates = {row[0]: row[2] for row in rows}
+        assert gates["MS10"] > gates["MS2"]
+        assert gates["ESEN8x4"] > gates["ESEN4x1"]
+
+
+class TestSpecFor:
+    def test_heuristic_bit_order_only_with_matching_mv(self):
+        assert _spec_for("wv", "w").bits == "ml"
+        assert _spec_for("w", "w").bits == "w"
+
+
+class TestTable2:
+    def test_small_run(self):
+        headers, rows = table2(["MS2"], max_defects=2, orderings=("wv", "wvr", "w"))
+        assert headers == ["benchmark", "wv", "wvr", "w"]
+        assert len(rows) == 1
+        name, *sizes = rows[0]
+        assert name == "MS2"
+        assert all(isinstance(s, int) and s > 0 for s in sizes)
+
+    def test_node_limit_marks_failures(self):
+        headers, rows = table2(
+            ["MS2"], max_defects=3, orderings=("vrw",), node_limit=300
+        )
+        assert rows[0][1] is None
+
+
+class TestTable3:
+    def test_small_run(self):
+        headers, rows = table3(["MS2"], max_defects=2, bit_orderings=("ml", "lm"))
+        assert headers == ["benchmark", "ml", "lm"]
+        assert all(size > 0 for size in rows[0][1:])
+
+
+class TestTable4:
+    def test_small_run(self):
+        headers, rows = table4(["MS2"], max_defects=2)
+        assert headers == ["benchmark", "cpu_s", "robdd_peak", "robdd", "romdd", "M", "yield"]
+        row = rows[0]
+        assert row[0] == "MS2"
+        assert row[1] >= 0.0
+        assert row[2] >= row[3] >= row[4]
+        assert row[5] == 2
+        assert 0.0 < row[6] <= 1.0
+
+    def test_node_limit_marks_failures(self):
+        headers, rows = table4(["MS2"], max_defects=3, node_limit=300)
+        assert rows[0][1] is None

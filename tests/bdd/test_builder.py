@@ -1,0 +1,124 @@
+"""Unit tests for the circuit-to-ROBDD builder."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDDError, ResourceLimitExceeded, build_circuit_bdd
+from repro.faulttree import Circuit, FaultTreeBuilder, GateOp
+
+
+def build_mixed_circuit():
+    """out = (a XOR b) OR NOT(c AND d) exercising several gate types."""
+    circuit = Circuit("mixed")
+    a, b, c, d = (circuit.add_input(x) for x in "abcd")
+    x1 = circuit.add_gate(GateOp.XOR, [a, b])
+    x2 = circuit.add_gate(GateOp.NAND, [c, d])
+    out = circuit.add_gate(GateOp.OR, [x1, x2])
+    circuit.set_output(out, "out")
+    return circuit
+
+
+class TestBuild:
+    def test_matches_circuit_truth_table(self):
+        circuit = build_mixed_circuit()
+        manager, root, _ = build_circuit_bdd(circuit, ["a", "b", "c", "d"])
+        for values in itertools.product((False, True), repeat=4):
+            assignment = dict(zip("abcd", values))
+            assert manager.evaluate(root, assignment) == circuit.evaluate_output(assignment)
+
+    def test_all_gate_types(self):
+        circuit = Circuit("all-gates")
+        a, b = circuit.add_input("a"), circuit.add_input("b")
+        nodes = [
+            circuit.add_gate(GateOp.AND, [a, b]),
+            circuit.add_gate(GateOp.OR, [a, b]),
+            circuit.add_gate(GateOp.NAND, [a, b]),
+            circuit.add_gate(GateOp.NOR, [a, b]),
+            circuit.add_gate(GateOp.XOR, [a, b]),
+            circuit.add_gate(GateOp.XNOR, [a, b]),
+            circuit.add_gate(GateOp.NOT, [a]),
+            circuit.add_gate(GateOp.BUF, [b]),
+        ]
+        out = circuit.add_gate(GateOp.XOR, nodes)
+        circuit.set_output(out, "out")
+        manager, root, _ = build_circuit_bdd(circuit, ["a", "b"])
+        for va, vb in itertools.product((False, True), repeat=2):
+            assignment = {"a": va, "b": vb}
+            assert manager.evaluate(root, assignment) == circuit.evaluate_output(assignment)
+
+    def test_constant_inputs(self):
+        circuit = Circuit("const")
+        a = circuit.add_input("a")
+        t = circuit.add_const(True)
+        out = circuit.add_gate(GateOp.AND, [a, t])
+        circuit.set_output(out, "out")
+        manager, root, _ = build_circuit_bdd(circuit, ["a"])
+        assert root == manager.var("a")
+
+    def test_missing_variable_in_order_rejected(self):
+        circuit = build_mixed_circuit()
+        with pytest.raises(BDDError):
+            build_circuit_bdd(circuit, ["a", "b", "c"])
+
+    def test_order_may_include_extra_variables(self):
+        circuit = build_mixed_circuit()
+        manager, root, _ = build_circuit_bdd(circuit, ["z", "a", "b", "c", "d"])
+        assert manager.evaluate(
+            root, {"z": False, "a": True, "b": False, "c": False, "d": True}
+        ) == circuit.evaluate_output({"a": True, "b": False, "c": False, "d": True})
+
+
+class TestStats:
+    def test_final_size_and_gate_count(self):
+        circuit = build_mixed_circuit()
+        manager, root, stats = build_circuit_bdd(circuit, ["a", "b", "c", "d"])
+        assert stats.final_size == manager.size(root)
+        assert stats.gates_processed == circuit.num_gates
+        assert stats.allocated_nodes == manager.num_nodes_allocated
+
+    def test_peak_tracking(self):
+        circuit = build_mixed_circuit()
+        _, _, stats = build_circuit_bdd(
+            circuit, ["a", "b", "c", "d"], track_peak=True, peak_stride=1
+        )
+        assert stats.peak_live_nodes >= stats.final_size
+        assert len(stats.live_samples) == circuit.num_gates
+
+    def test_peak_stride(self):
+        circuit = build_mixed_circuit()
+        _, _, stats = build_circuit_bdd(
+            circuit, ["a", "b", "c", "d"], track_peak=True, peak_stride=2
+        )
+        assert len(stats.live_samples) <= circuit.num_gates // 2 + 1
+
+    def test_invalid_stride(self):
+        circuit = build_mixed_circuit()
+        with pytest.raises(ValueError):
+            build_circuit_bdd(circuit, ["a", "b", "c", "d"], peak_stride=0)
+
+
+class TestNodeLimit:
+    def test_limit_exceeded(self):
+        # a 12-variable XOR chain forces a fair number of nodes
+        ft = FaultTreeBuilder("xor-chain")
+        expr = ft.failed("x0")
+        for i in range(1, 12):
+            expr = ft.xor_(expr, ft.failed("x%d" % i))
+        ft.set_top(expr)
+        circuit = ft.build()
+        order = ["x%d" % i for i in range(12)]
+        with pytest.raises(ResourceLimitExceeded):
+            build_circuit_bdd(circuit, order, node_limit=10)
+
+    def test_limit_not_exceeded(self):
+        circuit = build_mixed_circuit()
+        _, _, stats = build_circuit_bdd(
+            circuit, ["a", "b", "c", "d"], node_limit=10_000
+        )
+        assert stats.final_size > 0
+
+    def test_invalid_limit(self):
+        circuit = build_mixed_circuit()
+        with pytest.raises(ValueError):
+            build_circuit_bdd(circuit, ["a", "b", "c", "d"], node_limit=1)

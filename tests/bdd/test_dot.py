@@ -1,0 +1,38 @@
+"""Unit tests for the DOT exports of decision diagrams."""
+
+from repro.bdd import BDDManager, bdd_to_dot, write_bdd_dot
+from repro.faulttree import MultiValuedVariable
+from repro.mdd import MDDManager, mdd_to_dot, write_mdd_dot
+
+
+class TestBDDDot:
+    def test_contains_nodes_and_edges(self):
+        manager = BDDManager(["a", "b"])
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        dot = bdd_to_dot(manager, f)
+        assert dot.startswith("digraph")
+        assert 'label="a"' in dot and 'label="b"' in dot
+        assert "style=dashed" in dot  # 0-edges are dashed
+
+    def test_write_to_file(self, tmp_path):
+        manager = BDDManager(["a"])
+        path = tmp_path / "bdd.dot"
+        write_bdd_dot(manager, manager.var("a"), str(path))
+        assert path.read_text().startswith("digraph")
+
+
+class TestMDDDot:
+    def test_contains_value_labels(self):
+        x = MultiValuedVariable("x", range(0, 3))
+        manager = MDDManager([x])
+        node = manager.literal("x", [1, 2])
+        dot = mdd_to_dot(manager, node)
+        assert 'label="x"' in dot
+        assert '"1,2"' in dot or '"0"' in dot
+
+    def test_write_to_file(self, tmp_path):
+        x = MultiValuedVariable("x", range(0, 3))
+        manager = MDDManager([x])
+        path = tmp_path / "mdd.dot"
+        write_mdd_dot(manager, manager.literal("x", [0]), str(path))
+        assert path.read_text().startswith("digraph")

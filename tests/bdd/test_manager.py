@@ -1,0 +1,200 @@
+"""Unit tests for the ROBDD manager."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDDError, BDDManager, FALSE, TRUE
+
+
+@pytest.fixture
+def manager():
+    return BDDManager(["a", "b", "c", "d"])
+
+
+def truth_table(manager, node, names):
+    table = {}
+    for values in itertools.product((False, True), repeat=len(names)):
+        assignment = dict(zip(names, values))
+        table[values] = manager.evaluate(node, assignment)
+    return table
+
+
+class TestConstruction:
+    def test_rejects_duplicate_or_empty_order(self):
+        with pytest.raises(BDDError):
+            BDDManager(["x", "x"])
+        with pytest.raises(BDDError):
+            BDDManager([])
+
+    def test_terminals(self, manager):
+        assert manager.constant(True) == TRUE
+        assert manager.constant(False) == FALSE
+        assert manager.is_terminal(TRUE)
+        assert not manager.is_terminal(manager.var("a"))
+
+    def test_var_and_nvar(self, manager):
+        a = manager.var("a")
+        na = manager.nvar("a")
+        assert manager.evaluate(a, {"a": True}) is True
+        assert manager.evaluate(a, {"a": False}) is False
+        assert manager.evaluate(na, {"a": True}) is False
+        assert manager.not_(a) == na
+
+    def test_unknown_variable(self, manager):
+        with pytest.raises(BDDError):
+            manager.var("zzz")
+        with pytest.raises(BDDError):
+            manager.level_of("zzz")
+
+    def test_level_accessors(self, manager):
+        assert manager.level_of("a") == 0
+        assert manager.variable_at_level(3) == "d"
+        with pytest.raises(BDDError):
+            manager.variable_at_level(7)
+
+
+class TestCanonicity:
+    def test_same_function_same_node(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        f1 = manager.or_(manager.and_(a, b), manager.and_(a, manager.not_(b)))
+        # a.b + a.!b == a
+        assert f1 == a
+
+    def test_de_morgan(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        left = manager.not_(manager.and_(a, b))
+        right = manager.or_(manager.not_(a), manager.not_(b))
+        assert left == right
+
+    def test_xor_xnor_complement(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert manager.not_(manager.xor_(a, b)) == manager.xnor_(a, b)
+
+    def test_double_negation(self, manager):
+        a = manager.var("a")
+        f = manager.or_(a, manager.var("c"))
+        assert manager.not_(manager.not_(f)) == f
+
+    def test_tautology_collapses_to_true(self, manager):
+        a = manager.var("a")
+        assert manager.or_(a, manager.not_(a)) == TRUE
+        assert manager.and_(a, manager.not_(a)) == FALSE
+
+
+class TestOperations:
+    def test_ite_truth_table(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        f = manager.ite(a, b, c)
+        for va, vb, vc in itertools.product((False, True), repeat=3):
+            expected = vb if va else vc
+            assignment = {"a": va, "b": vb, "c": vc, "d": False}
+            assert manager.evaluate(f, assignment) is expected
+
+    def test_nary_helpers(self, manager):
+        literals = [manager.var(x) for x in ("a", "b", "c")]
+        f_and = manager.and_many(literals)
+        f_or = manager.or_many(literals)
+        assert manager.evaluate(f_and, {"a": True, "b": True, "c": True}) is True
+        assert manager.evaluate(f_and, {"a": True, "b": False, "c": True}) is False
+        assert manager.evaluate(f_or, {"a": False, "b": False, "c": False}) is False
+        assert manager.and_many([]) == TRUE
+        assert manager.or_many([]) == FALSE
+
+    def test_nand_nor(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert manager.nand_(a, b) == manager.not_(manager.and_(a, b))
+        assert manager.nor_(a, b) == manager.not_(manager.or_(a, b))
+
+    def test_restrict(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        f = manager.or_(manager.and_(a, b), manager.not_(a))
+        assert manager.restrict(f, "a", True) == b
+        assert manager.restrict(f, "a", False) == TRUE
+
+    def test_missing_assignment_raises(self, manager):
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        with pytest.raises(BDDError):
+            manager.evaluate(f, {"a": True})
+
+
+class TestQueries:
+    def test_support(self, manager):
+        f = manager.or_(manager.var("a"), manager.var("c"))
+        assert manager.support(f) == ["a", "c"]
+        assert manager.support(TRUE) == []
+
+    def test_size_counts_reachable_nodes(self, manager):
+        a = manager.var("a")
+        assert manager.size(a) == 3  # node + both terminals
+        assert manager.size(TRUE) == 1
+
+    def test_reachable_size_shares_nodes(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        f = manager.and_(a, b)
+        g = manager.or_(a, b)
+        union = manager.reachable_size([f, g])
+        assert union <= manager.size(f) + manager.size(g)
+        assert union >= max(manager.size(f), manager.size(g))
+
+    def test_sat_count(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        # a AND b: 1 solution over (a,b), times 2^2 free variables (c, d)
+        assert manager.sat_count(manager.and_(a, b)) == 4
+        # a OR b: 3 * 4
+        assert manager.sat_count(manager.or_(a, b)) == 12
+        assert manager.sat_count(TRUE) == 16
+        assert manager.sat_count(FALSE) == 0
+
+    def test_sat_count_matches_truth_table(self):
+        names = ["a", "b", "c"]
+        manager = BDDManager(names)
+        a, b, c = (manager.var(x) for x in names)
+        f = manager.or_(manager.xor_(a, b), manager.and_(b, c))
+        expected = sum(
+            1
+            for values in itertools.product((False, True), repeat=3)
+            if manager.evaluate(f, dict(zip(names, values)))
+        )
+        assert manager.sat_count(f) == expected
+
+    def test_iter_nodes_and_clear_cache(self, manager):
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        nodes = list(manager.iter_nodes(f))
+        assert len(nodes) == 2
+        manager.clear_operation_cache()
+        # the function is still intact after dropping the computed table
+        assert manager.evaluate(f, {"a": True, "b": True, "c": False, "d": False}) is True
+
+
+class TestOrderSensitivity:
+    def test_function_independent_of_order_semantics(self):
+        # the same boolean function built under two orders evaluates identically
+        names = ["x1", "x2", "x3", "x4"]
+        m1 = BDDManager(names)
+        m2 = BDDManager(list(reversed(names)))
+
+        def build(manager):
+            lits = {n: manager.var(n) for n in names}
+            return manager.or_(
+                manager.and_(lits["x1"], lits["x2"]),
+                manager.and_(lits["x3"], lits["x4"]),
+            )
+
+        f1, f2 = build(m1), build(m2)
+        for values in itertools.product((False, True), repeat=4):
+            assignment = dict(zip(names, values))
+            assert m1.evaluate(f1, assignment) == m2.evaluate(f2, assignment)
+
+    def test_order_affects_size_for_interleaving_sensitive_function(self):
+        # the classic (x1 & y1) | (x2 & y2) | (x3 & y3) example
+        good = BDDManager(["x1", "y1", "x2", "y2", "x3", "y3"])
+        bad = BDDManager(["x1", "x2", "x3", "y1", "y2", "y3"])
+
+        def build(manager):
+            return manager.or_many(
+                manager.and_(manager.var("x%d" % i), manager.var("y%d" % i))
+                for i in (1, 2, 3)
+            )
+
+        assert good.size(build(good)) < bad.size(build(bad))

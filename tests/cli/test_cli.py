@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.faulttree import dumps, loads
+from repro.distributions import ComponentDefectModel
+from repro.faulttree import FaultTreeBuilder
+
+EXAMPLE_FT = """
+toplevel SYSTEM;
+SYSTEM and CORE_A CORE_B;
+CORE_A prob 0.2;
+CORE_B prob 0.2;
+"""
+
+
+@pytest.fixture
+def tree_file(tmp_path):
+    path = tmp_path / "duplex.ft"
+    path.write_text(EXAMPLE_FT)
+    return str(path)
+
+
+class TestListAndVersion:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "MS2" in out and "ESEN8x4" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEvaluate:
+    def test_evaluate_file(self, tree_file, capsys):
+        assert main(["evaluate", tree_file, "--max-defects", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "yield >=" in out
+        assert "ROMDD nodes" in out
+
+    def test_evaluate_with_montecarlo(self, tree_file, capsys):
+        code = main(["evaluate", tree_file, "--max-defects", "2", "--montecarlo", "500"])
+        assert code == 0
+        assert "Monte-Carlo check" in capsys.readouterr().out
+
+    def test_evaluate_poisson(self, tree_file, capsys):
+        assert main(["evaluate", tree_file, "--poisson", "--max-defects", "2"]) == 0
+        assert "yield >=" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["evaluate", str(tmp_path / "nope.ft")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.ft"
+        path.write_text("toplevel X;\n")
+        assert main(["evaluate", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_ordering(self, tree_file, capsys):
+        assert main(["evaluate", tree_file, "--ordering", "zz"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchmark:
+    def test_benchmark_ms2(self, capsys):
+        code = main(["benchmark", "MS2", "--max-defects", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MS2" in out and "yield >=" in out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["benchmark", "MS3"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestTable:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "MS10" in out and "ESEN8x4" in out
+
+    def test_table2_small(self, capsys):
+        code = main(["table", "2", "--benchmarks", "MS2", "--max-defects", "2"])
+        assert code == 0
+        assert "wvr" in capsys.readouterr().out
+
+    def test_table4_small(self, capsys):
+        code = main(["table", "4", "--benchmarks", "MS2", "--max-defects", "2"])
+        assert code == 0
+        assert "yield" in capsys.readouterr().out
+
+    def test_table_unknown_benchmark(self, capsys):
+        assert main(["table", "2", "--benchmarks", "NOPE"]) == 2
+        assert "unknown benchmarks" in capsys.readouterr().err

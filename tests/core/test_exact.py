@@ -1,0 +1,55 @@
+"""Unit tests for the exact enumeration baseline."""
+
+import pytest
+
+from repro.core.exact import exact_conditional_yield, exact_yield
+from repro.core.problem import YieldProblem
+from repro.distributions import ComponentDefectModel, PoissonDefectDistribution
+from repro.faulttree import FaultTreeBuilder
+
+
+def single_component_problem(p_hit=0.5):
+    ft = FaultTreeBuilder("single")
+    ft.set_top(ft.failed("X"))
+    model = ComponentDefectModel({"X": p_hit, "PAD": p_hit})
+    return YieldProblem(ft.build(), model, PoissonDefectDistribution(1.0), name="single")
+
+
+class TestConditionalYield:
+    def test_zero_defects(self, bridge_problem):
+        assert exact_conditional_yield(bridge_problem, 0) == 1.0
+
+    def test_single_component_analytic(self):
+        # P'_X = 0.5: with k defects the system survives iff none hits X
+        problem = single_component_problem()
+        for k in range(0, 6):
+            assert exact_conditional_yield(problem, k) == pytest.approx(0.5 ** k)
+
+    def test_monotone_in_defect_count(self, bridge_problem):
+        values = [exact_conditional_yield(bridge_problem, k) for k in range(5)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_negative_defects_rejected(self, bridge_problem):
+        with pytest.raises(ValueError):
+            exact_conditional_yield(bridge_problem, -1)
+
+
+class TestExactYield:
+    def test_fields(self, bridge_problem):
+        result = exact_yield(bridge_problem, max_defects=3)
+        assert result.truncation == 3
+        assert len(result.conditional_yields) == 4
+        assert 0.0 <= result.yield_estimate <= 1.0
+        assert result.summary().startswith("bridge")
+
+    def test_epsilon_driven_truncation(self, bridge_problem):
+        result = exact_yield(bridge_problem, epsilon=1e-2)
+        assert result.error_bound <= 1e-2
+
+    def test_weighted_sum_identity(self, bridge_problem):
+        result = exact_yield(bridge_problem, max_defects=3)
+        lethal = bridge_problem.lethal_defect_distribution()
+        manual = sum(
+            lethal.pmf(k) * y for k, y in enumerate(result.conditional_yields)
+        )
+        assert result.yield_estimate == pytest.approx(manual, rel=1e-12)

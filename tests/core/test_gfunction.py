@@ -1,0 +1,128 @@
+"""Unit tests for the generalized fault tree G(w, v_1 .. v_M)."""
+
+import itertools
+
+import pytest
+
+from repro.core.gfunction import GeneralizedFaultTree, GFunctionError
+from repro.distributions import EmpiricalDefectDistribution
+from repro.faulttree import FaultTreeBuilder
+
+
+COMPONENTS = ["A", "B", "C"]
+
+
+def series_tree():
+    """System fails when any of A, B fails (C never matters)."""
+    ft = FaultTreeBuilder("series")
+    ft.set_top(ft.or_(ft.failed("A"), ft.failed("B")))
+    return ft.build()
+
+
+def fig2_tree():
+    ft = FaultTreeBuilder("fig2")
+    a, b, c = (ft.failed(x) for x in COMPONENTS)
+    ft.set_top(ft.or_(ft.and_(a, b), c))
+    return ft.build()
+
+
+class TestConstruction:
+    def test_variable_shapes(self):
+        g = GeneralizedFaultTree(fig2_tree(), COMPONENTS, max_defects=3)
+        assert g.count_variable.values == (0, 1, 2, 3, 4)
+        assert len(g.location_variables) == 3
+        for v in g.location_variables:
+            assert v.values == (1, 2, 3)
+
+    def test_zero_max_defects(self):
+        g = GeneralizedFaultTree(fig2_tree(), COMPONENTS, max_defects=0)
+        assert g.location_variables == ()
+        # G is 1 exactly when w >= 1 (overflow)
+        assert g.evaluate(0, []) is False
+        assert g.evaluate(5, []) is True
+
+    def test_negative_max_defects_rejected(self):
+        with pytest.raises(GFunctionError):
+            GeneralizedFaultTree(fig2_tree(), COMPONENTS, max_defects=-1)
+
+    def test_unknown_fault_tree_input_rejected(self):
+        with pytest.raises(GFunctionError):
+            GeneralizedFaultTree(fig2_tree(), ["A", "B"], max_defects=2)
+
+    def test_duplicate_component_names_rejected(self):
+        with pytest.raises(GFunctionError):
+            GeneralizedFaultTree(fig2_tree(), ["A", "B", "C", "A"], max_defects=2)
+
+    def test_extra_components_allowed(self):
+        g = GeneralizedFaultTree(fig2_tree(), COMPONENTS + ["PAD"], max_defects=2)
+        assert g.num_components == 4
+        # defects on the extra component never fail the system
+        assert g.evaluate(2, [4, 4]) is False
+
+
+class TestSemantics:
+    def test_matches_structure_function(self):
+        tree = fig2_tree()
+        g = GeneralizedFaultTree(tree, COMPONENTS, max_defects=2)
+        for count in range(0, 3):
+            for hits in itertools.product((1, 2, 3), repeat=count):
+                failed = {COMPONENTS[h - 1] for h in hits}
+                assignment = {name: name in failed for name in COMPONENTS}
+                expected = tree.evaluate_output(assignment)
+                assert g.evaluate(count, list(hits)) is expected
+
+    def test_overflow_is_pessimistic(self):
+        g = GeneralizedFaultTree(fig2_tree(), COMPONENTS, max_defects=2)
+        # more than M defects => counted as failed regardless of locations
+        assert g.evaluate(3, [1, 1, 1]) is True
+
+    def test_failed_set(self):
+        g = GeneralizedFaultTree(fig2_tree(), COMPONENTS, max_defects=3)
+        assert g.failed_set(2, [1, 3]) == ["A", "C"]
+        assert g.failed_set(1, [2, 3]) == ["B"]
+        assert g.failed_set(0, []) == []
+        with pytest.raises(GFunctionError):
+            g.failed_set(1, [9])
+
+    def test_binary_circuit_equivalence(self):
+        g = GeneralizedFaultTree(series_tree(), COMPONENTS, max_defects=2)
+        binary = g.binary_circuit()
+        # check every multi-valued assignment against the binary expansion
+        for w_value in g.count_variable.values:
+            for v1 in g.location_variables[0].values:
+                for v2 in g.location_variables[1].values:
+                    assignment = {}
+                    pairs = [
+                        (g.count_variable, w_value),
+                        (g.location_variables[0], v1),
+                        (g.location_variables[1], v2),
+                    ]
+                    for var, value in pairs:
+                        for bit_name, bit in zip(var.bit_names(), var.code.codeword(value)):
+                            assignment[bit_name] = bool(bit)
+                    expected = g.mv_circuit.evaluate({"w": w_value, "v1": v1, "v2": v2})
+                    assert binary.evaluate_output(assignment, "G") is expected
+
+    def test_binary_circuit_is_cached(self):
+        g = GeneralizedFaultTree(series_tree(), COMPONENTS, max_defects=1)
+        assert g.binary_circuit() is g.binary_circuit()
+
+
+class TestDistributions:
+    def test_variable_distributions_shape(self):
+        g = GeneralizedFaultTree(fig2_tree(), COMPONENTS, max_defects=2)
+        lethal = EmpiricalDefectDistribution([0.6, 0.25, 0.1, 0.05])
+        dist = g.variable_distributions(lethal, [0.2, 0.3, 0.5])
+        assert set(dist) == {"w", "v1", "v2"}
+        assert dist["w"][0] == pytest.approx(0.6)
+        assert dist["w"][3] == pytest.approx(0.05)
+        assert sum(dist["w"].values()) == pytest.approx(1.0)
+        assert dist["v1"] == {1: 0.2, 2: 0.3, 3: 0.5}
+
+    def test_wrong_probability_vector_rejected(self):
+        g = GeneralizedFaultTree(fig2_tree(), COMPONENTS, max_defects=1)
+        lethal = EmpiricalDefectDistribution([0.9, 0.1])
+        with pytest.raises(GFunctionError):
+            g.variable_distributions(lethal, [0.5, 0.5])
+        with pytest.raises(GFunctionError):
+            g.variable_distributions(lethal, [0.5, 0.3, 0.3])

@@ -1,0 +1,108 @@
+"""Unit tests for the end-to-end combinatorial yield method."""
+
+import pytest
+
+from repro import YieldAnalyzer, evaluate_yield
+from repro.bdd import ResourceLimitExceeded
+from repro.core.exact import exact_yield
+from repro.ordering import OrderingSpec
+
+
+class TestEvaluate:
+    def test_result_fields_are_consistent(self, bridge_problem):
+        result = evaluate_yield(bridge_problem, epsilon=1e-3, track_peak=True)
+        assert 0.0 <= result.yield_estimate <= 1.0
+        assert result.probability_not_functioning == pytest.approx(
+            1.0 - result.yield_estimate
+        )
+        assert result.error_bound >= 0.0
+        assert result.yield_upper_bound <= 1.0
+        assert result.coded_robdd_size > 0
+        assert result.romdd_size > 0
+        assert result.robdd_peak >= result.coded_robdd_size
+        assert result.truncation >= 1
+        assert result.timings.total > 0.0
+        assert result.ordering == ("w", "ml")
+        assert len(result.variable_order) == result.truncation + 1
+        assert "comp" not in result.name  # uses the problem's name
+        assert result.summary().startswith("bridge")
+
+    def test_error_budget_is_met(self, bridge_problem):
+        for epsilon in (1e-2, 1e-3, 1e-4):
+            result = evaluate_yield(bridge_problem, epsilon=epsilon)
+            assert result.error_bound <= epsilon
+
+    def test_explicit_truncation_overrides_epsilon(self, bridge_problem):
+        result = evaluate_yield(bridge_problem, max_defects=2)
+        assert result.truncation == 2
+
+    def test_truncation_monotonicity(self, bridge_problem):
+        # Y_M is non-decreasing in M and error bound non-increasing
+        estimates = []
+        bounds = []
+        for max_defects in range(0, 6):
+            result = evaluate_yield(bridge_problem, max_defects=max_defects)
+            estimates.append(result.yield_estimate)
+            bounds.append(result.error_bound)
+        assert all(a <= b + 1e-12 for a, b in zip(estimates, estimates[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(bounds, bounds[1:]))
+
+    def test_true_yield_within_reported_interval(self, bridge_problem):
+        # exact value (large truncation) must lie within [estimate, estimate+bound]
+        reference = exact_yield(bridge_problem, max_defects=10).yield_estimate
+        result = evaluate_yield(bridge_problem, max_defects=3)
+        assert result.yield_estimate <= reference + 1e-12
+        assert reference <= result.yield_upper_bound + 1e-12
+
+    def test_matches_exact_enumeration(self, paper_example_problem, tmr_problem):
+        for problem in (paper_example_problem, tmr_problem):
+            combinatorial = evaluate_yield(problem, max_defects=4)
+            enumerated = exact_yield(problem, max_defects=4)
+            assert combinatorial.yield_estimate == pytest.approx(
+                enumerated.yield_estimate, rel=1e-10
+            )
+
+    def test_all_orderings_agree_on_the_yield(self, bridge_problem):
+        reference = None
+        for mv in ("wv", "wvr", "vw", "vrw", "t", "w", "h"):
+            analyzer = YieldAnalyzer(OrderingSpec(mv, "ml"), epsilon=1e-2)
+            result = analyzer.evaluate(bridge_problem, max_defects=3)
+            if reference is None:
+                reference = result.yield_estimate
+            else:
+                assert result.yield_estimate == pytest.approx(reference, rel=1e-12)
+
+    def test_bit_orderings_agree_on_the_yield(self, bridge_problem):
+        reference = None
+        for bits in ("ml", "lm", "w"):
+            spec = OrderingSpec("w", bits)
+            result = YieldAnalyzer(spec).evaluate(bridge_problem, max_defects=3)
+            if reference is None:
+                reference = result.yield_estimate
+            else:
+                assert result.yield_estimate == pytest.approx(reference, rel=1e-12)
+
+
+class TestDiagramSizes:
+    def test_sizes_positive_and_robdd_larger(self, bridge_problem):
+        analyzer = YieldAnalyzer(OrderingSpec("w", "ml"))
+        robdd, romdd = analyzer.diagram_sizes(bridge_problem, max_defects=3)
+        assert robdd > 0 and romdd > 0
+        assert robdd >= romdd  # coded ROBDD is larger than the ROMDD
+
+    def test_epsilon_driven_sizes(self, bridge_problem):
+        analyzer = YieldAnalyzer(OrderingSpec("wv", "ml"), epsilon=1e-2)
+        robdd, romdd = analyzer.diagram_sizes(bridge_problem)
+        assert robdd > 0 and romdd > 0
+
+    def test_grouped_order_for(self, bridge_problem):
+        analyzer = YieldAnalyzer(OrderingSpec("wv", "ml"))
+        order = analyzer.grouped_order_for(bridge_problem, max_defects=2)
+        assert order.variable_names == ("w", "v1", "v2")
+
+
+class TestResourceLimit:
+    def test_node_limit_propagates(self, bridge_problem):
+        analyzer = YieldAnalyzer(OrderingSpec("w", "ml"), node_limit=16)
+        with pytest.raises(ResourceLimitExceeded):
+            analyzer.evaluate(bridge_problem, max_defects=4)

@@ -1,0 +1,44 @@
+"""Unit tests for the Monte-Carlo yield baseline."""
+
+import pytest
+
+from repro import MonteCarloYieldEstimator, estimate_yield_montecarlo, evaluate_yield
+
+
+class TestMonteCarlo:
+    def test_reproducible_with_seed(self, bridge_problem):
+        a = estimate_yield_montecarlo(bridge_problem, 2000, seed=42)
+        b = estimate_yield_montecarlo(bridge_problem, 2000, seed=42)
+        assert a.yield_estimate == b.yield_estimate
+
+    def test_different_seeds_differ(self, bridge_problem):
+        a = estimate_yield_montecarlo(bridge_problem, 2000, seed=1)
+        b = estimate_yield_montecarlo(bridge_problem, 2000, seed=2)
+        assert a.yield_estimate != b.yield_estimate
+
+    def test_interval_and_fields(self, bridge_problem):
+        result = estimate_yield_montecarlo(bridge_problem, 3000, seed=5, confidence=0.99)
+        low, high = result.confidence_interval
+        assert 0.0 <= low <= result.yield_estimate <= high <= 1.0
+        assert result.samples == 3000
+        assert result.confidence == 0.99
+        assert result.standard_error > 0.0
+        assert result.elapsed_seconds > 0.0
+        assert "yield" in result.summary()
+
+    def test_agrees_with_combinatorial_method(self, bridge_problem):
+        # generous tolerance: MC converges slowly, that is the paper's point
+        mc = estimate_yield_montecarlo(bridge_problem, 40000, seed=11)
+        exact = evaluate_yield(bridge_problem, epsilon=1e-6)
+        assert abs(mc.yield_estimate - exact.yield_estimate) < 5 * mc.standard_error + 1e-6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MonteCarloYieldEstimator(0)
+        with pytest.raises(ValueError):
+            MonteCarloYieldEstimator(100, confidence=0.5)
+
+    def test_certain_failure_and_success_extremes(self, paper_example_problem):
+        # with zero samples impossible; instead check bounds stay in [0, 1]
+        result = estimate_yield_montecarlo(paper_example_problem, 500, seed=3)
+        assert 0.0 <= result.yield_estimate <= 1.0

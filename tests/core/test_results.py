@@ -1,0 +1,69 @@
+"""Unit tests for the result record classes."""
+
+import pytest
+
+from repro.core.results import ExactResult, MonteCarloResult, StageTimings, YieldResult
+
+
+class TestStageTimings:
+    def test_total(self):
+        timings = StageTimings(ordering=0.1, robdd_build=0.2, mdd_conversion=0.3, probability=0.4)
+        assert timings.total == pytest.approx(1.0)
+
+    def test_defaults(self):
+        assert StageTimings().total == 0.0
+
+
+class TestYieldResult:
+    def make(self, estimate=0.9, bound=0.05):
+        return YieldResult(
+            name="demo",
+            yield_estimate=estimate,
+            error_bound=bound,
+            truncation=4,
+            probability_not_functioning=1.0 - estimate,
+            coded_robdd_size=100,
+            robdd_peak=150,
+            romdd_size=10,
+            ordering=("w", "ml"),
+            variable_order=("w", "v1"),
+            timings=StageTimings(0.1, 0.2, 0.0, 0.0),
+        )
+
+    def test_upper_bound_is_clamped(self):
+        assert self.make(0.98, 0.05).yield_upper_bound == 1.0
+        assert self.make(0.9, 0.05).yield_upper_bound == pytest.approx(0.95)
+
+    def test_summary_mentions_key_figures(self):
+        text = self.make().summary()
+        assert "demo" in text
+        assert "M=4" in text
+
+    def test_extra_defaults_to_empty(self):
+        assert self.make().extra == {}
+
+
+class TestOtherResults:
+    def test_montecarlo_summary(self):
+        result = MonteCarloResult(
+            name="mc",
+            yield_estimate=0.8,
+            standard_error=0.01,
+            samples=1000,
+            confidence=0.95,
+            confidence_interval=(0.78, 0.82),
+            elapsed_seconds=0.5,
+        )
+        assert "mc" in result.summary()
+        assert "1000 samples" in result.summary()
+
+    def test_exact_summary(self):
+        result = ExactResult(
+            name="exact",
+            yield_estimate=0.7,
+            error_bound=0.01,
+            truncation=3,
+            conditional_yields=(1.0, 0.9, 0.8, 0.7),
+        )
+        assert "exact" in result.summary()
+        assert "M=3" in result.summary()

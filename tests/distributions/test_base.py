@@ -1,0 +1,59 @@
+"""Unit tests for the shared distribution base-class helpers."""
+
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    EmpiricalDefectDistribution,
+    PoissonDefectDistribution,
+    validate_probability_vector,
+)
+
+
+class TestValidateProbabilityVector:
+    def test_accepts_valid_vector(self):
+        assert validate_probability_vector([0.25, 0.75]) == [0.25, 0.75]
+
+    def test_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            validate_probability_vector([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            validate_probability_vector([0.5, -0.1])
+
+    def test_rejects_sum_above_one(self):
+        with pytest.raises(DistributionError):
+            validate_probability_vector([0.8, 0.4])
+
+
+class TestDerivedHelpers:
+    def test_cdf_monotone_and_bounded(self):
+        dist = PoissonDefectDistribution(1.0)
+        previous = 0.0
+        for k in range(15):
+            value = dist.cdf(k)
+            assert previous <= value <= 1.0
+            previous = value
+
+    def test_cdf_negative_argument(self):
+        assert PoissonDefectDistribution(1.0).cdf(-1) == 0.0
+
+    def test_pmf_vector(self):
+        dist = EmpiricalDefectDistribution([0.5, 0.5])
+        assert dist.pmf_vector(3) == [0.5, 0.5, 0.0, 0.0]
+        with pytest.raises(DistributionError):
+            dist.pmf_vector(-1)
+
+    def test_truncation_failure_is_reported(self):
+        dist = PoissonDefectDistribution(5.0)
+        with pytest.raises(DistributionError):
+            dist.truncation_level(1e-12, max_level=2)
+
+    def test_sampling_is_reproducible(self):
+        import random
+
+        dist = PoissonDefectDistribution(2.0)
+        a = dist.sample(random.Random(3), 50)
+        b = dist.sample(random.Random(3), 50)
+        assert a == b

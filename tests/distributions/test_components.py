@@ -1,0 +1,103 @@
+"""Unit tests for the per-component defect model."""
+
+import pytest
+
+from repro.distributions import (
+    ComponentDefectModel,
+    DistributionError,
+    split_weights_by_class,
+)
+
+
+class TestConstruction:
+    def test_basic_model(self):
+        model = ComponentDefectModel({"A": 0.2, "B": 0.3})
+        assert model.count == 2
+        assert model.names == ("A", "B")
+        assert model.lethality == pytest.approx(0.5)
+
+    def test_lethal_probabilities_sum_to_one(self):
+        model = ComponentDefectModel({"A": 0.2, "B": 0.3, "C": 0.1})
+        assert sum(model.lethal_probabilities()) == pytest.approx(1.0)
+        assert model.lethal_probability("A") == pytest.approx(0.2 / 0.6)
+
+    def test_rejects_probabilities_summing_above_one(self):
+        with pytest.raises(DistributionError):
+            ComponentDefectModel({"A": 0.7, "B": 0.5})
+
+    def test_rejects_non_positive_probability(self):
+        with pytest.raises(DistributionError):
+            ComponentDefectModel({"A": 0.0})
+        with pytest.raises(DistributionError):
+            ComponentDefectModel({"A": -0.1})
+
+    def test_rejects_empty_model(self):
+        with pytest.raises(DistributionError):
+            ComponentDefectModel({})
+
+    def test_from_relative_weights(self):
+        model = ComponentDefectModel.from_relative_weights(
+            {"big": 2.0, "small": 1.0, "tiny": 1.0}, lethality=0.4
+        )
+        assert model.lethality == pytest.approx(0.4)
+        assert model.raw_probability("big") == pytest.approx(0.2)
+        assert model.raw_probability("small") == pytest.approx(0.1)
+
+    def test_from_relative_weights_rejects_bad_lethality(self):
+        with pytest.raises(DistributionError):
+            ComponentDefectModel.from_relative_weights({"A": 1.0}, lethality=0.0)
+        with pytest.raises(DistributionError):
+            ComponentDefectModel.from_relative_weights({"A": 1.0}, lethality=1.5)
+
+    def test_uniform(self):
+        model = ComponentDefectModel.uniform(["A", "B", "C", "D"], lethality=0.8)
+        assert model.raw_probability("C") == pytest.approx(0.2)
+        assert model.lethal_probability("C") == pytest.approx(0.25)
+
+
+class TestAccessors:
+    def test_index_of_and_unknown_component(self):
+        model = ComponentDefectModel({"A": 0.1, "B": 0.1})
+        assert model.index_of("B") == 1
+        with pytest.raises(KeyError):
+            model.index_of("Z")
+
+    def test_as_dict_preserves_order_and_values(self):
+        probabilities = {"x": 0.1, "y": 0.2, "z": 0.05}
+        model = ComponentDefectModel(probabilities)
+        assert list(model.as_dict()) == ["x", "y", "z"]
+        assert model.as_dict()["y"] == pytest.approx(0.2)
+
+    def test_scaled(self):
+        model = ComponentDefectModel({"A": 0.1, "B": 0.2})
+        scaled = model.scaled(2.0)
+        assert scaled.lethality == pytest.approx(0.6)
+        # relative weights are preserved
+        assert scaled.lethal_probability("A") == pytest.approx(model.lethal_probability("A"))
+
+    def test_scaled_rejects_non_positive_factor(self):
+        model = ComponentDefectModel({"A": 0.1})
+        with pytest.raises(DistributionError):
+            model.scaled(0.0)
+
+    def test_len(self):
+        assert len(ComponentDefectModel({"A": 0.1, "B": 0.1, "C": 0.1})) == 3
+
+
+class TestSplitWeightsByClass:
+    def test_expansion(self):
+        weights = split_weights_by_class(
+            {"IP": 1.0, "COMM": 0.1},
+            {"IP": ["IP_1", "IP_2"], "COMM": ["C_1"]},
+        )
+        assert weights == {"IP_1": 1.0, "IP_2": 1.0, "C_1": 0.1}
+
+    def test_missing_class_weight(self):
+        with pytest.raises(DistributionError):
+            split_weights_by_class({"IP": 1.0}, {"IP": ["a"], "COMM": ["b"]})
+
+    def test_duplicate_component(self):
+        with pytest.raises(DistributionError):
+            split_weights_by_class(
+                {"X": 1.0, "Y": 2.0}, {"X": ["a"], "Y": ["a"]}
+            )

@@ -1,0 +1,75 @@
+"""Unit tests for the compound (mixed) Poisson defect-count distribution."""
+
+import math
+
+import pytest
+
+from repro.distributions import (
+    CompoundPoissonDefectDistribution,
+    DistributionError,
+    PoissonDefectDistribution,
+)
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DistributionError):
+            CompoundPoissonDefectDistribution([1.0, 2.0], [1.0])
+
+    def test_rejects_empty_mixture(self):
+        with pytest.raises(DistributionError):
+            CompoundPoissonDefectDistribution([], [])
+
+    def test_rejects_weights_not_summing_to_one(self):
+        with pytest.raises(DistributionError):
+            CompoundPoissonDefectDistribution([1.0, 2.0], [0.3, 0.3])
+
+    def test_rejects_negative_rate_or_weight(self):
+        with pytest.raises(DistributionError):
+            CompoundPoissonDefectDistribution([-1.0], [1.0])
+        with pytest.raises(DistributionError):
+            CompoundPoissonDefectDistribution([1.0, 2.0], [1.2, -0.2])
+
+
+class TestBehaviour:
+    def test_single_component_equals_poisson(self):
+        mixture = CompoundPoissonDefectDistribution([1.7], [1.0])
+        poisson = PoissonDefectDistribution(1.7)
+        for k in range(10):
+            assert mixture.pmf(k) == pytest.approx(poisson.pmf(k), rel=1e-12)
+
+    def test_pmf_is_weighted_sum(self):
+        mixture = CompoundPoissonDefectDistribution([0.5, 3.0], [0.25, 0.75])
+        for k in range(10):
+            expected = 0.25 * math.exp(-0.5) * 0.5 ** k / math.factorial(k)
+            expected += 0.75 * math.exp(-3.0) * 3.0 ** k / math.factorial(k)
+            assert mixture.pmf(k) == pytest.approx(expected, rel=1e-12)
+
+    def test_mean_is_mixture_mean(self):
+        mixture = CompoundPoissonDefectDistribution([1.0, 4.0], [0.5, 0.5])
+        assert mixture.mean() == pytest.approx(2.5)
+
+    def test_variance_exceeds_mean_for_true_mixture(self):
+        # over-dispersion is the defining property of clustered defect models
+        mixture = CompoundPoissonDefectDistribution([0.5, 4.0], [0.5, 0.5])
+        assert mixture.variance() > mixture.mean()
+
+    def test_pmf_sums_to_one(self):
+        mixture = CompoundPoissonDefectDistribution([0.5, 2.0, 6.0], [0.2, 0.5, 0.3])
+        assert sum(mixture.pmf(k) for k in range(200)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_thinning_scales_all_rates(self):
+        mixture = CompoundPoissonDefectDistribution([1.0, 2.0], [0.4, 0.6])
+        thinned = mixture.thinned(0.5)
+        assert isinstance(thinned, CompoundPoissonDefectDistribution)
+        assert [rate for rate, _ in thinned.components] == pytest.approx([0.5, 1.0])
+        assert [w for _, w in thinned.components] == pytest.approx([0.4, 0.6])
+        assert thinned.mean() == pytest.approx(0.5 * mixture.mean())
+
+    def test_thinning_commutes_with_pmf_mixture(self):
+        # thinning a mixture = mixture of thinned components
+        mixture = CompoundPoissonDefectDistribution([1.0, 3.0], [0.3, 0.7])
+        thinned = mixture.thinned(0.4)
+        reference = CompoundPoissonDefectDistribution([0.4, 1.2], [0.3, 0.7])
+        for k in range(10):
+            assert thinned.pmf(k) == pytest.approx(reference.pmf(k), rel=1e-12)

@@ -1,0 +1,86 @@
+"""Unit tests for the empirical distribution and the eq. (1) lethal mapping."""
+
+import math
+
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    EmpiricalDefectDistribution,
+    NegativeBinomialDefectDistribution,
+    binomial_thinning,
+)
+
+
+class TestBinomialThinning:
+    def test_thinning_of_point_mass(self):
+        # all mass at 2 defects, each retained with probability p
+        p = 0.3
+        out = binomial_thinning([0.0, 0.0, 1.0], p)
+        assert out[0] == pytest.approx((1 - p) ** 2)
+        assert out[1] == pytest.approx(2 * p * (1 - p))
+        assert out[2] == pytest.approx(p * p)
+
+    def test_thinning_preserves_total_mass(self):
+        pmf = [0.1, 0.2, 0.3, 0.25, 0.15]
+        out = binomial_thinning(pmf, 0.7)
+        assert sum(out) == pytest.approx(1.0, abs=1e-12)
+
+    def test_thinning_with_probability_one_is_identity(self):
+        pmf = [0.5, 0.25, 0.25]
+        assert binomial_thinning(pmf, 1.0) == pytest.approx(pmf)
+
+    def test_thinning_rejects_invalid_probability(self):
+        with pytest.raises(DistributionError):
+            binomial_thinning([1.0], 0.0)
+
+    def test_matches_negative_binomial_closed_form(self):
+        # eq. (1) applied numerically must agree with the closed-form result
+        # that the thinned negative binomial keeps the family
+        nb = NegativeBinomialDefectDistribution(mean=2.0, clustering=4.0)
+        pmf = nb.pmf_vector(120)
+        thinned_numeric = binomial_thinning(pmf, 0.5)
+        thinned_exact = nb.thinned(0.5)
+        for k in range(10):
+            assert thinned_numeric[k] == pytest.approx(thinned_exact.pmf(k), rel=1e-6)
+
+
+class TestEmpiricalDistribution:
+    def test_basic_pmf_access(self):
+        dist = EmpiricalDefectDistribution([0.5, 0.3, 0.2])
+        assert dist.pmf(0) == 0.5
+        assert dist.pmf(2) == 0.2
+        assert dist.pmf(5) == 0.0
+        assert dist.pmf(-1) == 0.0
+
+    def test_missing_mass_is_assigned_conservatively(self):
+        dist = EmpiricalDefectDistribution([0.5, 0.3])
+        # 0.2 missing mass is placed at k = len(pmf)
+        assert dist.pmf(2) == pytest.approx(0.2)
+        assert dist.tail(1) == pytest.approx(0.2)
+
+    def test_mean(self):
+        dist = EmpiricalDefectDistribution([0.25, 0.5, 0.25])
+        assert dist.mean() == pytest.approx(1.0)
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDefectDistribution([0.5, -0.1])
+
+    def test_rejects_mass_above_one(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDefectDistribution([0.9, 0.3])
+
+    def test_thinned_is_empirical_and_matches_manual(self):
+        dist = EmpiricalDefectDistribution([0.2, 0.5, 0.3])
+        thinned = dist.thinned(0.5)
+        assert isinstance(thinned, EmpiricalDefectDistribution)
+        manual = binomial_thinning([0.2, 0.5, 0.3], 0.5)
+        for k in range(3):
+            assert thinned.pmf(k) == pytest.approx(manual[k])
+
+    def test_truncation_level(self):
+        dist = EmpiricalDefectDistribution([0.9, 0.05, 0.05])
+        assert dist.truncation_level(0.2) == 0
+        assert dist.truncation_level(0.06) == 1
+        assert dist.truncation_level(0.01) == 2

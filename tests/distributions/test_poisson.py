@@ -1,0 +1,55 @@
+"""Unit tests for the Poisson defect-count distribution."""
+
+import math
+
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    NegativeBinomialDefectDistribution,
+    PoissonDefectDistribution,
+)
+
+
+class TestPoisson:
+    def test_pmf_closed_form(self):
+        dist = PoissonDefectDistribution(mean=1.3)
+        for k in range(10):
+            expected = math.exp(-1.3) * 1.3 ** k / math.factorial(k)
+            assert dist.pmf(k) == pytest.approx(expected, rel=1e-12)
+
+    def test_pmf_zero_for_negative_k(self):
+        assert PoissonDefectDistribution(2.0).pmf(-3) == 0.0
+
+    def test_rejects_invalid_mean(self):
+        with pytest.raises(DistributionError):
+            PoissonDefectDistribution(0.0)
+        with pytest.raises(DistributionError):
+            PoissonDefectDistribution(float("nan"))
+
+    def test_mean_and_variance_equal(self):
+        dist = PoissonDefectDistribution(mean=2.5)
+        assert dist.mean() == pytest.approx(2.5)
+        assert dist.variance() == pytest.approx(2.5)
+
+    def test_thinning_scales_mean(self):
+        dist = PoissonDefectDistribution(mean=2.0)
+        thinned = dist.thinned(0.25)
+        assert isinstance(thinned, PoissonDefectDistribution)
+        assert thinned.mean() == pytest.approx(0.5)
+
+    def test_thinning_rejects_invalid_probability(self):
+        with pytest.raises(DistributionError):
+            PoissonDefectDistribution(1.0).thinned(0.0)
+
+    def test_poisson_is_limit_of_negative_binomial(self):
+        poisson = PoissonDefectDistribution(mean=1.0)
+        almost_poisson = NegativeBinomialDefectDistribution(mean=1.0, clustering=1e6)
+        for k in range(8):
+            assert poisson.pmf(k) == pytest.approx(almost_poisson.pmf(k), rel=1e-4)
+
+    def test_truncation_level(self):
+        dist = PoissonDefectDistribution(mean=1.0)
+        level = dist.truncation_level(1e-6)
+        assert dist.tail(level) <= 1e-6
+        assert dist.tail(level - 1) > 1e-6

@@ -1,0 +1,131 @@
+"""Unit tests for the fault-tree builder DSL."""
+
+import itertools
+
+import pytest
+
+from repro.faulttree import CircuitError, FaultTreeBuilder
+
+
+def brute_force_at_least(k, values):
+    return sum(values) >= k
+
+
+class TestLeavesAndGates:
+    def test_failed_and_working_are_complements(self):
+        ft = FaultTreeBuilder()
+        ft.set_top(ft.working("A"))
+        circuit = ft.build()
+        assert circuit.evaluate_output({"A": True}) is False
+        assert circuit.evaluate_output({"A": False}) is True
+
+    def test_operator_sugar(self):
+        ft = FaultTreeBuilder()
+        a, b = ft.failed("A"), ft.failed("B")
+        ft.set_top((a & b) | ~a)
+        circuit = ft.build()
+        for va, vb in itertools.product((False, True), repeat=2):
+            expected = (va and vb) or (not va)
+            assert circuit.evaluate_output({"A": va, "B": vb}) is expected
+
+    def test_xor(self):
+        ft = FaultTreeBuilder()
+        ft.set_top(ft.xor_(ft.failed("A"), ft.failed("B")))
+        circuit = ft.build()
+        assert circuit.evaluate_output({"A": True, "B": False}) is True
+        assert circuit.evaluate_output({"A": True, "B": True}) is False
+
+    def test_single_operand_and_or_collapse(self):
+        ft = FaultTreeBuilder()
+        a = ft.failed("A")
+        assert ft.and_(a).index == a.index
+        assert ft.or_(a).index == a.index
+
+    def test_nested_iterables_are_flattened(self):
+        ft = FaultTreeBuilder()
+        items = [ft.failed(name) for name in "ABC"]
+        ft.set_top(ft.or_(items))
+        circuit = ft.build()
+        assert circuit.evaluate_output({"A": False, "B": False, "C": True}) is True
+
+    def test_empty_gate_rejected(self):
+        ft = FaultTreeBuilder()
+        with pytest.raises(CircuitError):
+            ft.or_()
+
+    def test_component_names_tracks_declaration_order(self):
+        ft = FaultTreeBuilder()
+        ft.failed("B")
+        ft.failed("A")
+        ft.failed("B")
+        assert ft.component_names == ("B", "A")
+
+    def test_foreign_expression_rejected(self):
+        ft1, ft2 = FaultTreeBuilder(), FaultTreeBuilder()
+        a = ft1.failed("A")
+        with pytest.raises(CircuitError):
+            ft2.not_(a)
+        with pytest.raises(CircuitError):
+            ft2.set_top(a)
+
+    def test_build_without_top_rejected(self):
+        with pytest.raises(CircuitError):
+            FaultTreeBuilder().build()
+
+
+class TestThresholdStructures:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 6])
+    def test_at_least_matches_brute_force(self, n, k):
+        ft = FaultTreeBuilder()
+        names = ["C%d" % i for i in range(n)]
+        ft.set_top(ft.at_least(k, [ft.failed(name) for name in names]))
+        circuit = ft.build()
+        for values in itertools.product((False, True), repeat=n):
+            assignment = dict(zip(names, values))
+            expected = brute_force_at_least(k, values)
+            assert circuit.evaluate_output(assignment) is expected
+
+    def test_at_most_and_exactly(self):
+        ft = FaultTreeBuilder()
+        names = ["C%d" % i for i in range(4)]
+        exprs = [ft.failed(name) for name in names]
+        ft.set_top(ft.and_(ft.at_most(2, exprs), ft.exactly(2, exprs)))
+        circuit = ft.build()
+        for values in itertools.product((False, True), repeat=4):
+            assignment = dict(zip(names, values))
+            expected = sum(values) == 2
+            assert circuit.evaluate_output(assignment) is expected
+
+    def test_k_out_of_n_failed(self):
+        ft = FaultTreeBuilder()
+        ft.set_top(ft.k_out_of_n_failed(2, ["A", "B", "C"]))
+        circuit = ft.build()
+        assert circuit.evaluate_output({"A": True, "B": True, "C": False}) is True
+        assert circuit.evaluate_output({"A": True, "B": False, "C": False}) is False
+
+    def test_at_least_expansion_is_polynomial(self):
+        # the memoized expansion must stay ~O(k*n), not exponential
+        ft = FaultTreeBuilder()
+        exprs = [ft.failed("C%d" % i) for i in range(20)]
+        ft.set_top(ft.at_least(10, exprs))
+        circuit = ft.build()
+        assert circuit.num_gates < 1200
+
+    def test_series_and_parallel(self):
+        ft = FaultTreeBuilder()
+        ft.set_top(ft.or_(ft.series_fails(["A", "B"]), ft.parallel_fails(["C", "D"])))
+        circuit = ft.build()
+        # series: any of A, B failed fails the system
+        assert circuit.evaluate_output({"A": True, "B": False, "C": False, "D": False}) is True
+        # parallel: both C and D must fail
+        assert circuit.evaluate_output({"A": False, "B": False, "C": True, "D": False}) is False
+        assert circuit.evaluate_output({"A": False, "B": False, "C": True, "D": True}) is True
+
+    def test_set_top_from_functioning(self):
+        ft = FaultTreeBuilder()
+        ft.set_top_from_functioning(ft.working("A"))
+        circuit = ft.build()
+        # F = 1 means failed; the system works iff A works
+        assert circuit.evaluate_output({"A": False}) is False
+        assert circuit.evaluate_output({"A": True}) is True

@@ -1,0 +1,87 @@
+"""Unit tests for minimum-width binary codes."""
+
+import pytest
+
+from repro.faulttree import BinaryCode, CircuitError, bits_needed
+
+
+class TestBitsNeeded:
+    @pytest.mark.parametrize(
+        "count,expected", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (17, 5)]
+    )
+    def test_values(self, count, expected):
+        assert bits_needed(count) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(CircuitError):
+            bits_needed(0)
+
+
+class TestBinaryCode:
+    def test_width_is_minimal(self):
+        assert BinaryCode(range(0, 8)).width == 3
+        assert BinaryCode(range(0, 9)).width == 4
+        assert BinaryCode(range(1, 19)).width == 5  # the paper's v_i with C=18
+
+    def test_offset_defaults_to_minimum(self):
+        code = BinaryCode(range(1, 5))
+        assert code.offset == 1
+        assert code.codeword(1) == (0, 0)
+        assert code.codeword(4) == (1, 1)
+
+    def test_codewords_msb_first(self):
+        code = BinaryCode(range(0, 8))
+        assert code.codeword(5) == (1, 0, 1)
+        assert code.bit(5, 0) == 1
+        assert code.bit(5, 1) == 0
+        assert code.bit(5, 2) == 1
+
+    def test_codewords_are_unique(self):
+        code = BinaryCode(range(0, 12))
+        words = {code.codeword(v) for v in code.values}
+        assert len(words) == 12
+
+    def test_decode_roundtrip(self):
+        code = BinaryCode(range(3, 10))
+        for value in code.values:
+            assert code.decode(code.codeword(value)) == value
+
+    def test_decode_rejects_unused_codeword(self):
+        code = BinaryCode(range(0, 5))  # 3 bits, codes 5..7 unused
+        assert not code.encodes((1, 1, 1))
+        with pytest.raises(CircuitError):
+            code.decode((1, 1, 1))
+
+    def test_decode_rejects_wrong_width(self):
+        code = BinaryCode(range(0, 4))
+        with pytest.raises(CircuitError):
+            code.decode((1,))
+
+    def test_unused_codewords(self):
+        code = BinaryCode(range(0, 5))
+        unused = code.unused_codewords()
+        assert len(unused) == 3
+        assert all(not code.encodes(bits) for bits in unused)
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(CircuitError):
+            BinaryCode([1, 1])
+        with pytest.raises(CircuitError):
+            BinaryCode([])
+
+    def test_rejects_offset_above_minimum(self):
+        with pytest.raises(CircuitError):
+            BinaryCode([2, 3], offset=3)
+
+    def test_bit_position_out_of_range(self):
+        code = BinaryCode(range(0, 4))
+        with pytest.raises(CircuitError):
+            code.bit(1, 5)
+
+    def test_unknown_value(self):
+        code = BinaryCode(range(0, 4))
+        with pytest.raises(CircuitError):
+            code.codeword(9)
+
+    def test_len(self):
+        assert len(BinaryCode(range(0, 7))) == 7

@@ -1,0 +1,127 @@
+"""Unit tests for multiple-valued variables, filter gates and binary expansion."""
+
+import itertools
+
+import pytest
+
+from repro.faulttree import (
+    CircuitError,
+    FilterKind,
+    GateOp,
+    MVCircuit,
+    MultiValuedVariable,
+)
+
+
+def build_example_mv_circuit():
+    """G = (x >= 2) OR (y == 1 AND x == 0) over x in 0..3, y in 1..3."""
+    mv = MVCircuit("example")
+    x = mv.add_variable(MultiValuedVariable("x", range(0, 4)))
+    y = mv.add_variable(MultiValuedVariable("y", range(1, 4)))
+    a = mv.filter_geq(x, 2)
+    b = mv.gate(GateOp.AND, [mv.filter_eq(y, 1), mv.filter_eq(x, 0)])
+    mv.set_top(mv.gate(GateOp.OR, [a, b]))
+    return mv, x, y
+
+
+def reference_function(x_value, y_value):
+    return (x_value >= 2) or (y_value == 1 and x_value == 0)
+
+
+class TestMultiValuedVariable:
+    def test_cardinality_and_width(self):
+        var = MultiValuedVariable("w", range(0, 8))
+        assert var.cardinality == 8
+        assert var.width == 3
+        assert var.bit_names() == ("w[0]", "w[1]", "w[2]")
+
+    def test_requires_two_values(self):
+        with pytest.raises(CircuitError):
+            MultiValuedVariable("x", [5])
+
+
+class TestFilterGates:
+    def test_filter_semantics(self):
+        mv, x, _ = build_example_mv_circuit()
+        filters = mv.filters
+        geq = filters["x>=2"]
+        eq = filters["x==0"]
+        assert geq.kind == FilterKind.GEQ
+        assert geq.evaluate(2) and geq.evaluate(3) and not geq.evaluate(1)
+        assert eq.evaluate(0) and not eq.evaluate(1)
+
+    def test_filter_requires_registered_variable(self):
+        mv = MVCircuit()
+        stray = MultiValuedVariable("z", range(0, 2))
+        with pytest.raises(CircuitError):
+            mv.filter_eq(stray, 1)
+
+    def test_duplicate_variable_rejected(self):
+        mv = MVCircuit()
+        mv.add_variable(MultiValuedVariable("x", range(2)))
+        with pytest.raises(CircuitError):
+            mv.add_variable(MultiValuedVariable("x", range(3)))
+
+
+class TestEvaluation:
+    def test_matches_reference(self):
+        mv, x, y = build_example_mv_circuit()
+        for xv, yv in itertools.product(x.values, y.values):
+            assert mv.evaluate({"x": xv, "y": yv}) is reference_function(xv, yv)
+
+    def test_missing_variable_raises(self):
+        mv, _, _ = build_example_mv_circuit()
+        with pytest.raises(CircuitError):
+            mv.evaluate({"x": 0})
+
+    def test_out_of_domain_value_raises(self):
+        mv, _, _ = build_example_mv_circuit()
+        with pytest.raises(CircuitError):
+            mv.evaluate({"x": 9, "y": 1})
+
+
+class TestBinaryEncoding:
+    def test_binary_expansion_matches_mv_semantics(self):
+        mv, x, y = build_example_mv_circuit()
+        binary = mv.binary_encode()
+        # inputs are the code bits of both variables
+        assert set(binary.input_names) == {"x[0]", "x[1]", "y[0]", "y[1]"}
+        for xv, yv in itertools.product(x.values, y.values):
+            assignment = {}
+            for var, value in ((x, xv), (y, yv)):
+                for bit_name, bit in zip(var.bit_names(), var.code.codeword(value)):
+                    assignment[bit_name] = bool(bit)
+            assert binary.evaluate_output(assignment, "G") is reference_function(xv, yv)
+
+    def test_geq_filter_at_domain_bottom_is_constant_true(self):
+        mv = MVCircuit()
+        x = mv.add_variable(MultiValuedVariable("x", range(0, 4)))
+        mv.set_top(mv.filter_geq(x, 0))
+        binary = mv.binary_encode()
+        for b0, b1 in itertools.product((False, True), repeat=2):
+            assert binary.evaluate_output({"x[0]": b0, "x[1]": b1}, "G") is True
+
+    def test_geq_filter_above_domain_is_constant_false(self):
+        mv = MVCircuit()
+        x = mv.add_variable(MultiValuedVariable("x", range(0, 4)))
+        mv.set_top(mv.filter_geq(x, 7))
+        binary = mv.binary_encode()
+        for b0, b1 in itertools.product((False, True), repeat=2):
+            assert binary.evaluate_output({"x[0]": b0, "x[1]": b1}, "G") is False
+
+    def test_binary_encode_requires_top(self):
+        mv = MVCircuit()
+        mv.add_variable(MultiValuedVariable("x", range(0, 2)))
+        with pytest.raises(CircuitError):
+            mv.binary_encode()
+
+    def test_offset_encoding_of_one_based_domain(self):
+        # the paper encodes v_i - 1; a domain {1..3} must fit in 2 bits
+        mv = MVCircuit()
+        v = mv.add_variable(MultiValuedVariable("v", range(1, 4)))
+        mv.set_top(mv.filter_eq(v, 3))
+        binary = mv.binary_encode()
+        assert set(binary.input_names) == {"v[0]", "v[1]"}
+        word = v.code.codeword(3)
+        assignment = {"v[0]": bool(word[0]), "v[1]": bool(word[1])}
+        assert binary.evaluate_output(assignment, "G") is True

@@ -1,0 +1,55 @@
+"""Unit tests for gate operators."""
+
+import pytest
+
+from repro.faulttree.ops import (
+    CircuitError,
+    GateOp,
+    NARY_OPS,
+    UNARY_OPS,
+    evaluate_gate,
+    validate_arity,
+)
+
+
+class TestArity:
+    def test_unary_requires_exactly_one(self):
+        validate_arity(GateOp.NOT, 1)
+        with pytest.raises(CircuitError):
+            validate_arity(GateOp.NOT, 2)
+        with pytest.raises(CircuitError):
+            validate_arity(GateOp.BUF, 0)
+
+    def test_nary_requires_at_least_one(self):
+        validate_arity(GateOp.AND, 1)
+        validate_arity(GateOp.OR, 5)
+        with pytest.raises(CircuitError):
+            validate_arity(GateOp.AND, 0)
+
+    def test_op_sets_cover_all_ops(self):
+        assert UNARY_OPS | NARY_OPS == frozenset(GateOp)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "op,values,expected",
+        [
+            (GateOp.AND, [True, True, True], True),
+            (GateOp.AND, [True, False], False),
+            (GateOp.OR, [False, False], False),
+            (GateOp.OR, [False, True], True),
+            (GateOp.NAND, [True, True], False),
+            (GateOp.NAND, [True, False], True),
+            (GateOp.NOR, [False, False], True),
+            (GateOp.NOR, [True, False], False),
+            (GateOp.XOR, [True, False, True], False),
+            (GateOp.XOR, [True, False, False], True),
+            (GateOp.XNOR, [True, True], True),
+            (GateOp.XNOR, [True, False], False),
+            (GateOp.NOT, [True], False),
+            (GateOp.NOT, [False], True),
+            (GateOp.BUF, [True], True),
+        ],
+    )
+    def test_gate_truth_tables(self, op, values, expected):
+        assert evaluate_gate(op, values) is expected

@@ -1,0 +1,126 @@
+"""Tests for the textual fault-tree format."""
+
+import itertools
+
+import pytest
+
+from repro.faulttree import FaultTreeBuilder, loads, dumps, load, dump
+from repro.faulttree.parser import FaultTreeParseError
+from repro.distributions import ComponentDefectModel
+
+EXAMPLE = """
+# toy master/slave system
+toplevel SYSTEM;
+SYSTEM   or MASTERS CLUSTER;      # fails if masters fail or the cluster fails
+MASTERS  and IPM_1 IPM_2;
+CLUSTER  2of3 IPS_1 IPS_2 IPS_3;
+IPM_1 prob 0.1;
+IPM_2 prob 0.1;
+IPS_1 prob 0.05;
+IPS_2 prob 0.05;
+IPS_3 prob 0.05;
+"""
+
+
+class TestLoads:
+    def test_parses_structure_and_probabilities(self):
+        circuit, model = loads(EXAMPLE, name="toy")
+        assert circuit.name == "toy"
+        assert set(circuit.input_names) == {"IPM_1", "IPM_2", "IPS_1", "IPS_2", "IPS_3"}
+        assert model.count == 5
+        assert model.raw_probability("IPM_1") == pytest.approx(0.1)
+        assert model.lethality == pytest.approx(0.35)
+
+    def test_semantics(self):
+        circuit, _ = loads(EXAMPLE)
+        # both masters failed -> system failed
+        assignment = {name: name.startswith("IPM") for name in circuit.input_names}
+        assert circuit.evaluate_output(assignment) is True
+        # one master failed -> fine (single slave failures also fine)
+        assignment = {name: name == "IPM_1" for name in circuit.input_names}
+        assert circuit.evaluate_output(assignment) is False
+        # two slaves failed -> 2of3 trips
+        assignment = {name: name in ("IPS_1", "IPS_3") for name in circuit.input_names}
+        assert circuit.evaluate_output(assignment) is True
+
+    def test_toplevel_can_be_a_basic_event(self):
+        circuit, model = loads("toplevel X;\nX prob 0.2;")
+        assert circuit.evaluate_output({"X": True}) is True
+        assert circuit.evaluate_output({"X": False}) is False
+        assert model.count == 1
+
+    def test_not_and_xor(self):
+        text = """
+        toplevel T;
+        T xor A N;
+        N not B;
+        A prob 0.1; B prob 0.1;
+        """
+        circuit, _ = loads(text)
+        for a, b in itertools.product((False, True), repeat=2):
+            expected = a != (not b)
+            assert circuit.evaluate_output({"A": a, "B": b}) is expected
+
+    def test_extra_basic_events_become_model_components(self):
+        text = "toplevel T;\nT and A B;\nA prob 0.1;\nB prob 0.1;\nSPARE prob 0.05;"
+        circuit, model = loads(text)
+        assert "SPARE" not in circuit.input_names
+        assert "SPARE" in model.names
+
+
+class TestLoadErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("T and A B;\nA prob 0.1;\nB prob 0.1;", "toplevel"),
+            ("toplevel T;\nA prob 0.1;", "never declared"),
+            ("toplevel T;\nT and A B;\nA prob 0.1;", "undeclared node"),
+            ("toplevel T;\nT and A B;\nA prob 0.1;\nB prob 0.1;\nT or A B;", "duplicate"),
+            ("toplevel T;\nT bogus A B;\nA prob 0.1;\nB prob 0.1;", "unknown operator"),
+            ("toplevel T;\nT 2of3 A B;\nA prob 0.1;\nB prob 0.1;", "declares 3 children"),
+            ("toplevel T;\nT not A B;\nA prob 0.1;\nB prob 0.1;", "exactly one child"),
+            ("toplevel T;\nT and A A;\nA prob x;", "invalid probability"),
+            ("toplevel T;\nT and T A;\nA prob 0.1;", "cycle"),
+            ("toplevel T;\nT and A B;\nU or A B;\nA prob 0.1;\nB prob 0.1;", "not reachable"),
+            ("toplevel T;\nT and A B", "unterminated"),
+        ],
+    )
+    def test_malformed_inputs(self, text, fragment):
+        with pytest.raises(FaultTreeParseError) as excinfo:
+            loads(text)
+        assert fragment in str(excinfo.value)
+
+
+class TestRoundTrip:
+    def test_dump_and_reload_preserves_semantics(self):
+        circuit, model = loads(EXAMPLE)
+        text = dumps(circuit, model)
+        reloaded_circuit, reloaded_model = loads(text)
+        assert set(reloaded_circuit.input_names) == set(circuit.input_names)
+        for name in model.names:
+            assert reloaded_model.raw_probability(name) == pytest.approx(
+                model.raw_probability(name)
+            )
+        for values in itertools.product((False, True), repeat=len(circuit.input_names)):
+            assignment = dict(zip(circuit.input_names, values))
+            assert reloaded_circuit.evaluate_output(assignment) == circuit.evaluate_output(
+                assignment
+            )
+
+    def test_round_trip_of_builder_tree_with_negations(self):
+        ft = FaultTreeBuilder("neg")
+        ft.set_top(ft.or_(ft.and_(ft.working("A"), ft.failed("B")), ft.failed("C")))
+        circuit = ft.build()
+        model = ComponentDefectModel({"A": 0.1, "B": 0.1, "C": 0.1})
+        reloaded, _ = loads(dumps(circuit, model))
+        for values in itertools.product((False, True), repeat=3):
+            assignment = dict(zip(("A", "B", "C"), values))
+            assert reloaded.evaluate_output(assignment) == circuit.evaluate_output(assignment)
+
+    def test_file_round_trip(self, tmp_path):
+        circuit, model = loads(EXAMPLE)
+        path = tmp_path / "system.ft"
+        dump(circuit, model, str(path))
+        reloaded_circuit, reloaded_model = load(str(path))
+        assert reloaded_circuit.name == "system"
+        assert reloaded_model.count == model.count

@@ -1,0 +1,97 @@
+"""End-to-end integration tests on the paper's benchmark systems.
+
+These run the complete pipeline (defect model -> truncation -> G-function ->
+ordering heuristics -> coded ROBDD -> ROMDD -> probability) on real benchmark
+instances, with truncation levels reduced where needed to keep the suite
+fast.  The full paper-scale configurations are exercised by ``benchmarks/``.
+"""
+
+import pytest
+
+from repro import YieldAnalyzer, estimate_yield_montecarlo, evaluate_yield
+from repro.ordering import OrderingSpec
+from repro.soc import benchmark_problem, esen_problem, ms_problem
+
+
+class TestMSBenchmarks:
+    def test_ms2_full_paper_operating_point(self):
+        # lambda' = 1, eps = 1e-3 -> M = 6, the exact configuration of Table 4
+        problem = ms_problem(2, mean_defects=2.0)
+        result = evaluate_yield(problem, epsilon=1e-3, track_peak=True)
+        assert result.truncation == 6
+        # Table 2/4 of the paper report a 2,034-node ROMDD and a ~24k-node
+        # coded ROBDD for MS2 under the weight/ml heuristics
+        assert result.romdd_size == 2034
+        assert 20_000 <= result.coded_robdd_size <= 28_000
+        assert result.robdd_peak >= result.coded_robdd_size
+        # the paper reports yield 0.944; our defect-probability ratios are a
+        # reconstruction, so only require the same ballpark
+        assert result.yield_estimate == pytest.approx(0.944, abs=0.02)
+
+    def test_ms2_high_defect_density(self):
+        # lambda' = 2 -> M = 10 at eps = 1e-3
+        problem = ms_problem(2, mean_defects=4.0)
+        result = evaluate_yield(problem, epsilon=1e-3)
+        assert result.truncation == 10
+        # the paper reports 7,534 ROMDD nodes and yield 0.830 for MS2, lambda'=2
+        assert result.romdd_size == pytest.approx(7534, rel=0.05)
+        assert result.yield_estimate == pytest.approx(0.830, abs=0.04)
+
+    def test_ms_yield_increases_with_cluster_count(self):
+        # more clusters -> more IPS redundancy relative to the defect density
+        # (each additional cluster also adds area, so compare at reduced M)
+        small = evaluate_yield(ms_problem(2), max_defects=3).yield_estimate
+        large = evaluate_yield(ms_problem(4), max_defects=3).yield_estimate
+        assert 0.0 < small < 1.0 and 0.0 < large < 1.0
+
+    def test_ms2_montecarlo_agreement(self):
+        problem = ms_problem(2, mean_defects=2.0)
+        combinatorial = evaluate_yield(problem, epsilon=1e-4)
+        simulated = estimate_yield_montecarlo(problem, 20_000, seed=7)
+        assert abs(combinatorial.yield_estimate - simulated.yield_estimate) < (
+            5 * simulated.standard_error + 1e-3
+        )
+
+
+class TestESENBenchmarks:
+    def test_esen4x1_full_paper_operating_point(self):
+        problem = esen_problem(4, 1, mean_defects=2.0)
+        result = evaluate_yield(problem, epsilon=1e-3, track_peak=True)
+        assert result.truncation == 6
+        assert 0.85 <= result.yield_estimate <= 0.99
+        assert result.coded_robdd_size >= result.romdd_size
+
+    def test_esen4x2_reduced_truncation(self):
+        problem = esen_problem(4, 2, mean_defects=2.0)
+        result = evaluate_yield(problem, max_defects=4)
+        assert 0.8 <= result.yield_estimate <= 0.99
+
+    def test_esen_yield_decreases_with_defect_density(self):
+        low = evaluate_yield(esen_problem(4, 1, mean_defects=2.0), max_defects=4)
+        high = evaluate_yield(esen_problem(4, 1, mean_defects=4.0), max_defects=4)
+        assert high.yield_estimate < low.yield_estimate
+
+
+class TestOrderingComparison:
+    def test_weight_heuristic_beats_vrw_on_ms2(self):
+        # Table 2: vrw explodes, the weight heuristic is the best performer
+        problem = ms_problem(2, mean_defects=2.0)
+        weight = YieldAnalyzer(OrderingSpec("w", "ml")).diagram_sizes(problem, max_defects=3)
+        vrw = YieldAnalyzer(OrderingSpec("vrw", "ml")).diagram_sizes(problem, max_defects=3)
+        assert weight[1] < vrw[1]
+
+    def test_wvr_matches_weight_romdd_size_on_ms2(self):
+        # the paper notes wvr gives exactly the same ROMDD sizes as w
+        problem = ms_problem(2, mean_defects=2.0)
+        weight = YieldAnalyzer(OrderingSpec("w", "ml")).diagram_sizes(problem, max_defects=4)
+        wvr = YieldAnalyzer(OrderingSpec("wvr", "ml")).diagram_sizes(problem, max_defects=4)
+        assert weight[1] == wvr[1]
+
+
+class TestRegistryEndToEnd:
+    @pytest.mark.parametrize("name", ["MS2", "ESEN4x1"])
+    def test_benchmarks_run_from_the_registry(self, name):
+        problem = benchmark_problem(name, mean_defects=2.0)
+        result = evaluate_yield(problem, max_defects=3)
+        assert 0.0 < result.yield_estimate < 1.0
+        assert result.name == name

@@ -1,0 +1,31 @@
+"""Smoke tests that run every example script as a subprocess."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py")) if EXAMPLES_DIR.exists() else []
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_cleanly(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_FAST"] = "1"  # examples honour this to shrink their workloads
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_there_are_at_least_three_examples():
+    assert len(EXAMPLES) >= 3

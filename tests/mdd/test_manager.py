@@ -1,0 +1,141 @@
+"""Unit tests for the ROMDD manager."""
+
+import itertools
+
+import pytest
+
+from repro.faulttree import MultiValuedVariable
+from repro.mdd import FALSE, MDDError, MDDManager, TRUE
+
+
+@pytest.fixture
+def variables():
+    return [
+        MultiValuedVariable("x", range(0, 3)),
+        MultiValuedVariable("y", range(1, 5)),
+        MultiValuedVariable("z", range(0, 2)),
+    ]
+
+
+@pytest.fixture
+def manager(variables):
+    return MDDManager(variables)
+
+
+def all_assignments(variables):
+    domains = [v.values for v in variables]
+    for combo in itertools.product(*domains):
+        yield {v.name: value for v, value in zip(variables, combo)}
+
+
+class TestConstruction:
+    def test_rejects_empty_or_duplicate_variables(self, variables):
+        with pytest.raises(MDDError):
+            MDDManager([])
+        with pytest.raises(MDDError):
+            MDDManager([variables[0], variables[0]])
+
+    def test_levels(self, manager):
+        assert manager.level_of("x") == 0
+        assert manager.variable_at_level(1).name == "y"
+        with pytest.raises(MDDError):
+            manager.level_of("nope")
+        with pytest.raises(MDDError):
+            manager.variable_at_level(9)
+
+    def test_terminals(self, manager):
+        assert manager.constant(True) == TRUE
+        assert manager.constant(False) == FALSE
+        assert manager.is_terminal(TRUE)
+
+
+class TestNodeCreation:
+    def test_reduction_rule(self, manager):
+        # all children equal -> collapse
+        assert manager.mk(0, [TRUE, TRUE, TRUE]) == TRUE
+        assert manager.mk(2, [FALSE, FALSE]) == FALSE
+
+    def test_hash_consing(self, manager):
+        a = manager.mk(0, [TRUE, FALSE, TRUE])
+        b = manager.mk(0, [TRUE, FALSE, TRUE])
+        assert a == b
+
+    def test_wrong_child_count(self, manager):
+        with pytest.raises(MDDError):
+            manager.mk(0, [TRUE, FALSE])  # x has 3 values
+
+    def test_literal(self, manager):
+        node = manager.literal("y", [2, 4])
+        assert manager.evaluate(node, {"x": 0, "y": 2, "z": 0}) is True
+        assert manager.evaluate(node, {"x": 0, "y": 3, "z": 0}) is False
+
+    def test_literal_rejects_foreign_values(self, manager):
+        with pytest.raises(MDDError):
+            manager.literal("y", [0])  # y's domain starts at 1
+
+
+class TestApply:
+    def test_boolean_identities(self, manager):
+        f = manager.literal("x", [0, 2])
+        g = manager.literal("y", [1])
+        assert manager.and_(f, TRUE) == f
+        assert manager.and_(f, FALSE) == FALSE
+        assert manager.or_(f, FALSE) == f
+        assert manager.or_(f, TRUE) == TRUE
+        assert manager.and_(f, f) == f
+        assert manager.xor_(f, f) == FALSE
+        assert manager.not_(manager.not_(g)) == g
+
+    def test_apply_matches_semantics(self, variables, manager):
+        f = manager.literal("x", [1, 2])
+        g = manager.literal("y", [2, 3])
+        h = manager.literal("z", [1])
+        composite = manager.or_(manager.and_(f, g), manager.xor_(g, h))
+        for assignment in all_assignments(variables):
+            fx = assignment["x"] in (1, 2)
+            gy = assignment["y"] in (2, 3)
+            hz = assignment["z"] == 1
+            expected = (fx and gy) or (gy != hz)
+            assert manager.evaluate(composite, assignment) is expected
+
+    def test_and_or_many(self, manager):
+        literals = [manager.literal("x", [0]), manager.literal("y", [1]), manager.literal("z", [0])]
+        f_all = manager.and_many(literals)
+        f_any = manager.or_many(literals)
+        assert manager.evaluate(f_all, {"x": 0, "y": 1, "z": 0}) is True
+        assert manager.evaluate(f_all, {"x": 0, "y": 2, "z": 0}) is False
+        assert manager.evaluate(f_any, {"x": 2, "y": 4, "z": 1}) is False
+        assert manager.and_many([]) == TRUE
+        assert manager.or_many([]) == FALSE
+
+    def test_de_morgan_for_mdds(self, variables, manager):
+        f = manager.literal("x", [0])
+        g = manager.literal("z", [1])
+        left = manager.not_(manager.and_(f, g))
+        right = manager.or_(manager.not_(f), manager.not_(g))
+        assert left == right
+
+
+class TestQueries:
+    def test_evaluate_missing_or_invalid(self, manager):
+        f = manager.literal("x", [0])
+        with pytest.raises(MDDError):
+            manager.evaluate(f, {})
+        with pytest.raises(MDDError):
+            manager.evaluate(f, {"x": 99})
+
+    def test_size_and_support(self, manager):
+        f = manager.and_(manager.literal("x", [0]), manager.literal("z", [1]))
+        assert manager.size(f) == 4  # two non-terminals + two terminals
+        assert manager.support(f) == ["x", "z"]
+
+    def test_iter_nodes(self, manager):
+        f = manager.and_(manager.literal("x", [0]), manager.literal("y", [1]))
+        handles = [h for h, _, _ in manager.iter_nodes(f)]
+        assert all(h > TRUE for h in handles)
+        assert len(handles) == 2
+
+    def test_clear_cache_preserves_functions(self, manager):
+        f = manager.and_(manager.literal("x", [0]), manager.literal("y", [1]))
+        manager.clear_operation_cache()
+        assert manager.evaluate(f, {"x": 0, "y": 1, "z": 0}) is True

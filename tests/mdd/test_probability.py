@@ -1,0 +1,95 @@
+"""Unit tests for the ROMDD probability traversal."""
+
+import itertools
+
+import pytest
+
+from repro.faulttree import MultiValuedVariable
+from repro.mdd import FALSE, MDDError, MDDManager, TRUE, probability_of_one
+
+
+def brute_force_probability(manager, root, variables, distributions):
+    total = 0.0
+    domains = [v.values for v in variables]
+    for combo in itertools.product(*domains):
+        assignment = {v.name: value for v, value in zip(variables, combo)}
+        if manager.evaluate(root, assignment):
+            p = 1.0
+            for v, value in zip(variables, combo):
+                p *= distributions[v.name][value]
+            total += p
+    return total
+
+
+@pytest.fixture
+def setup():
+    variables = [
+        MultiValuedVariable("x", range(0, 3)),
+        MultiValuedVariable("y", range(1, 4)),
+    ]
+    manager = MDDManager(variables)
+    distributions = {
+        "x": {0: 0.5, 1: 0.3, 2: 0.2},
+        "y": {1: 0.1, 2: 0.6, 3: 0.3},
+    }
+    return manager, variables, distributions
+
+
+class TestProbability:
+    def test_terminals(self, setup):
+        manager, _, dist = setup
+        assert probability_of_one(manager, TRUE, dist) == 1.0
+        assert probability_of_one(manager, FALSE, dist) == 0.0
+
+    def test_single_literal(self, setup):
+        manager, _, dist = setup
+        node = manager.literal("x", [1, 2])
+        assert probability_of_one(manager, node, dist) == pytest.approx(0.5)
+
+    def test_composite_matches_brute_force(self, setup):
+        manager, variables, dist = setup
+        f = manager.or_(
+            manager.and_(manager.literal("x", [0]), manager.literal("y", [2, 3])),
+            manager.literal("x", [2]),
+        )
+        expected = brute_force_probability(manager, f, variables, dist)
+        assert probability_of_one(manager, f, dist) == pytest.approx(expected, rel=1e-12)
+
+    def test_skipped_variables_do_not_need_correction(self, setup):
+        manager, variables, dist = setup
+        # function depends only on y; the skipped x level must contribute factor 1
+        node = manager.literal("y", [3])
+        assert probability_of_one(manager, node, dist) == pytest.approx(0.3)
+
+    def test_missing_distribution_rejected(self, setup):
+        manager, _, dist = setup
+        node = manager.literal("x", [0])
+        with pytest.raises(MDDError):
+            probability_of_one(manager, node, {"x": dist["x"]})
+
+    def test_missing_value_rejected(self, setup):
+        manager, _, _ = setup
+        node = manager.literal("x", [0])
+        with pytest.raises(MDDError):
+            probability_of_one(manager, node, {"x": {0: 1.0}, "y": {1: 1, 2: 0, 3: 0}})
+
+    def test_distribution_must_sum_to_one(self, setup):
+        manager, _, _ = setup
+        node = manager.literal("x", [0])
+        bad = {"x": {0: 0.5, 1: 0.2, 2: 0.2}, "y": {1: 0.4, 2: 0.3, 3: 0.3}}
+        with pytest.raises(MDDError):
+            probability_of_one(manager, node, bad)
+
+    def test_negative_probability_rejected(self, setup):
+        manager, _, _ = setup
+        node = manager.literal("x", [0])
+        bad = {"x": {0: 1.2, 1: -0.2, 2: 0.0}, "y": {1: 1.0, 2: 0.0, 3: 0.0}}
+        with pytest.raises(MDDError):
+            probability_of_one(manager, node, bad)
+
+    def test_complement_rule(self, setup):
+        manager, variables, dist = setup
+        f = manager.or_(manager.literal("x", [1]), manager.literal("y", [1]))
+        p = probability_of_one(manager, f, dist)
+        q = probability_of_one(manager, manager.not_(f), dist)
+        assert p + q == pytest.approx(1.0, abs=1e-12)

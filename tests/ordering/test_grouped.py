@@ -1,0 +1,54 @@
+"""Unit tests for grouped variable orders."""
+
+import pytest
+
+from repro.faulttree import MultiValuedVariable
+from repro.ordering import GroupedVariableOrder, OrderingError
+
+
+@pytest.fixture
+def variables():
+    return (
+        MultiValuedVariable("w", range(0, 8)),
+        MultiValuedVariable("v1", range(1, 19)),
+    )
+
+
+class TestGroupedVariableOrder:
+    def test_flat_order_concatenates_groups(self, variables):
+        w, v1 = variables
+        order = GroupedVariableOrder([(w, w.bit_names()), (v1, v1.bit_names())])
+        assert order.flat_bit_order() == list(w.bit_names()) + list(v1.bit_names())
+        assert order.variable_names == ("w", "v1")
+        assert len(order) == 2
+
+    def test_bits_can_be_permuted_within_group(self, variables):
+        w, v1 = variables
+        reversed_bits = tuple(reversed(w.bit_names()))
+        order = GroupedVariableOrder([(w, reversed_bits), (v1, v1.bit_names())])
+        assert order.bits_of("w") == reversed_bits
+
+    def test_unknown_variable_lookup(self, variables):
+        w, v1 = variables
+        order = GroupedVariableOrder([(w, w.bit_names()), (v1, v1.bit_names())])
+        with pytest.raises(OrderingError):
+            order.bits_of("nope")
+
+    def test_rejects_incomplete_bit_group(self, variables):
+        w, v1 = variables
+        with pytest.raises(OrderingError):
+            GroupedVariableOrder([(w, w.bit_names()[:-1]), (v1, v1.bit_names())])
+
+    def test_rejects_foreign_bits(self, variables):
+        w, v1 = variables
+        with pytest.raises(OrderingError):
+            GroupedVariableOrder([(w, v1.bit_names()[: w.width]), (v1, v1.bit_names())])
+
+    def test_rejects_duplicate_variable(self, variables):
+        w, _ = variables
+        with pytest.raises(OrderingError):
+            GroupedVariableOrder([(w, w.bit_names()), (w, w.bit_names())])
+
+    def test_rejects_empty(self):
+        with pytest.raises(OrderingError):
+            GroupedVariableOrder([])

@@ -1,0 +1,96 @@
+"""Unit tests for the topology, weight and H4 ordering heuristics."""
+
+import pytest
+
+from repro.faulttree import Circuit, GateOp
+from repro.ordering import h4_order, topology_order, weight_order
+
+
+def build_asymmetric_circuit():
+    """out = OR( AND(a, b, c, d), e )  — a heavy branch and a light branch.
+
+    The heavy AND gate is the *left* fanin of the OR, the single input ``e``
+    the right one.
+    """
+    circuit = Circuit("asym")
+    a, b, c, d, e = (circuit.add_input(x) for x in "abcde")
+    heavy = circuit.add_gate(GateOp.AND, [a, b, c, d])
+    out = circuit.add_gate(GateOp.OR, [heavy, e])
+    circuit.set_output(out, "out")
+    return circuit
+
+
+def build_shared_cone_circuit():
+    """out = AND( OR(a, b), OR(b, c) ) — b is shared by both cones."""
+    circuit = Circuit("shared")
+    a, b, c = (circuit.add_input(x) for x in "abc")
+    left = circuit.add_gate(GateOp.OR, [a, b])
+    right = circuit.add_gate(GateOp.OR, [b, c])
+    out = circuit.add_gate(GateOp.AND, [left, right])
+    circuit.set_output(out, "out")
+    return circuit
+
+
+class TestOrderValidity:
+    @pytest.mark.parametrize("heuristic", [topology_order, weight_order, h4_order])
+    def test_returns_permutation_of_inputs(self, heuristic):
+        for circuit in (build_asymmetric_circuit(), build_shared_cone_circuit()):
+            order = heuristic(circuit)
+            assert sorted(order) == sorted(circuit.input_names)
+
+    @pytest.mark.parametrize("heuristic", [topology_order, weight_order, h4_order])
+    def test_inputs_outside_cone_are_appended(self, heuristic):
+        circuit = Circuit("extra")
+        a, b = circuit.add_input("a"), circuit.add_input("b")
+        circuit.add_input("unused")
+        out = circuit.add_gate(GateOp.AND, [a, b])
+        circuit.set_output(out, "out")
+        order = heuristic(circuit)
+        assert order[-1] == "unused"
+
+
+class TestTopology:
+    def test_follows_leftmost_traversal(self):
+        circuit = build_asymmetric_circuit()
+        assert topology_order(circuit) == ["a", "b", "c", "d", "e"]
+
+    def test_shared_input_listed_once(self):
+        circuit = build_shared_cone_circuit()
+        assert topology_order(circuit) == ["a", "b", "c"]
+
+
+class TestWeight:
+    def test_light_branch_is_promoted(self):
+        # the weight heuristic reorders the OR's fanins by weight, so the
+        # single-input branch (weight 1) comes before the 4-input AND (weight 4)
+        circuit = build_asymmetric_circuit()
+        assert weight_order(circuit) == ["e", "a", "b", "c", "d"]
+
+    def test_tie_preserves_original_order(self):
+        circuit = build_shared_cone_circuit()
+        # both OR branches weigh 2: original order kept
+        assert weight_order(circuit) == ["a", "b", "c"]
+
+
+class TestH4:
+    def test_prefers_fanins_with_fewer_unvisited_inputs(self):
+        circuit = build_asymmetric_circuit()
+        # at the OR gate nothing is visited yet: e has 1 unvisited input,
+        # the AND branch has 4, so e is ordered first
+        assert h4_order(circuit) == ["e", "a", "b", "c", "d"]
+
+    def test_visited_inputs_guide_later_choices(self):
+        # out = OR( AND(a, b), AND(b, c), AND(c, d) )
+        circuit = Circuit("chain")
+        a, b, c, d = (circuit.add_input(x) for x in "abcd")
+        g1 = circuit.add_gate(GateOp.AND, [a, b])
+        g2 = circuit.add_gate(GateOp.AND, [b, c])
+        g3 = circuit.add_gate(GateOp.AND, [c, d])
+        out = circuit.add_gate(GateOp.OR, [g3, g2, g1])
+        circuit.set_output(out, "out")
+        order = h4_order(circuit)
+        assert sorted(order) == ["a", "b", "c", "d"]
+        # all three fanins tie on unvisited counts (2 each) and visited sums
+        # (0 each) at the first decision, so the original fanin order is kept
+        # and g3's inputs come first
+        assert order[0] == "c" and order[1] == "d"

@@ -1,0 +1,129 @@
+"""Property-based tests of the ROBDD engine (hypothesis).
+
+Random boolean expressions are generated as nested tuples, built both as a
+BDD and as a direct Python evaluation; canonicity and boolean algebra
+properties must hold for every sample.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager, FALSE, TRUE
+
+VARIABLES = ["a", "b", "c", "d", "e"]
+
+
+def expressions(max_depth=4):
+    leaves = st.sampled_from(VARIABLES + ["0", "1"])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def build_bdd(manager, expr):
+    if isinstance(expr, str):
+        if expr == "0":
+            return FALSE
+        if expr == "1":
+            return TRUE
+        return manager.var(expr)
+    op = expr[0]
+    if op == "not":
+        return manager.not_(build_bdd(manager, expr[1]))
+    left = build_bdd(manager, expr[1])
+    right = build_bdd(manager, expr[2])
+    if op == "and":
+        return manager.and_(left, right)
+    if op == "or":
+        return manager.or_(left, right)
+    return manager.xor_(left, right)
+
+
+def evaluate(expr, assignment):
+    if isinstance(expr, str):
+        if expr == "0":
+            return False
+        if expr == "1":
+            return True
+        return assignment[expr]
+    op = expr[0]
+    if op == "not":
+        return not evaluate(expr[1], assignment)
+    left = evaluate(expr[1], assignment)
+    right = evaluate(expr[2], assignment)
+    if op == "and":
+        return left and right
+    if op == "or":
+        return left or right
+    return left != right
+
+
+@settings(max_examples=120, deadline=None)
+@given(expressions())
+def test_bdd_matches_direct_evaluation(expr):
+    manager = BDDManager(VARIABLES)
+    node = build_bdd(manager, expr)
+    for values in itertools.product((False, True), repeat=len(VARIABLES)):
+        assignment = dict(zip(VARIABLES, values))
+        assert manager.evaluate(node, assignment) == evaluate(expr, assignment)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions(), expressions())
+def test_canonicity_equal_functions_get_equal_handles(expr_a, expr_b):
+    manager = BDDManager(VARIABLES)
+    node_a = build_bdd(manager, expr_a)
+    node_b = build_bdd(manager, expr_b)
+    equal_semantics = True
+    for values in itertools.product((False, True), repeat=len(VARIABLES)):
+        assignment = dict(zip(VARIABLES, values))
+        if manager.evaluate(node_a, assignment) != manager.evaluate(node_b, assignment):
+            equal_semantics = False
+            break
+    assert (node_a == node_b) == equal_semantics
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions())
+def test_complement_is_involutive_and_disjoint(expr):
+    manager = BDDManager(VARIABLES)
+    node = build_bdd(manager, expr)
+    complement = manager.not_(node)
+    assert manager.not_(complement) == node
+    assert manager.and_(node, complement) == FALSE
+    assert manager.or_(node, complement) == TRUE
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions())
+def test_sat_count_matches_truth_table(expr):
+    manager = BDDManager(VARIABLES)
+    node = build_bdd(manager, expr)
+    expected = 0
+    for values in itertools.product((False, True), repeat=len(VARIABLES)):
+        assignment = dict(zip(VARIABLES, values))
+        if manager.evaluate(node, assignment):
+            expected += 1
+    assert manager.sat_count(node) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(expressions(), st.sampled_from(VARIABLES), st.booleans())
+def test_restrict_is_cofactor(expr, name, value):
+    manager = BDDManager(VARIABLES)
+    node = build_bdd(manager, expr)
+    restricted = manager.restrict(node, name, value)
+    assert name not in manager.support(restricted)
+    for values in itertools.product((False, True), repeat=len(VARIABLES)):
+        assignment = dict(zip(VARIABLES, values))
+        forced = dict(assignment)
+        forced[name] = value
+        assert manager.evaluate(restricted, assignment) == manager.evaluate(node, forced)

@@ -1,0 +1,51 @@
+"""Property-based tests of the fault-tree builder and threshold gates."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faulttree import FaultTreeBuilder
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=7))
+def test_at_least_matches_counting(n, k):
+    ft = FaultTreeBuilder()
+    names = ["C%d" % i for i in range(n)]
+    ft.set_top(ft.at_least(k, [ft.failed(name) for name in names]))
+    circuit = ft.build()
+    for values in itertools.product((False, True), repeat=n):
+        assignment = dict(zip(names, values))
+        assert circuit.evaluate_output(assignment) is (sum(values) >= k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=6))
+def test_exactly_partitions_the_space(n, k):
+    ft = FaultTreeBuilder()
+    names = ["C%d" % i for i in range(n)]
+    exprs = [ft.failed(name) for name in names]
+    ft.set_top(ft.exactly(k, exprs))
+    circuit = ft.build()
+    count = 0
+    for values in itertools.product((False, True), repeat=n):
+        if circuit.evaluate_output(dict(zip(names, values))):
+            count += 1
+    import math
+
+    assert count == (math.comb(n, k) if k <= n else 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=8))
+def test_series_parallel_duality(values):
+    names = ["C%d" % i for i in range(len(values))]
+    ft = FaultTreeBuilder()
+    ft.set_top(ft.series_fails(names))
+    series = ft.build()
+    ft2 = FaultTreeBuilder()
+    ft2.set_top(ft2.parallel_fails(names))
+    parallel = ft2.build()
+    assignment = dict(zip(names, values))
+    assert series.evaluate_output(assignment) is any(values)
+    assert parallel.evaluate_output(assignment) is all(values)

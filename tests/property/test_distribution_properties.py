@@ -1,0 +1,90 @@
+"""Property-based tests of the defect-count distributions and eq. (1)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import (
+    CompoundPoissonDefectDistribution,
+    EmpiricalDefectDistribution,
+    NegativeBinomialDefectDistribution,
+    PoissonDefectDistribution,
+    binomial_thinning,
+)
+
+means = st.floats(min_value=0.05, max_value=8.0)
+clusterings = st.floats(min_value=0.1, max_value=20.0)
+retains = st.floats(min_value=0.05, max_value=1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(means, clusterings)
+def test_negative_binomial_pmf_is_a_distribution(mean, clustering):
+    dist = NegativeBinomialDefectDistribution(mean, clustering)
+    values = [dist.pmf(k) for k in range(400)]
+    assert all(v >= 0.0 for v in values)
+    assert sum(values) <= 1.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(means, clusterings, retains)
+def test_thinning_preserves_family_and_scales_mean(mean, clustering, retain):
+    dist = NegativeBinomialDefectDistribution(mean, clustering)
+    thinned = dist.thinned(retain)
+    assert isinstance(thinned, NegativeBinomialDefectDistribution)
+    assert math.isclose(thinned.mean(), mean * retain, rel_tol=1e-9)
+    assert math.isclose(thinned.clustering, clustering, rel_tol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(means, clusterings, retains)
+def test_generic_thinning_agrees_with_closed_form(mean, clustering, retain):
+    dist = NegativeBinomialDefectDistribution(mean, clustering)
+    support = dist.truncation_level(1e-10, max_level=100_000)
+    numeric = binomial_thinning(dist.pmf_vector(support), retain)
+    closed = dist.thinned(retain)
+    for k in range(min(10, len(numeric))):
+        assert math.isclose(numeric[k], closed.pmf(k), rel_tol=1e-5, abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(means, st.floats(min_value=0.0001, max_value=0.2))
+def test_truncation_level_is_tight(mean, epsilon):
+    dist = PoissonDefectDistribution(mean)
+    level = dist.truncation_level(epsilon)
+    assert dist.tail(level) <= epsilon
+    assert level == 0 or dist.tail(level - 1) > epsilon
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.05, max_value=6.0), min_size=1, max_size=4),
+    st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=4),
+    retains,
+)
+def test_compound_poisson_thinning_commutes(rates, weights, retain):
+    size = min(len(rates), len(weights))
+    rates, weights = rates[:size], weights[:size]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    mixture = CompoundPoissonDefectDistribution(rates, weights)
+    thinned = mixture.thinned(retain)
+    reference = CompoundPoissonDefectDistribution([r * retain for r in rates], weights)
+    for k in range(8):
+        assert math.isclose(thinned.pmf(k), reference.pmf(k), rel_tol=1e-9, abs_tol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=8), retains)
+def test_empirical_thinning_preserves_mass(raw, retain):
+    total = sum(raw)
+    if total <= 0:
+        raw = [1.0]
+        total = 1.0
+    pmf = [value / total for value in raw]
+    dist = EmpiricalDefectDistribution(pmf)
+    thinned = dist.thinned(retain)
+    mass = sum(thinned.pmf(k) for k in range(len(pmf) + 2))
+    assert math.isclose(mass, 1.0, rel_tol=1e-9)
+    # thinning can only shift mass towards smaller counts
+    assert thinned.mean() <= dist.mean() + 1e-9

@@ -1,0 +1,134 @@
+"""Property-based tests of the ROMDD engine and the ROBDD -> ROMDD conversion."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import build_circuit_bdd
+from repro.faulttree import GateOp, MVCircuit, MultiValuedVariable
+from repro.mdd import MDDManager, convert_bdd_to_mdd, probability_of_one
+from repro.mdd.direct import build_mdd_from_mvcircuit
+
+# three multiple-valued variables with deliberately awkward domain sizes
+DOMAINS = {"x": list(range(0, 3)), "y": list(range(1, 6)), "z": list(range(0, 2))}
+VARIABLE_NAMES = list(DOMAINS)
+
+
+def filter_leaf():
+    return st.one_of(
+        st.tuples(st.just("eq"), st.sampled_from(VARIABLE_NAMES)).flatmap(
+            lambda t: st.tuples(st.just(t[0]), st.just(t[1]), st.sampled_from(DOMAINS[t[1]]))
+        ),
+        st.tuples(st.just("geq"), st.sampled_from(VARIABLE_NAMES)).flatmap(
+            lambda t: st.tuples(st.just(t[0]), st.just(t[1]), st.sampled_from(DOMAINS[t[1]]))
+        ),
+    )
+
+
+def mv_expressions():
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+        )
+
+    return st.recursive(filter_leaf(), extend, max_leaves=8)
+
+
+def build_mv_circuit(expr):
+    mv = MVCircuit("prop")
+    variables = {name: mv.add_variable(MultiValuedVariable(name, DOMAINS[name])) for name in DOMAINS}
+
+    def build(node):
+        if node[0] in ("eq", "geq"):
+            _, name, constant = node
+            if node[0] == "eq":
+                return mv.filter_eq(variables[name], constant)
+            return mv.filter_geq(variables[name], constant)
+        if node[0] == "not":
+            return mv.gate(GateOp.NOT, [build(node[1])])
+        op = GateOp.AND if node[0] == "and" else GateOp.OR
+        return mv.gate(op, [build(node[1]), build(node[2])])
+
+    mv.set_top(build(expr))
+    return mv
+
+
+def evaluate_expr(expr, assignment):
+    if expr[0] == "eq":
+        return assignment[expr[1]] == expr[2]
+    if expr[0] == "geq":
+        return assignment[expr[1]] >= expr[2]
+    if expr[0] == "not":
+        return not evaluate_expr(expr[1], assignment)
+    left = evaluate_expr(expr[1], assignment)
+    right = evaluate_expr(expr[2], assignment)
+    return (left and right) if expr[0] == "and" else (left or right)
+
+
+def all_assignments():
+    for combo in itertools.product(*(DOMAINS[name] for name in VARIABLE_NAMES)):
+        yield dict(zip(VARIABLE_NAMES, combo))
+
+
+@settings(max_examples=60, deadline=None)
+@given(mv_expressions())
+def test_direct_mdd_matches_semantics(expr):
+    mv = build_mv_circuit(expr)
+    manager, root, _ = build_mdd_from_mvcircuit(mv, list(mv.variables))
+    for assignment in all_assignments():
+        assert manager.evaluate(root, assignment) == evaluate_expr(expr, assignment)
+
+
+@settings(max_examples=40, deadline=None)
+@given(mv_expressions(), st.permutations(VARIABLE_NAMES))
+def test_conversion_route_equals_direct_route(expr, order_names):
+    mv = build_mv_circuit(expr)
+    ordered_variables = [mv.variable(name) for name in order_names]
+    groups = [(v, list(v.bit_names())) for v in ordered_variables]
+    flat = [bit for _, bits in groups for bit in bits]
+    binary = mv.binary_encode()
+    bdd_manager, bdd_root, _ = build_circuit_bdd(binary, flat)
+    converted_manager, converted_root = convert_bdd_to_mdd(bdd_manager, bdd_root, groups)
+
+    direct_manager, direct_root, _ = build_mdd_from_mvcircuit(mv, ordered_variables)
+
+    # same canonical diagram size and same semantics
+    assert converted_manager.size(converted_root) == direct_manager.size(direct_root)
+    for assignment in all_assignments():
+        expected = evaluate_expr(expr, assignment)
+        assert converted_manager.evaluate(converted_root, assignment) == expected
+        assert direct_manager.evaluate(direct_root, assignment) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mv_expressions(),
+    st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=10, max_size=10),
+)
+def test_probability_matches_brute_force(expr, raw_weights):
+    mv = build_mv_circuit(expr)
+    manager, root, _ = build_mdd_from_mvcircuit(mv, list(mv.variables))
+
+    # build normalized per-variable distributions from the raw weights
+    distributions = {}
+    cursor = 0
+    for name in VARIABLE_NAMES:
+        values = DOMAINS[name]
+        weights = raw_weights[cursor : cursor + len(values)]
+        if len(weights) < len(values):
+            weights = weights + [1.0] * (len(values) - len(weights))
+        cursor += len(values)
+        total = sum(weights)
+        distributions[name] = {v: w / total for v, w in zip(values, weights)}
+
+    expected = 0.0
+    for assignment in all_assignments():
+        if evaluate_expr(expr, assignment):
+            p = 1.0
+            for name in VARIABLE_NAMES:
+                p *= distributions[name][assignment[name]]
+            expected += p
+    computed = probability_of_one(manager, root, distributions)
+    assert abs(computed - expected) < 1e-9

@@ -1,0 +1,86 @@
+"""Property-based tests of the end-to-end yield method on random fault trees.
+
+Every sample builds a random coherent fault tree over a handful of
+components, assigns random defect probabilities and checks the combinatorial
+method against the exact enumeration baseline — the strongest invariant the
+library has, because it crosses every subsystem.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exact import exact_yield
+from repro.core.method import evaluate_yield
+from repro.core.problem import YieldProblem
+from repro.distributions import ComponentDefectModel, NegativeBinomialDefectDistribution
+from repro.faulttree import FaultTreeBuilder
+from repro.ordering import OrderingSpec
+
+COMPONENTS = ["C0", "C1", "C2", "C3", "C4"]
+
+
+def structure_expressions():
+    leaves = st.sampled_from(COMPONENTS)
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("k2"), children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=7)
+
+
+def build_problem(expr, weights, mean, clustering):
+    ft = FaultTreeBuilder("random")
+
+    def build(node):
+        if isinstance(node, str):
+            return ft.failed(node)
+        if node[0] == "and":
+            return ft.and_(build(node[1]), build(node[2]))
+        if node[0] == "or":
+            return ft.or_(build(node[1]), build(node[2]))
+        return ft.at_least(2, [build(node[1]), build(node[2]), build(node[3])])
+
+    ft.set_top(build(expr))
+    circuit = ft.build()
+    model = ComponentDefectModel.from_relative_weights(
+        dict(zip(COMPONENTS, weights)), lethality=0.5
+    )
+    distribution = NegativeBinomialDefectDistribution(mean=mean, clustering=clustering)
+    return YieldProblem(circuit, model, distribution, name="random")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    structure_expressions(),
+    st.lists(st.floats(min_value=0.1, max_value=3.0), min_size=5, max_size=5),
+    st.floats(min_value=0.2, max_value=3.0),
+    st.floats(min_value=0.5, max_value=8.0),
+    st.sampled_from(["wv", "w", "vrw"]),
+)
+def test_method_matches_exact_enumeration(expr, weights, mean, clustering, ordering):
+    problem = build_problem(expr, weights, mean, clustering)
+    from repro.core.method import YieldAnalyzer
+
+    analyzer = YieldAnalyzer(OrderingSpec(ordering, "ml"))
+    result = analyzer.evaluate(problem, max_defects=3)
+    reference = exact_yield(problem, max_defects=3)
+    assert result.yield_estimate == pytest.approx(reference.yield_estimate, rel=1e-9)
+    assert 0.0 <= result.yield_estimate <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    structure_expressions(),
+    st.lists(st.floats(min_value=0.1, max_value=3.0), min_size=5, max_size=5),
+)
+def test_truncation_estimates_are_monotone(expr, weights):
+    problem = build_problem(expr, weights, 1.0, 4.0)
+    previous = -1.0
+    for max_defects in (0, 1, 2, 3):
+        estimate = evaluate_yield(problem, max_defects=max_defects).yield_estimate
+        assert estimate >= previous - 1e-12
+        previous = estimate

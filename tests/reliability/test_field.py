@@ -1,0 +1,82 @@
+"""Unit tests for the field-failure models."""
+
+import math
+
+import pytest
+
+from repro.distributions import DistributionError
+from repro.reliability import (
+    ExponentialFieldModel,
+    TabularFieldModel,
+    WeibullFieldModel,
+)
+
+
+class TestExponential:
+    def test_unreliability_formula(self):
+        model = ExponentialFieldModel({"A": 0.01, "B": 0.1})
+        assert model.unreliability("A", 10.0) == pytest.approx(1 - math.exp(-0.1))
+        assert model.unreliability("B", 0.0) == 0.0
+
+    def test_default_rate(self):
+        model = ExponentialFieldModel({"A": 0.01}, default_rate=0.5)
+        assert model.unreliability("Z", 1.0) == pytest.approx(1 - math.exp(-0.5))
+
+    def test_missing_component_without_default(self):
+        model = ExponentialFieldModel({"A": 0.01})
+        with pytest.raises(DistributionError):
+            model.unreliability("Z", 1.0)
+
+    def test_negative_rate_and_time_rejected(self):
+        with pytest.raises(DistributionError):
+            ExponentialFieldModel({"A": -0.1})
+        model = ExponentialFieldModel({"A": 0.1})
+        with pytest.raises(DistributionError):
+            model.unreliability("A", -1.0)
+
+    def test_unreliabilities_bulk(self):
+        model = ExponentialFieldModel({"A": 0.1, "B": 0.2})
+        out = model.unreliabilities(["A", "B"], 2.0)
+        assert set(out) == {"A", "B"}
+        assert out["B"] > out["A"]
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        weibull = WeibullFieldModel({"A": 10.0}, shape=1.0)
+        exponential = ExponentialFieldModel({"A": 0.1})
+        for t in (0.0, 1.0, 5.0, 20.0):
+            assert weibull.unreliability("A", t) == pytest.approx(
+                exponential.unreliability("A", t)
+            )
+
+    def test_unreliability_monotone_in_time(self):
+        model = WeibullFieldModel({"A": 5.0}, shape=2.0)
+        values = [model.unreliability("A", t) for t in (0.0, 1.0, 2.0, 5.0, 10.0)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+
+    def test_default_scale(self):
+        model = WeibullFieldModel({}, shape=1.5, default_scale=3.0)
+        assert 0.0 < model.unreliability("anything", 1.0) < 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            WeibullFieldModel({"A": 0.0})
+        with pytest.raises(DistributionError):
+            WeibullFieldModel({"A": 1.0}, shape=0.0)
+
+
+class TestTabular:
+    def test_lookup_and_default(self):
+        model = TabularFieldModel({"A": 0.2}, default=0.05)
+        assert model.unreliability("A", 123.0) == 0.2
+        assert model.unreliability("B", 0.0) == 0.05
+
+    def test_missing_without_default(self):
+        with pytest.raises(DistributionError):
+            TabularFieldModel({"A": 0.2}).unreliability("B", 1.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(DistributionError):
+            TabularFieldModel({"A": 1.2})

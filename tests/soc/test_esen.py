@@ -1,0 +1,193 @@
+"""Unit tests for the ESEN n x m benchmark generator."""
+
+import itertools
+
+import pytest
+
+from repro.soc.esen import (
+    enumerate_paths,
+    esen_architecture_summary,
+    esen_component_classes,
+    esen_component_model,
+    esen_component_names,
+    esen_fault_tree,
+    esen_problem,
+    ipa_port,
+    num_stages,
+    perfect_shuffle,
+    used_ports,
+)
+
+#: Component counts from Table 1 of the paper.
+PAPER_COMPONENT_COUNTS = {
+    (4, 1): 14,
+    (4, 2): 26,
+    (4, 4): 34,
+    (8, 1): 32,
+    (8, 2): 56,
+    (8, 4): 72,
+}
+
+
+class TestTopology:
+    def test_perfect_shuffle_is_a_permutation(self):
+        for n in (4, 8, 16):
+            image = {perfect_shuffle(p, n) for p in range(n)}
+            assert image == set(range(n))
+
+    def test_perfect_shuffle_rotates_bits(self):
+        assert perfect_shuffle(0b011, 8) == 0b110
+        assert perfect_shuffle(0b100, 8) == 0b001
+
+    def test_num_stages(self):
+        assert num_stages(4) == 3
+        assert num_stages(8) == 4
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            num_stages(6)
+        with pytest.raises(ValueError):
+            num_stages(1)
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_exactly_two_paths_per_pair(self, n):
+        for source in range(n):
+            for destination in range(n):
+                paths = enumerate_paths(n, source, destination)
+                assert len(paths) == 2
+                for path in paths:
+                    assert len(path) == num_stages(n)
+                    stages = [stage for stage, _ in path]
+                    assert stages == list(range(num_stages(n)))
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_the_two_paths_differ(self, n):
+        for source in range(n):
+            for destination in range(n):
+                a, b = enumerate_paths(n, source, destination)
+                assert a != b
+
+
+class TestInventory:
+    @pytest.mark.parametrize("nm,expected", sorted(PAPER_COMPONENT_COUNTS.items()))
+    def test_component_counts_match_table1(self, nm, expected):
+        n, m = nm
+        assert len(esen_component_names(n, m)) == expected
+
+    def test_classes_partition_components(self):
+        classes = esen_component_classes(8, 2)
+        flattened = [name for names in classes.values() for name in names]
+        assert sorted(flattened) == sorted(esen_component_names(8, 2))
+        assert len(classes["IPA"]) == 8
+        assert len(classes["IPB"]) == 8
+        assert len(classes["SE"]) == 16
+        assert len(classes["SE_SPARE"]) == 8
+        assert len(classes["C"]) == 16
+
+    def test_m1_has_no_concentrators(self):
+        assert esen_component_classes(4, 1)["C"] == []
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            esen_component_names(4, 3)
+        with pytest.raises(ValueError):
+            esen_component_names(4, 0)
+
+    def test_used_ports_and_core_attachment(self):
+        assert used_ports(8, 1) == [0, 1, 2, 3]
+        assert used_ports(8, 2) == list(range(8))
+        # 16 IPAs over 8 ports for m = 4: two cores per port
+        ports = [ipa_port(i, 8, 4) for i in range(16)]
+        assert all(ports.count(p) == 2 for p in range(8))
+
+    def test_architecture_summary(self):
+        text = esen_architecture_summary(8, 2)
+        assert "ESEN8x2" in text and "56" in text
+
+
+class TestFaultTree:
+    def test_no_failures_means_working(self):
+        tree = esen_fault_tree(4, 2)
+        assignment = {name: False for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is False
+
+    def test_all_failures_means_failed(self):
+        tree = esen_fault_tree(4, 2)
+        assignment = {name: True for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is True
+
+    @pytest.mark.parametrize("n,m", [(4, 1), (4, 2), (8, 2)])
+    def test_single_component_failures_are_tolerated(self, n, m):
+        tree = esen_fault_tree(n, m)
+        for failed in tree.input_names:
+            assignment = {name: name == failed for name in tree.input_names}
+            assert tree.evaluate_output(assignment) is False, failed
+
+    def test_two_ipa_failures_kill_the_default_quorum(self):
+        tree = esen_fault_tree(4, 2)  # 4 IPAs, quorum 3
+        assignment = {name: name in ("IPA_0", "IPA_1") for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is True
+
+    def test_middle_stage_switch_pair_can_break_full_access(self):
+        # failing a middle-stage switch and one first-stage switch pair member
+        # plus its spare removes both paths for some port pair
+        tree = esen_fault_tree(4, 1)
+        failed = {"SE_1_0", "SE_1_1"}
+        assignment = {name: name in failed for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is True
+
+    def test_first_stage_primary_and_spare_must_both_fail(self):
+        tree = esen_fault_tree(4, 1)
+        # only the primary fails: spare covers it
+        assignment = {name: name == "SE_0_0" for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is False
+        # primary and spare fail: the served input port loses all paths
+        assignment = {name: name in ("SE_0_0", "SE_0_0_R") for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is True
+
+    def test_both_concentrators_of_a_port_must_fail(self):
+        tree = esen_fault_tree(4, 2)
+        # one concentrator down: its twin still serves the port
+        assignment = {name: name == "C_0_A" for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is False
+        # both concentrators down: port 0's IPA is cut off, which by itself is
+        # still within the default quorum (one core may be lost)...
+        assignment = {name: name in ("C_0_A", "C_0_B") for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is False
+        # ...but losing any further IPA on top of it violates the quorum
+        assignment = {
+            name: name in ("C_0_A", "C_0_B", "IPA_1") for name in tree.input_names
+        }
+        assert tree.evaluate_output(assignment) is True
+
+    def test_custom_quorum(self):
+        tree = esen_fault_tree(4, 2, required_ipa=2, required_ipb=2)
+        assignment = {name: name in ("IPA_0", "IPA_1") for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is False
+
+    def test_invalid_quorum(self):
+        with pytest.raises(ValueError):
+            esen_fault_tree(4, 2, required_ipa=9)
+        with pytest.raises(ValueError):
+            esen_fault_tree(4, 2, required_ipb=0)
+
+
+class TestDefectModel:
+    def test_ratios(self):
+        model = esen_component_model(4, 2)
+        assert model.raw_probability("IPB_0") == pytest.approx(
+            model.raw_probability("IPA_0")
+        )
+        assert model.raw_probability("SE_0_0") == pytest.approx(
+            0.2 * model.raw_probability("IPA_0")
+        )
+        assert model.raw_probability("C_0_A") == pytest.approx(
+            0.1 * model.raw_probability("IPA_0")
+        )
+        assert model.lethality == pytest.approx(0.5)
+
+    def test_problem_assembly(self):
+        problem = esen_problem(4, 2, mean_defects=4.0)
+        assert problem.name == "ESEN4x2"
+        assert problem.num_components == 26
+        assert problem.lethal_defect_distribution().mean() == pytest.approx(2.0)

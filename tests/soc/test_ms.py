@@ -1,0 +1,124 @@
+"""Unit tests for the MSn benchmark generator."""
+
+import itertools
+
+import pytest
+
+from repro.soc.ms import (
+    ms_architecture_summary,
+    ms_component_classes,
+    ms_component_model,
+    ms_component_names,
+    ms_fault_tree,
+    ms_problem,
+)
+
+#: Component counts from Table 1 of the paper.
+PAPER_COMPONENT_COUNTS = {2: 18, 4: 30, 6: 42, 8: 54, 10: 66}
+
+
+class TestInventory:
+    @pytest.mark.parametrize("n,expected", sorted(PAPER_COMPONENT_COUNTS.items()))
+    def test_component_counts_match_table1(self, n, expected):
+        assert len(ms_component_names(n)) == expected
+
+    def test_classes_partition_components(self):
+        classes = ms_component_classes(4)
+        flattened = [name for names in classes.values() for name in names]
+        assert sorted(flattened) == sorted(ms_component_names(4))
+        assert len(classes["IPM"]) == 2
+        assert len(classes["CM"]) == 4
+        assert len(classes["IPS"]) == 8
+        assert len(classes["CS"]) == 16
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ms_component_names(0)
+
+    def test_architecture_summary_mentions_counts(self):
+        text = ms_architecture_summary(4)
+        assert "MS4" in text and "30" in text
+
+
+class TestFaultTree:
+    def test_no_failures_means_working(self):
+        tree = ms_fault_tree(2)
+        assignment = {name: False for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is False
+
+    def test_all_failures_means_failed(self):
+        tree = ms_fault_tree(2)
+        assignment = {name: True for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is True
+
+    def test_single_component_failures_are_tolerated(self):
+        tree = ms_fault_tree(3)
+        for failed in tree.input_names:
+            assignment = {name: name == failed for name in tree.input_names}
+            assert tree.evaluate_output(assignment) is False, failed
+
+    def test_both_masters_failing_kills_the_system(self):
+        tree = ms_fault_tree(2)
+        assignment = {name: name.startswith("IPM") for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is True
+
+    def test_whole_cluster_failing_kills_the_system(self):
+        tree = ms_fault_tree(2)
+        assignment = {
+            name: name.startswith("IPS_1_") for name in tree.input_names
+        }
+        assert tree.evaluate_output(assignment) is True
+
+    def test_one_slave_per_cluster_is_enough(self):
+        tree = ms_fault_tree(2)
+        # fail the second slave of every cluster: still operational
+        assignment = {name: name.startswith("IPS") and name.endswith("_2") for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is False
+
+    def test_master_needs_a_shared_bus_with_each_cluster(self):
+        tree = ms_fault_tree(2)
+        # master 1 alive but its modules dead, master 2 dead: no communication
+        failed = {"IPM_2", "CM_1_A", "CM_1_B"}
+        assignment = {name: name in failed for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is True
+
+    def test_cross_bus_paths_must_not_mix(self):
+        tree = ms_fault_tree(1)
+        # IPM_2 dead. IPM_1 can only use bus A (CM_1_B dead); the surviving
+        # slave modules only reach bus B: communication impossible.
+        failed = {"IPM_2", "CM_1_B", "CS_1_1_A", "CS_1_2_A"}
+        assignment = {name: name in failed for name in tree.input_names}
+        assert tree.evaluate_output(assignment) is True
+        # restoring one slave's bus-A module restores the system
+        assignment["CS_1_1_A"] = False
+        assert tree.evaluate_output(assignment) is False
+
+    def test_gate_count_scales_linearly(self):
+        g2 = ms_fault_tree(2).num_gates
+        g4 = ms_fault_tree(4).num_gates
+        g6 = ms_fault_tree(6).num_gates
+        assert g4 - g2 == g6 - g4
+
+
+class TestDefectModel:
+    def test_lethality_and_ratios(self):
+        model = ms_component_model(2, lethality=0.5, ips_to_ipm=1.0, comm_to_ipm=0.1)
+        assert model.lethality == pytest.approx(0.5)
+        assert model.raw_probability("IPS_1_1") == pytest.approx(
+            model.raw_probability("IPM_1")
+        )
+        assert model.raw_probability("CM_1_A") == pytest.approx(
+            0.1 * model.raw_probability("IPM_1")
+        )
+
+    def test_problem_assembly(self):
+        problem = ms_problem(2, mean_defects=2.0)
+        assert problem.name == "MS2"
+        assert problem.num_components == 18
+        assert problem.lethal_defect_distribution().mean() == pytest.approx(1.0)
+
+    def test_custom_distribution_is_honoured(self):
+        from repro.distributions import PoissonDefectDistribution
+
+        problem = ms_problem(2, defect_distribution=PoissonDefectDistribution(3.0))
+        assert problem.defect_distribution.mean() == pytest.approx(3.0)

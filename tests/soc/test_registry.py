@@ -1,0 +1,40 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.soc import BENCHMARK_NAMES, BENCHMARKS, benchmark_problem
+
+#: Table 1 of the paper.
+PAPER_TABLE1 = {
+    "MS2": 18,
+    "MS4": 30,
+    "MS6": 42,
+    "MS8": 54,
+    "MS10": 66,
+    "ESEN4x1": 14,
+    "ESEN4x2": 26,
+    "ESEN4x4": 34,
+    "ESEN8x1": 32,
+    "ESEN8x2": 56,
+    "ESEN8x4": 72,
+}
+
+
+class TestRegistry:
+    def test_all_paper_benchmarks_are_registered(self):
+        assert set(BENCHMARK_NAMES) == set(PAPER_TABLE1)
+        assert list(BENCHMARKS) == BENCHMARK_NAMES
+
+    @pytest.mark.parametrize("name,expected", sorted(PAPER_TABLE1.items()))
+    def test_component_counts_reproduce_table1(self, name, expected):
+        problem = benchmark_problem(name)
+        assert problem.num_components == expected
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark_problem("MS3")
+
+    def test_keyword_arguments_are_forwarded(self):
+        problem = benchmark_problem("MS2", mean_defects=4.0, lethality=0.25)
+        assert problem.lethality == pytest.approx(0.25)
+        assert problem.lethal_defect_distribution().mean() == pytest.approx(1.0)
