@@ -1,0 +1,1 @@
+"""Benchmark harness package (relative imports of the shared conftest)."""

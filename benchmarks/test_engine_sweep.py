@@ -1,0 +1,97 @@
+"""Engine ablation — structure reuse versus serial rebuild on density sweeps.
+
+The sweep service builds the coded ROBDD / ROMDD once per (structure, M,
+ordering) and re-runs only the probability traversal per density point,
+while the pre-engine route rebuilt the diagrams for every point.  This
+benchmark times both on the same multi-point sweep and asserts that reuse
+actually wins, which is the acceptance bar for the engine subsystem.
+
+A second check exercises dynamic reordering: starting from the *worst*
+static ordering of Table 2 (``vrw``), group-preserving sifting must bring
+the coded ROBDD at least back under that ordering's size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.method import YieldAnalyzer
+from repro.engine.service import SweepService
+from repro.ordering import OrderingSpec
+from repro.soc import benchmark_problem
+
+from .conftest import PAPER_EPSILON, print_table
+
+#: Mean manufacturing defect counts of the sweep (lambda' = mean * 0.5).
+DENSITIES = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+
+#: Truncation level shared by every point (the paper's M at epsilon=1e-3).
+MAX_DEFECTS = 6
+
+
+def _factory(name):
+    return lambda mean: benchmark_problem(name, mean_defects=mean)
+
+
+@pytest.mark.parametrize("name", ["MS2", "ESEN4x1"])
+def test_engine_reuse_beats_serial_rebuild(benchmark, name):
+    factory = _factory(name)
+    ordering = OrderingSpec("w", "ml")
+
+    started = time.perf_counter()
+    analyzer = YieldAnalyzer(ordering, epsilon=PAPER_EPSILON)
+    serial = [
+        analyzer.evaluate(factory(mean), max_defects=MAX_DEFECTS)
+        for mean in DENSITIES
+    ]
+    serial_seconds = time.perf_counter() - started
+
+    service = SweepService(ordering=ordering, epsilon=PAPER_EPSILON)
+
+    def run_sweep():
+        service.clear()
+        return service.density_sweep(factory, DENSITIES, max_defects=MAX_DEFECTS)
+
+    started = time.perf_counter()
+    engine = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    engine_seconds = time.perf_counter() - started
+
+    for result, (mean, engine_yield, truncation) in zip(serial, engine):
+        assert engine_yield == pytest.approx(result.yield_estimate, abs=1e-12)
+        assert truncation == MAX_DEFECTS
+
+    print_table(
+        "Engine sweep vs serial rebuild — %s, %d points" % (name, len(DENSITIES)),
+        ("route", "builds", "time (s)", "speedup"),
+        [
+            ("serial rebuild", len(DENSITIES), round(serial_seconds, 3), "1.0x"),
+            (
+                "engine reuse",
+                service.stats.structures_built,
+                round(engine_seconds, 3),
+                "%.1fx" % (serial_seconds / max(engine_seconds, 1e-9)),
+            ),
+        ],
+    )
+
+    assert service.stats.structures_built == 1
+    # the acceptance bar: one build plus N traversals must beat N builds
+    assert engine_seconds < serial_seconds
+
+
+def test_sifting_recovers_from_worst_static_ordering():
+    problem = benchmark_problem("MS2", mean_defects=2.0)
+    worst = YieldAnalyzer(OrderingSpec("vrw", "ml"), epsilon=PAPER_EPSILON)
+    static_size, _ = worst.diagram_sizes(problem, max_defects=MAX_DEFECTS)
+
+    sifting = YieldAnalyzer(OrderingSpec("vrw", "ml", sift=True), epsilon=PAPER_EPSILON)
+    sifted_size, _ = sifting.diagram_sizes(problem, max_defects=MAX_DEFECTS)
+
+    print_table(
+        "Sifting vs worst static ordering — MS2, M=%d" % MAX_DEFECTS,
+        ("ordering", "coded ROBDD nodes"),
+        [("vrw (static)", static_size), ("vrw + sifting", sifted_size)],
+    )
+    assert sifted_size <= static_size

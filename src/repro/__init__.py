@@ -21,6 +21,8 @@ The public surface is re-exported here; the subpackages are:
 * :mod:`repro.faulttree` — gate-level circuits and multiple-valued variables;
 * :mod:`repro.bdd` — the ROBDD engine;
 * :mod:`repro.mdd` — the ROMDD engine, conversion and probability traversal;
+* :mod:`repro.engine` — the shared DD kernel (GC, bounded caches), dynamic
+  reordering and the batch sweep service;
 * :mod:`repro.ordering` — variable-ordering heuristics;
 * :mod:`repro.core` — the yield method, Monte-Carlo and exact baselines;
 * :mod:`repro.soc` — the MSn and ESEN benchmark generators;
@@ -28,6 +30,7 @@ The public surface is re-exported here; the subpackages are:
 """
 
 from .core import (
+    CompiledYield,
     ExactResult,
     GeneralizedFaultTree,
     MonteCarloResult,
@@ -40,6 +43,7 @@ from .core import (
     evaluate_yield,
     exact_yield,
 )
+from .engine import SweepPoint, SweepService
 from .distributions import (
     ComponentDefectModel,
     CompoundPoissonDefectDistribution,
@@ -54,6 +58,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "YieldAnalyzer",
+    "CompiledYield",
+    "SweepService",
+    "SweepPoint",
     "YieldProblem",
     "YieldResult",
     "StageTimings",

@@ -61,7 +61,14 @@ class CircuitBDDBuilder:
         Abort the build with :class:`ResourceLimitExceeded` once the manager
         has allocated more than this many nodes.  This reproduces the
         "failed due to excessive memory requirements" entries of Table 2 in
-        a controlled way.  ``None`` disables the check.
+        a controlled way.  ``None`` disables the check.  The limit counts
+        nodes ever *created* (monotone), so enabling garbage collection does
+        not change which configurations fail.
+    collect_garbage:
+        Reference-count the intermediate gate functions and let the manager
+        reclaim dead nodes at its :meth:`repro.engine.kernel.DDKernel.checkpoint`
+        points between gates.  Keeps the live table bounded by what later
+        gates still need instead of everything ever built.
     """
 
     def __init__(
@@ -71,6 +78,7 @@ class CircuitBDDBuilder:
         track_peak: bool = True,
         peak_stride: int = 1,
         node_limit: Optional[int] = None,
+        collect_garbage: bool = True,
     ) -> None:
         if peak_stride < 1:
             raise ValueError("peak_stride must be >= 1")
@@ -80,6 +88,7 @@ class CircuitBDDBuilder:
         self._track_peak = track_peak
         self._peak_stride = peak_stride
         self._node_limit = node_limit
+        self._collect_garbage = collect_garbage
 
     def build(self, circuit: Circuit, manager: Optional[BDDManager] = None):
         """Return ``(manager, root, stats)`` for the circuit's primary output.
@@ -111,11 +120,14 @@ class CircuitBDDBuilder:
                 for f in node.fanins:
                     remaining_readers[f] += 1
 
+        gc = self._collect_garbage
         gates_since_sample = 0
         for idx in sorted(cone):
             node = circuit.node(idx)
             if node.is_input:
                 node_bdd[idx] = manager.var(node.name)
+                if gc:
+                    manager.ref(node_bdd[idx])
                 continue
             if node.is_const:
                 node_bdd[idx] = TRUE if node.name == "1" else FALSE
@@ -124,6 +136,8 @@ class CircuitBDDBuilder:
             fanin_bdds = [node_bdd[f] for f in node.fanins]
             node_bdd[idx] = self._apply_gate(manager, node.op, fanin_bdds)
             stats.gates_processed += 1
+            if gc:
+                manager.ref(node_bdd[idx])
 
             if (
                 self._node_limit is not None
@@ -138,7 +152,14 @@ class CircuitBDDBuilder:
             for f in node.fanins:
                 remaining_readers[f] -= 1
                 if remaining_readers[f] == 0 and f != output:
-                    node_bdd.pop(f, None)
+                    released = node_bdd.pop(f, None)
+                    if gc and released is not None:
+                        manager.deref(released)
+
+            if gc:
+                # every function still needed is ref-protected, so this is a
+                # safe point for the kernel to reclaim dead intermediates
+                manager.checkpoint()
 
             gates_since_sample += 1
             if self._track_peak and gates_since_sample >= self._peak_stride:
@@ -149,6 +170,12 @@ class CircuitBDDBuilder:
                     stats.peak_live_nodes = live
 
         root = node_bdd[output]
+        if gc:
+            # keep the final diagram protected; release the other handles
+            # (deref is a no-op for terminals, so const entries are safe)
+            manager.ref(root)
+            for handle in node_bdd.values():
+                manager.deref(handle)
         stats.final_size = manager.size(root)
         stats.allocated_nodes = manager.num_nodes_allocated
         if stats.final_size > stats.peak_live_nodes:

@@ -2,8 +2,8 @@
 
 The paper builds its coded ROBDDs with the CMU BDD library; this module is
 the from-scratch substitute.  It implements the classical Bryant-style ROBDD
-with a fixed variable order, a unique table guaranteeing canonicity and an
-ITE-based apply with a computed table.
+with a unique table guaranteeing canonicity and an ITE-based apply with a
+computed table.
 
 Design notes
 ------------
@@ -11,58 +11,99 @@ Design notes
   the FALSE and TRUE terminals.  Node attributes are stored in parallel lists
   (``_level``, ``_low``, ``_high``) — the dominant cost in pure Python is
   attribute and dict access, and flat lists keep that cheap.
-* The variable order is fixed when the manager is created (the method of the
-  paper computes a static order with a heuristic before building anything).
+* The manager plugs into the shared kernel of :mod:`repro.engine.kernel`:
+  nodes carry reference counts, dead nodes are reclaimed by
+  :meth:`repro.engine.kernel.DDKernel.garbage_collect` (slots are recycled
+  through a free list), and the ITE computed table is size-bounded with
+  hit/miss statistics.  Nothing is collected unless the collector is invoked
+  (directly or through :meth:`~repro.engine.kernel.DDKernel.checkpoint`), so
+  code that never calls :meth:`~repro.engine.kernel.DDKernel.ref` keeps the
+  original build-only behaviour.
+* The variable order is chosen when the manager is created, but it is no
+  longer frozen: :meth:`BDDManager.swap_adjacent_levels` exchanges two
+  adjacent levels in place (every handle keeps denoting the same function),
+  and :meth:`BDDManager.reorder` runs Rudell-style sifting on top of it (see
+  :mod:`repro.engine.reorder`).
 * Recursion depth of every operation is bounded by the number of variables,
   so plain recursion is safe.
-* There is no garbage collection: the yield method builds one circuit's worth
-  of BDDs and then converts the final one.  Peak *live* size is measured
-  externally by :func:`reachable_size` over the set of still-needed roots.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..engine.kernel import (
+    DEFAULT_CACHE_BOUND,
+    DEFAULT_GC_THRESHOLD,
+    FALSE,
+    FREE_LEVEL,
+    TERMINAL_LEVEL,
+    TRUE,
+    DDKernel,
+)
 
 
 class BDDError(ValueError):
     """Raised on invalid BDD operations (unknown variables, foreign nodes...)."""
 
 
-#: Handle of the FALSE terminal.
-FALSE = 0
-#: Handle of the TRUE terminal.
-TRUE = 1
-
-_TERMINAL_LEVEL = 1 << 30
+_TERMINAL_LEVEL = TERMINAL_LEVEL
 
 
-class BDDManager:
-    """Manager holding every ROBDD node for a fixed variable order.
+class BDDManager(DDKernel):
+    """Manager holding every ROBDD node for a (dynamically reorderable) order.
 
     Parameters
     ----------
     variable_order:
         The variable names from the *top* of the diagrams (level 0) to the
         bottom.  All functions managed by this instance share the order.
+    cache_bound:
+        Maximum number of entries of the ITE computed table (``None`` for
+        unbounded).
+    gc_threshold:
+        Node-table growth that makes :meth:`~repro.engine.kernel.DDKernel.checkpoint`
+        trigger an automatic garbage collection.
     """
 
-    def __init__(self, variable_order: Sequence[str]) -> None:
+    def __init__(
+        self,
+        variable_order: Sequence[str],
+        *,
+        cache_bound: Optional[int] = DEFAULT_CACHE_BOUND,
+        gc_threshold: int = DEFAULT_GC_THRESHOLD,
+    ) -> None:
         names = [str(v) for v in variable_order]
         if len(set(names)) != len(names):
             raise BDDError("variable names must be unique")
         if not names:
             raise BDDError("at least one variable is required")
-        self._var_names: Tuple[str, ...] = tuple(names)
+        self._var_names: List[str] = names
         self._level_of: Dict[str, int] = {name: i for i, name in enumerate(names)}
 
         # parallel node arrays; slots 0/1 are the terminals
-        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._level: List[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
         self._low: List[int] = [FALSE, TRUE]
         self._high: List[int] = [FALSE, TRUE]
 
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._init_kernel(cache_bound=cache_bound, gc_threshold=gc_threshold)
+        self._ite_cache = self._new_computed_table("ite")
+        self._reorder_index: Optional[List[Set[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Kernel hooks
+    # ------------------------------------------------------------------ #
+
+    def _node_children(self, handle: int) -> Iterable[int]:
+        return (self._low[handle], self._high[handle])
+
+    def _node_key(self, handle: int) -> Hashable:
+        return (self._level[handle], self._low[handle], self._high[handle])
+
+    def _release_slot(self, handle: int) -> None:
+        self._low[handle] = FALSE
+        self._high[handle] = FALSE
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -71,7 +112,7 @@ class BDDManager:
     @property
     def variable_order(self) -> Tuple[str, ...]:
         """The variable names from level 0 (top) downwards."""
-        return self._var_names
+        return tuple(self._var_names)
 
     @property
     def num_variables(self) -> int:
@@ -79,8 +120,8 @@ class BDDManager:
 
     @property
     def num_nodes_allocated(self) -> int:
-        """Total number of nodes ever created, terminals included."""
-        return len(self._level)
+        """Total number of nodes ever created, terminals included (monotone)."""
+        return self._created
 
     def level_of(self, name: str) -> int:
         """Return the level (0 = top) of variable ``name``."""
@@ -122,10 +163,23 @@ class BDDManager:
         found = self._unique.get(key)
         if found is not None:
             return found
-        handle = len(self._level)
-        self._level.append(level)
-        self._low.append(low)
-        self._high.append(high)
+        if self._free:
+            handle = self._free.pop()
+            self._level[handle] = level
+            self._low[handle] = low
+            self._high[handle] = high
+            self._refs[handle] = 0
+        else:
+            handle = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._refs.append(0)
+        if low > TRUE:
+            self._refs[low] += 1
+        if high > TRUE:
+            self._refs[high] += 1
+        self._created += 1
         self._unique[key] = handle
         return handle
 
@@ -172,7 +226,7 @@ class BDDManager:
         low = self.ite(f0, g0, h0)
         result = self._mk(level, low, high) if low != high else low
 
-        self._ite_cache[key] = result
+        self._ite_cache.put(key, result)
         return result
 
     def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
@@ -229,6 +283,185 @@ class BDDManager:
             if result == TRUE:
                 return TRUE
         return result
+
+    # ------------------------------------------------------------------ #
+    # Dynamic reordering
+    # ------------------------------------------------------------------ #
+
+    def begin_reorder(self) -> None:
+        """Enter a reordering session.
+
+        Collects garbage (every diagram still needed must be protected with
+        :meth:`~repro.engine.kernel.DDKernel.ref`) and builds the per-level
+        node index that makes adjacent swaps proportional to the size of the
+        two levels involved instead of the whole table.
+        """
+        if self._reorder_index is not None:
+            raise BDDError("a reordering session is already active")
+        self.garbage_collect()
+        index: List[Set[int]] = [set() for _ in self._var_names]
+        level = self._level
+        for h in self.iter_live_handles():
+            index[level[h]].add(h)
+        self._reorder_index = index
+
+    def end_reorder(self) -> None:
+        """Leave the reordering session and flush the computed tables."""
+        self._reorder_index = None
+        for table in self._computed_tables.values():
+            table.clear()
+
+    @property
+    def in_reorder(self) -> bool:
+        return self._reorder_index is not None
+
+    def nodes_at_level(self, level: int) -> int:
+        """Return the number of allocated nodes labelled with ``level``."""
+        if self._reorder_index is not None:
+            return len(self._reorder_index[level])
+        levels = self._level
+        return sum(
+            1 for h in self.iter_live_handles() if levels[h] == level
+        )
+
+    def swap_adjacent_levels(self, level: int) -> None:
+        """Exchange the variables at ``level`` and ``level + 1`` in place.
+
+        Every existing handle keeps denoting the same boolean function; only
+        the variable order (and therefore the diagram shapes) changes.  Inside
+        a reordering session, nodes of the upper level that become unreferenced
+        are reclaimed eagerly so that ``num_live_nodes`` is an exact size
+        metric for sifting; outside a session nothing is freed, which keeps
+        unprotected user handles valid.
+        """
+        i = level
+        j = level + 1
+        if not 0 <= i < len(self._var_names) - 1:
+            raise BDDError("cannot swap level %d with %d" % (i, j))
+        index = self._reorder_index
+        if index is not None:
+            ui, vi = index[i], index[j]
+        else:
+            levels = self._level
+            ui, vi = set(), set()
+            for h in self.iter_live_handles():
+                lv = levels[h]
+                if lv == i:
+                    ui.add(h)
+                elif lv == j:
+                    vi.add(h)
+
+        levels = self._level
+        low = self._low
+        high = self._high
+        refs = self._refs
+        unique = self._unique
+
+        for h in ui:
+            del unique[(i, low[h], high[h])]
+        for h in vi:
+            del unique[(j, low[h], high[h])]
+
+        new_i: Set[int] = set()
+        new_j: Set[int] = set()
+        dependent: List[int] = []
+        for h in ui:
+            if levels[low[h]] == j or levels[high[h]] == j:
+                dependent.append(h)
+            else:
+                # independent of the lower variable: the node just moves down
+                levels[h] = j
+                unique[(j, low[h], high[h])] = h
+                new_j.add(h)
+
+        for h in dependent:
+            f0, f1 = low[h], high[h]
+            if levels[f0] == j:
+                f00, f01 = low[f0], high[f0]
+            else:
+                f00 = f01 = f0
+            if levels[f1] == j:
+                f10, f11 = low[f1], high[f1]
+            else:
+                f10 = f11 = f1
+            if f0 > TRUE:
+                refs[f0] -= 1
+            if f1 > TRUE:
+                refs[f1] -= 1
+            new_low = self._mk(j, f00, f10)
+            new_high = self._mk(j, f01, f11)
+            if new_low > TRUE:
+                refs[new_low] += 1
+                if levels[new_low] == j:
+                    new_j.add(new_low)
+            if new_high > TRUE:
+                refs[new_high] += 1
+                if levels[new_high] == j:
+                    new_j.add(new_high)
+            low[h] = new_low
+            high[h] = new_high
+            levels[h] = i
+            unique[(i, new_low, new_high)] = h
+            new_i.add(h)
+
+        # old lower-level nodes still test the variable now sitting at level i
+        dead: List[int] = []
+        for h in vi:
+            if index is not None and refs[h] == 0:
+                dead.append(h)
+            else:
+                levels[h] = i
+                unique[(i, low[h], high[h])] = h
+                new_i.add(h)
+
+        # inside a session, reclaim the nodes orphaned by the swap (cascading
+        # into deeper levels) so the live count stays an exact size metric
+        while dead:
+            h = dead.pop()
+            if refs[h] != 0 or levels[h] == FREE_LEVEL:
+                continue
+            lv = levels[h]
+            if lv != j:
+                unique.pop((lv, low[h], high[h]), None)
+                index[lv].discard(h)  # type: ignore[index]
+            for child in (low[h], high[h]):
+                if child > TRUE:
+                    refs[child] -= 1
+                    if refs[child] == 0:
+                        dead.append(child)
+            low[h] = FALSE
+            high[h] = FALSE
+            levels[h] = FREE_LEVEL
+            self._free.append(h)
+
+        if index is not None:
+            index[i] = new_i
+            index[j] = new_j
+
+        u_name = self._var_names[i]
+        v_name = self._var_names[j]
+        self._var_names[i] = v_name
+        self._var_names[j] = u_name
+        self._level_of[v_name] = i
+        self._level_of[u_name] = j
+
+    def reorder(self, roots: Iterable[int] = (), **kwargs):
+        """Minimise the diagram sizes by sifting; returns the reorder stats.
+
+        ``roots`` are protected for the duration (on top of anything already
+        :meth:`~repro.engine.kernel.DDKernel.ref`-ed).  Keyword arguments are
+        forwarded to :func:`repro.engine.reorder.sift`.
+        """
+        from ..engine.reorder import sift
+
+        roots = [r for r in roots if r > TRUE]
+        for r in roots:
+            self.ref(r)
+        try:
+            return sift(self, **kwargs)
+        finally:
+            for r in roots:
+                self.deref(r)
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -7,9 +7,15 @@ Python:
   :mod:`repro.faulttree.parser` under a negative-binomial defect model;
 * ``benchmark NAME``    — run one of the paper's benchmarks end to end
   (optionally with a Monte-Carlo cross-check);
+* ``sweep NAME``        — evaluate a defect-density sweep through the
+  engine's batch service (one diagram build per truncation level, optional
+  ``--workers`` fan-out and ``--cache-dir`` result cache);
 * ``table {1,2,3,4}``   — regenerate one of the paper's tables on the small
   benchmark set;
 * ``list``              — list the available benchmark names.
+
+Every method command accepts ``--sift`` to improve the static variable
+order by dynamic (group-preserving) sifting before the ROMDD conversion.
 
 Every command prints a plain-text report to stdout and returns a non-zero
 exit code on user errors (unknown benchmark, malformed file...).
@@ -69,6 +75,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run a Monte-Carlo cross-check with this many samples",
     )
 
+    sweep = subparsers.add_parser(
+        "sweep", help="defect-density sweep through the engine's batch service"
+    )
+    sweep.add_argument("name", help="benchmark name, e.g. MS2 or ESEN4x1")
+    sweep.add_argument(
+        "--densities",
+        type=float,
+        nargs="+",
+        metavar="MEAN",
+        default=[0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        help="mean manufacturing defect counts to sweep (default 0.5..3.0)",
+    )
+    sweep.add_argument(
+        "--clustering",
+        type=float,
+        default=4.0,
+        help="negative-binomial clustering parameter alpha (default 4.0)",
+    )
+    _add_method_options(sweep)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="evaluate independent structure groups in N processes",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist sweep results under DIR and reuse them on later runs",
+    )
+
     table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
     table.add_argument(
@@ -123,6 +162,11 @@ def _add_method_options(parser: argparse.ArgumentParser) -> None:
         default="ml",
         help="bit-group ordering: ml, lm, t, w, h (default ml)",
     )
+    parser.add_argument(
+        "--sift",
+        action="store_true",
+        help="improve the static order by dynamic (group-preserving) sifting",
+    )
 
 
 def _report_result(result, montecarlo_result=None) -> None:
@@ -158,7 +202,7 @@ def _run_evaluate(args) -> int:
             problem,
             epsilon=args.epsilon,
             max_defects=args.max_defects,
-            ordering=OrderingSpec(args.ordering, args.bit_ordering),
+            ordering=OrderingSpec(args.ordering, args.bit_ordering, sift=args.sift),
         )
     except (DistributionError, OrderingError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -183,7 +227,7 @@ def _run_benchmark(args) -> int:
             problem,
             epsilon=args.epsilon,
             max_defects=args.max_defects,
-            ordering=OrderingSpec(args.ordering, args.bit_ordering),
+            ordering=OrderingSpec(args.ordering, args.bit_ordering, sift=args.sift),
         )
     except (OrderingError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -192,6 +236,60 @@ def _run_benchmark(args) -> int:
     if args.montecarlo:
         montecarlo_result = estimate_yield_montecarlo(problem, args.montecarlo, seed=0)
     _report_result(result, montecarlo_result)
+    return 0
+
+
+def _run_sweep(args) -> int:
+    import time
+
+    from .engine.service import SweepService
+
+    try:
+        probe = benchmark_problem(
+            args.name, mean_defects=args.densities[0], clustering=args.clustering
+        )
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    except (DistributionError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    try:
+        service = SweepService(
+            ordering=OrderingSpec(args.ordering, args.bit_ordering, sift=args.sift),
+            epsilon=args.epsilon,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+        started = time.perf_counter()
+        rows = service.density_sweep(
+            lambda mean: benchmark_problem(
+                args.name, mean_defects=mean, clustering=args.clustering
+            ),
+            args.densities,
+            max_defects=args.max_defects,
+        )
+        elapsed = time.perf_counter() - started
+    except (OrderingError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print("Defect-density sweep for %s (%d points)" % (probe.name, len(rows)))
+    print(
+        format_table(
+            ("mean defects", "M", "yield >="),
+            [("%g" % mean, "%d" % m, "%.6f" % y) for mean, y, m in rows],
+        )
+    )
+    stats = service.stats
+    print(
+        "  structures built    : %d (%d reused, %d cache hits)"
+        % (
+            stats.structures_built,
+            stats.structure_reuses,
+            stats.result_cache_hits + stats.disk_cache_hits,
+        )
+    )
+    print("  time (s)            : %.2f" % elapsed)
     return 0
 
 
@@ -224,6 +322,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_evaluate(args)
     if args.command == "benchmark":
         return _run_benchmark(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "table":
         return _run_table(args)
     if args.command == "list":

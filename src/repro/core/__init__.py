@@ -13,7 +13,7 @@
 
 from .exact import exact_conditional_yield, exact_yield
 from .gfunction import GeneralizedFaultTree, GFunctionError
-from .method import YieldAnalyzer, evaluate_yield
+from .method import CompiledYield, YieldAnalyzer, evaluate_yield
 from .montecarlo import MonteCarloYieldEstimator, estimate_yield_montecarlo
 from .problem import ProblemError, YieldProblem
 from .results import ExactResult, MonteCarloResult, StageTimings, YieldResult
@@ -24,6 +24,7 @@ __all__ = [
     "GeneralizedFaultTree",
     "GFunctionError",
     "YieldAnalyzer",
+    "CompiledYield",
     "evaluate_yield",
     "MonteCarloYieldEstimator",
     "estimate_yield_montecarlo",

@@ -8,11 +8,19 @@
 3. build the generalized fault tree ``G(w, v_1 .. v_M)`` and its gate-level
    description in binary logic;
 4. compute the grouped variable order with the requested heuristics;
-5. build the coded ROBDD of ``G`` gate by gate;
+5. build the coded ROBDD of ``G`` gate by gate (optionally improving the
+   order in place by group-preserving sifting, see
+   :mod:`repro.engine.reorder`);
 6. convert the coded ROBDD into the ROMDD (bottom-up layer procedure);
 7. evaluate ``P(G = 1)`` by the depth-first probability traversal and return
    ``Y_M = 1 - P(G = 1)`` together with the error bound and the size /
    timing statistics the paper reports.
+
+Steps 3-6 only depend on the fault-tree *structure*, the truncation level
+and the ordering — not on the defect densities.  :meth:`YieldAnalyzer.compile`
+exposes them as a reusable :class:`CompiledYield` so that sweeps over defect
+densities re-run only step 7; the batch front-end for that reuse is
+:class:`repro.engine.service.SweepService`.
 """
 
 from __future__ import annotations
@@ -30,6 +38,104 @@ from .problem import YieldProblem
 from .results import StageTimings, YieldResult
 
 
+class CompiledYield:
+    """The decision-diagram structure of one (problem, M, ordering) triple.
+
+    Holds everything of the pipeline that is independent of the defect
+    densities: the generalized fault tree, the grouped variable order, the
+    ROMDD and the build statistics.  :meth:`evaluate` runs only the final
+    probability traversal, so one compiled structure can serve a whole sweep
+    of defect models over the same fault tree.
+    """
+
+    def __init__(
+        self,
+        *,
+        gfunction: GeneralizedFaultTree,
+        grouped_order: GroupedVariableOrder,
+        mdd_manager,
+        mdd_root: int,
+        truncation: int,
+        coded_robdd_size: int,
+        robdd_peak: int,
+        robdd_allocated: int,
+        gates_processed: int,
+        romdd_size: int,
+        ordering: OrderingSpec,
+        build_timings: Tuple[float, float, float],
+        sift_swaps: int = 0,
+    ) -> None:
+        self.gfunction = gfunction
+        self.grouped_order = grouped_order
+        self.mdd_manager = mdd_manager
+        self.mdd_root = mdd_root
+        self.truncation = truncation
+        self.coded_robdd_size = coded_robdd_size
+        self.robdd_peak = robdd_peak
+        self.robdd_allocated = robdd_allocated
+        self.gates_processed = gates_processed
+        self.romdd_size = romdd_size
+        self.ordering = ordering
+        self.build_timings = build_timings
+        self.sift_swaps = sift_swaps
+        #: Number of :meth:`evaluate` calls served by this structure.
+        self.evaluations = 0
+
+    def evaluate(self, problem: YieldProblem, *, reused: bool = False) -> YieldResult:
+        """Run the probability traversal for ``problem`` on this structure.
+
+        ``problem`` must share the fault-tree structure and component names
+        the structure was compiled from; only its defect model (densities,
+        lethality, count distribution) may differ.  ``reused`` marks the
+        result's ``extra`` diagnostics so reports can tell a fresh build
+        from a structure-cache hit.
+        """
+        lethal_distribution = problem.lethal_defect_distribution()
+        error_bound = lethal_distribution.tail(self.truncation)
+
+        t0 = time.perf_counter()
+        distributions = self.gfunction.variable_distributions(
+            lethal_distribution, problem.lethal_component_probabilities()
+        )
+        probability_failed = probability_of_one(
+            self.mdd_manager, self.mdd_root, distributions
+        )
+        yield_estimate = 1.0 - probability_failed
+        t1 = time.perf_counter()
+        self.evaluations += 1
+
+        ordering_t, build_t, conversion_t = self.build_timings
+        timings = StageTimings(
+            ordering=0.0 if reused else ordering_t,
+            robdd_build=0.0 if reused else build_t,
+            mdd_conversion=0.0 if reused else conversion_t,
+            probability=t1 - t0,
+        )
+        extra = {
+            "robdd_allocated": float(self.robdd_allocated),
+            "mdd_allocated": float(self.mdd_manager.num_nodes_allocated),
+            "binary_variables": float(len(self.grouped_order.flat_bit_order())),
+            "gates_processed": float(self.gates_processed),
+            "structure_reused": 1.0 if reused else 0.0,
+        }
+        if self.ordering.sift:
+            extra["sift_swaps"] = float(self.sift_swaps)
+        return YieldResult(
+            name=problem.name,
+            yield_estimate=yield_estimate,
+            error_bound=error_bound,
+            truncation=self.truncation,
+            probability_not_functioning=probability_failed,
+            coded_robdd_size=self.coded_robdd_size,
+            robdd_peak=self.robdd_peak,
+            romdd_size=self.romdd_size,
+            ordering=(self.ordering.mv, self.ordering.bits),
+            variable_order=self.grouped_order.variable_names,
+            timings=timings,
+            extra=extra,
+        )
+
+
 class YieldAnalyzer:
     """Evaluates the yield of a fault-tolerant SoC with the combinatorial method.
 
@@ -38,7 +144,9 @@ class YieldAnalyzer:
     ordering:
         The variable-ordering strategy.  Defaults to the pair the paper found
         best: weight heuristic for the multiple-valued variables, most
-        significant bit first inside each group.
+        significant bit first inside each group.  Pass a spec with
+        ``sift=True`` to additionally run dynamic reordering on the coded
+        ROBDD before conversion.
     epsilon:
         Absolute error budget used to select the truncation level ``M`` when
         :meth:`evaluate` is not given an explicit ``max_defects``.
@@ -69,7 +177,7 @@ class YieldAnalyzer:
         self.node_limit = node_limit
 
     # ------------------------------------------------------------------ #
-    # Main entry point
+    # Main entry points
     # ------------------------------------------------------------------ #
 
     def evaluate(
@@ -85,16 +193,32 @@ class YieldAnalyzer:
         given, the reported error bound is still the exact tail mass beyond
         it, so the result remains a guaranteed lower bound on the yield.
         """
-        lethal_distribution = problem.lethal_defect_distribution()
-        if max_defects is None:
-            budget = self.epsilon if epsilon is None else float(epsilon)
-            truncation = lethal_distribution.truncation_level(budget)
-        else:
-            truncation = int(max_defects)
-        error_bound = lethal_distribution.tail(truncation)
+        compiled = self.compile(problem, max_defects=max_defects, epsilon=epsilon)
+        return compiled.evaluate(problem)
 
+    def compile(
+        self,
+        problem: YieldProblem,
+        *,
+        max_defects: Optional[int] = None,
+        epsilon: Optional[float] = None,
+    ) -> CompiledYield:
+        """Build the reusable decision-diagram structure for ``problem``.
+
+        Runs steps 3-6 of the pipeline (fault-tree generalization, ordering,
+        coded ROBDD, optional sifting, ROMDD conversion).  The returned
+        :class:`CompiledYield` evaluates any defect model over the same
+        fault-tree structure without rebuilding.
+        """
+        truncation = self._resolve_truncation(problem, max_defects, epsilon)
+        return self.compile_for_truncation(problem, truncation)
+
+    def compile_for_truncation(
+        self, problem: YieldProblem, truncation: int
+    ) -> CompiledYield:
+        """Build the structure for an explicit truncation level ``M``."""
         gfunction = GeneralizedFaultTree(
-            problem.fault_tree, problem.component_names, truncation
+            problem.fault_tree, problem.component_names, int(truncation)
         )
 
         t0 = time.perf_counter()
@@ -104,45 +228,35 @@ class YieldAnalyzer:
         bdd_manager, bdd_root, build_stats = self._build_coded_robdd(
             gfunction, grouped_order
         )
+        sift_swaps = 0
+        if self.ordering.sift:
+            grouped_order, sift_swaps = self._sift(bdd_manager, bdd_root, grouped_order)
+            build_stats.final_size = bdd_manager.size(bdd_root)
+            if build_stats.final_size > build_stats.peak_live_nodes:
+                build_stats.peak_live_nodes = build_stats.final_size
         t2 = time.perf_counter()
 
         mdd_manager, mdd_root = convert_bdd_to_mdd(
             bdd_manager, bdd_root, grouped_order.groups
         )
+        mdd_manager.ref(mdd_root)
         romdd_size = mdd_manager.size(mdd_root)
         t3 = time.perf_counter()
 
-        distributions = gfunction.variable_distributions(
-            lethal_distribution, problem.lethal_component_probabilities()
-        )
-        probability_failed = probability_of_one(mdd_manager, mdd_root, distributions)
-        yield_estimate = 1.0 - probability_failed
-        t4 = time.perf_counter()
-
-        timings = StageTimings(
-            ordering=t1 - t0,
-            robdd_build=t2 - t1,
-            mdd_conversion=t3 - t2,
-            probability=t4 - t3,
-        )
-        return YieldResult(
-            name=problem.name,
-            yield_estimate=yield_estimate,
-            error_bound=error_bound,
-            truncation=truncation,
-            probability_not_functioning=probability_failed,
+        return CompiledYield(
+            gfunction=gfunction,
+            grouped_order=grouped_order,
+            mdd_manager=mdd_manager,
+            mdd_root=mdd_root,
+            truncation=int(truncation),
             coded_robdd_size=build_stats.final_size,
             robdd_peak=build_stats.peak_live_nodes if self.track_peak else 0,
+            robdd_allocated=build_stats.allocated_nodes,
+            gates_processed=build_stats.gates_processed,
             romdd_size=romdd_size,
-            ordering=(self.ordering.mv, self.ordering.bits),
-            variable_order=grouped_order.variable_names,
-            timings=timings,
-            extra={
-                "robdd_allocated": float(build_stats.allocated_nodes),
-                "mdd_allocated": float(mdd_manager.num_nodes_allocated),
-                "binary_variables": float(len(grouped_order.flat_bit_order())),
-                "gates_processed": float(build_stats.gates_processed),
-            },
+            ordering=self.ordering,
+            build_timings=(t1 - t0, t2 - t1, t3 - t2),
+            sift_swaps=sift_swaps,
         )
 
     # ------------------------------------------------------------------ #
@@ -163,26 +277,24 @@ class YieldAnalyzer:
 
         This is what Tables 2 and 3 of the paper compare across orderings.
         """
-        lethal_distribution = problem.lethal_defect_distribution()
-        if max_defects is None:
-            truncation = lethal_distribution.truncation_level(self.epsilon)
-        else:
-            truncation = int(max_defects)
-        gfunction = GeneralizedFaultTree(
-            problem.fault_tree, problem.component_names, truncation
-        )
-        grouped_order = self._grouped_order(gfunction)
-        bdd_manager, bdd_root, build_stats = self._build_coded_robdd(
-            gfunction, grouped_order
-        )
-        mdd_manager, mdd_root = convert_bdd_to_mdd(
-            bdd_manager, bdd_root, grouped_order.groups
-        )
-        return build_stats.final_size, mdd_manager.size(mdd_root)
+        truncation = self._resolve_truncation(problem, max_defects, None)
+        compiled = self.compile_for_truncation(problem, truncation)
+        return compiled.coded_robdd_size, compiled.romdd_size
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _resolve_truncation(
+        self,
+        problem: YieldProblem,
+        max_defects: Optional[int],
+        epsilon: Optional[float],
+    ) -> int:
+        if max_defects is not None:
+            return int(max_defects)
+        budget = self.epsilon if epsilon is None else float(epsilon)
+        return problem.lethal_defect_distribution().truncation_level(budget)
 
     def _grouped_order(self, gfunction: GeneralizedFaultTree) -> GroupedVariableOrder:
         binary_circuit = (
@@ -205,6 +317,16 @@ class YieldAnalyzer:
             node_limit=self.node_limit,
         )
         return builder.build(gfunction.binary_circuit())
+
+    def _sift(self, bdd_manager, bdd_root: int, grouped_order: GroupedVariableOrder):
+        from ..engine.reorder import sift_grouped
+
+        bdd_manager.ref(bdd_root)
+        try:
+            new_groups, stats = sift_grouped(bdd_manager, grouped_order.groups)
+        finally:
+            bdd_manager.deref(bdd_root)
+        return GroupedVariableOrder(new_groups), stats.swaps
 
 
 def evaluate_yield(

@@ -1,0 +1,36 @@
+"""Shared decision-diagram engine.
+
+The subpackage factors everything that is common to the ROBDD and ROMDD
+managers — and everything that turns them from one-shot builders into a
+reusable analysis engine — out of :mod:`repro.bdd` and :mod:`repro.mdd`:
+
+* :mod:`repro.engine.kernel` — the node-table kernel: dense handle
+  allocation with a free list, reference-counted garbage collection,
+  size-bounded computed tables with hit/miss statistics, and automatic
+  table-resize / collection checkpoints;
+* :mod:`repro.engine.reorder` — dynamic variable reordering by Rudell-style
+  sifting on top of the managers' ``swap_adjacent_levels`` primitive,
+  including the group-preserving variant needed by the coded-ROBDD
+  pipeline;
+* :mod:`repro.engine.service` — the batch evaluation service: build a
+  decision diagram once per (structure, truncation, ordering) and re-run
+  the cheap probability traversal for every point of a sweep, with an
+  optional ``multiprocessing`` fan-out and a keyed result cache.
+"""
+
+from .kernel import BoundedComputedTable, CacheStats, DDKernel, KernelStats
+from .reorder import ReorderStats, sift, sift_grouped
+from .service import SweepPoint, SweepService, SweepServiceStats
+
+__all__ = [
+    "BoundedComputedTable",
+    "CacheStats",
+    "DDKernel",
+    "KernelStats",
+    "ReorderStats",
+    "sift",
+    "sift_grouped",
+    "SweepPoint",
+    "SweepService",
+    "SweepServiceStats",
+]

@@ -1,0 +1,347 @@
+"""Dynamic variable reordering by Rudell-style sifting.
+
+The managers provide the primitive — ``swap_adjacent_levels`` exchanges two
+adjacent levels in place while every handle keeps denoting the same function
+— and this module provides the strategy on top of it:
+
+* :func:`sift` moves each variable through every allowed position and parks
+  it where the shared node count was smallest (the classical sifting loop of
+  Rudell, DAC'93), with the usual ``max_growth`` abort that stops an
+  excursion once the diagram grows past a factor of the best size seen;
+* :func:`sift_grouped` is the variant the coded-ROBDD pipeline needs: the
+  binary variables that encode one multiple-valued variable must stay
+  contiguous, so bits are sifted *within* their group and the groups are
+  sifted as atomic blocks.  It returns the new grouped order so the
+  ROBDD-to-ROMDD conversion can follow the reordered diagram.
+
+Both functions work on any manager implementing the small reordering
+protocol (``num_variables``, ``num_live_nodes``, ``nodes_at_level``,
+``level_of``, ``variable_at_level``, ``swap_adjacent_levels``,
+``begin_reorder`` / ``end_reorder``) — i.e. on both the ROBDD and the ROMDD
+manager.  Every diagram the caller still needs must be protected with
+``manager.ref`` before sifting: the session starts with a garbage
+collection, and unreferenced nodes are reclaimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ReorderStats:
+    """Outcome of one reordering pass."""
+
+    #: Shared live node count when the pass started (after the initial GC).
+    initial_size: int
+    #: Shared live node count when the pass finished.
+    final_size: int
+    #: Number of adjacent-level swaps performed.
+    swaps: int
+
+    @property
+    def reduction(self) -> float:
+        """Relative size reduction in ``[0, 1)`` (0 when nothing improved)."""
+        if self.initial_size <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.final_size / self.initial_size)
+
+
+def _name_at_level(manager, level: int) -> str:
+    """Return the name of the variable at ``level`` for either manager kind."""
+    variable = manager.variable_at_level(level)
+    return variable if isinstance(variable, str) else variable.name
+
+
+class _SwapCounter:
+    """Wraps the swap primitive to count invocations."""
+
+    __slots__ = ("manager", "count")
+
+    def __init__(self, manager) -> None:
+        self.manager = manager
+        self.count = 0
+
+    def swap(self, level: int) -> None:
+        self.manager.swap_adjacent_levels(level)
+        self.count += 1
+
+
+def _sift_one(
+    counter: _SwapCounter,
+    position: int,
+    lower: int,
+    upper: int,
+    max_growth: float,
+) -> int:
+    """Sift the variable at ``position`` within ``[lower, upper]``.
+
+    Returns the position the variable was parked at.  The variable first
+    moves toward the nearer boundary, then sweeps to the other one, then
+    returns to the best position seen (ties resolved toward the position
+    visited first).
+    """
+    manager = counter.manager
+    best_size = manager.num_live_nodes
+    best_pos = position
+    limit = max_growth * best_size
+    pos = position
+
+    # head for the nearer boundary first: a bad excursion is aborted sooner
+    first_down = upper - position <= position - lower
+
+    for phase in (0, 1):
+        going_down = first_down if phase == 0 else not first_down
+        while (pos < upper) if going_down else (pos > lower):
+            if going_down:
+                counter.swap(pos)
+                pos += 1
+            else:
+                pos -= 1
+                counter.swap(pos)
+            size = manager.num_live_nodes
+            if size < best_size:
+                best_size = size
+                best_pos = pos
+                limit = max_growth * best_size
+            elif size > limit:
+                break
+
+    while pos < best_pos:
+        counter.swap(pos)
+        pos += 1
+    while pos > best_pos:
+        pos -= 1
+        counter.swap(pos)
+    return best_pos
+
+
+def sift(
+    manager,
+    *,
+    max_growth: float = 1.2,
+    lower: int = 0,
+    upper: Optional[int] = None,
+    variables: Optional[Sequence[str]] = None,
+) -> ReorderStats:
+    """Run one sifting pass over ``manager`` and return the stats.
+
+    Parameters
+    ----------
+    manager:
+        A decision-diagram manager implementing the reordering protocol.
+    max_growth:
+        Abort an excursion once the diagram exceeds this factor of the best
+        size seen for the current variable.
+    lower / upper:
+        Inclusive bounds on the positions the sifted variables may take
+        (used by :func:`sift_grouped` to keep bits inside their group).
+    variables:
+        Names to sift (default: every variable in the allowed range).
+        Variables are processed from the most populated level to the least,
+        which tackles the biggest size contributors first.
+    """
+    if max_growth < 1.0:
+        raise ValueError("max_growth must be >= 1.0")
+    if upper is None:
+        upper = manager.num_variables - 1
+    if not 0 <= lower <= upper < manager.num_variables:
+        raise ValueError("invalid sift range [%d, %d]" % (lower, upper))
+
+    owns_session = not manager.in_reorder
+    if owns_session:
+        manager.begin_reorder()
+    try:
+        initial = manager.num_live_nodes
+        counter = _SwapCounter(manager)
+        if variables is None:
+            names = [
+                _name_at_level(manager, level) for level in range(lower, upper + 1)
+            ]
+        else:
+            names = list(variables)
+        names.sort(key=lambda n: -manager.nodes_at_level(manager.level_of(n)))
+        for name in names:
+            pos = manager.level_of(name)
+            if not lower <= pos <= upper:
+                raise ValueError(
+                    "variable %r (level %d) outside sift range [%d, %d]"
+                    % (name, pos, lower, upper)
+                )
+            _sift_one(counter, pos, lower, upper, max_growth)
+        return ReorderStats(
+            initial_size=initial,
+            final_size=manager.num_live_nodes,
+            swaps=counter.count,
+        )
+    finally:
+        if owns_session:
+            manager.end_reorder()
+
+
+def _swap_adjacent_blocks(counter: _SwapCounter, start: int, width_a: int, width_b: int) -> None:
+    """Exchange the block at ``start`` (width ``width_a``) with the next one.
+
+    Implemented as ``width_a * width_b`` adjacent swaps: each level of the
+    second block bubbles up through the first block in turn.
+    """
+    for k in range(width_b):
+        src = start + width_a + k
+        for p in range(src - 1, start + k - 1, -1):
+            counter.swap(p)
+
+
+def _block_starts(widths: Sequence[int]) -> List[int]:
+    starts = []
+    acc = 0
+    for w in widths:
+        starts.append(acc)
+        acc += w
+    return starts
+
+
+def _sift_blocks(counter: _SwapCounter, widths: List[int], max_growth: float) -> List[int]:
+    """Sift whole blocks; mutates ``widths`` order and returns the permutation.
+
+    ``widths[k]`` is the width of the block currently ``k``-th from the top.
+    The returned list maps the final block sequence to the original block
+    indices.
+    """
+    manager = counter.manager
+    order = list(range(len(widths)))
+    # process the widest diagrams' owners first: approximate each block's
+    # contribution by the nodes currently inside its span
+    def block_population(k: int) -> int:
+        start = _block_starts(widths)[k]
+        return sum(
+            manager.nodes_at_level(level) for level in range(start, start + widths[k])
+        )
+
+    for block_id in sorted(list(order), key=lambda b: -block_population(order.index(b))):
+        k = order.index(block_id)
+        best_size = manager.num_live_nodes
+        best_k = k
+        limit = max_growth * best_size
+        last = len(order) - 1
+
+        def move_down(k: int) -> int:
+            start = _block_starts(widths)[k]
+            _swap_adjacent_blocks(counter, start, widths[k], widths[k + 1])
+            widths[k], widths[k + 1] = widths[k + 1], widths[k]
+            order[k], order[k + 1] = order[k + 1], order[k]
+            return k + 1
+
+        def move_up(k: int) -> int:
+            start = _block_starts(widths)[k - 1]
+            _swap_adjacent_blocks(counter, start, widths[k - 1], widths[k])
+            widths[k - 1], widths[k] = widths[k], widths[k - 1]
+            order[k - 1], order[k] = order[k], order[k - 1]
+            return k - 1
+
+        if last - k <= k:
+            phases = ("down", "up")
+        else:
+            phases = ("up", "down")
+        for phase in phases:
+            while (k < last) if phase == "down" else (k > 0):
+                k = move_down(k) if phase == "down" else move_up(k)
+                size = manager.num_live_nodes
+                if size < best_size:
+                    best_size = size
+                    best_k = k
+                    limit = max_growth * best_size
+                elif size > limit:
+                    break
+        while k < best_k:
+            k = move_down(k)
+        while k > best_k:
+            k = move_up(k)
+    return order
+
+
+def sift_grouped(
+    manager,
+    groups,
+    *,
+    max_growth: float = 1.2,
+    sift_bits: bool = True,
+    sift_blocks: bool = True,
+) -> Tuple[list, ReorderStats]:
+    """Sift a coded ROBDD while keeping each group's bits contiguous.
+
+    Parameters
+    ----------
+    manager:
+        The ROBDD manager holding the coded diagram.  Its variable order
+        must currently be the concatenation of the groups' bit names.
+    groups:
+        Sequence of ``(variable, bit_names)`` pairs, top group first (the
+        ``groups`` attribute of
+        :class:`repro.ordering.grouped.GroupedVariableOrder`).
+    max_growth:
+        Excursion abort factor, as in :func:`sift`.
+    sift_bits / sift_blocks:
+        Enable the within-group pass and the whole-group pass.
+
+    Returns
+    -------
+    (new_groups, stats):
+        ``new_groups`` is a list of ``(variable, bit_names)`` pairs
+        describing the reordered diagram (suitable for rebuilding a
+        :class:`~repro.ordering.grouped.GroupedVariableOrder`), and
+        ``stats`` is a :class:`ReorderStats`.
+    """
+    groups = list(groups)
+    widths = [len(bits) for _, bits in groups]
+    expected = [bit for _, bits in groups for bit in bits]
+    current = list(manager.variable_order)
+    if current != expected:
+        raise ValueError(
+            "manager variable order does not match the grouped order: %r vs %r"
+            % (current[:6], expected[:6])
+        )
+
+    owns_session = not manager.in_reorder
+    if owns_session:
+        manager.begin_reorder()
+    try:
+        initial = manager.num_live_nodes
+        counter = _SwapCounter(manager)
+
+        if sift_bits:
+            starts = _block_starts(widths)
+            for (variable, bits), start, width in zip(groups, starts, widths):
+                if width > 1:
+                    inner = sift(
+                        manager,
+                        max_growth=max_growth,
+                        lower=start,
+                        upper=start + width - 1,
+                        variables=list(bits),
+                    )
+                    counter.count += inner.swaps
+
+        if sift_blocks and len(groups) > 1:
+            permutation = _sift_blocks(counter, list(widths), max_growth)
+        else:
+            permutation = list(range(len(groups)))
+
+        order = manager.variable_order
+        new_groups = []
+        position = 0
+        for block_id in permutation:
+            variable, bits = groups[block_id]
+            width = len(bits)
+            new_groups.append((variable, tuple(order[position : position + width])))
+            position += width
+
+        stats = ReorderStats(
+            initial_size=initial,
+            final_size=manager.num_live_nodes,
+            swaps=counter.count,
+        )
+        return new_groups, stats
+    finally:
+        if owns_session:
+            manager.end_reorder()

@@ -1,0 +1,431 @@
+"""Batch yield evaluation with structure reuse — the engine's front door.
+
+The expensive part of the paper's method (generalized fault tree, variable
+ordering, coded ROBDD, ROMDD conversion) depends only on the fault-tree
+*structure*, the truncation level ``M`` and the ordering strategy.  The
+defect densities, clustering and lethality only enter the final — and
+cheap — probability traversal.  A sweep over defect densities therefore
+needs **one** diagram build, not one per point.
+
+:class:`SweepService` exploits that:
+
+* points (:class:`SweepPoint`) are grouped by their *structure key*
+  (a digest of the fault tree, the component list, ``M`` and the ordering);
+* one :class:`repro.core.method.CompiledYield` is built per group (LRU-kept
+  across batches) and every point of the group re-runs only the traversal;
+* finished results live in a keyed in-memory cache and, optionally, an
+  on-disk cache (``cache_dir``), so repeated sweeps are free;
+* independent groups can fan out over ``multiprocessing`` workers — each
+  worker builds its group's structure once and evaluates all of the group's
+  points in-process.
+
+The service deliberately imports :mod:`repro.core` lazily: the decision
+diagram managers import :mod:`repro.engine.kernel` at module load, so a
+top-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluation request: a problem plus its truncation policy.
+
+    ``max_defects`` pins the truncation level ``M``; when omitted, ``M`` is
+    chosen from ``epsilon`` (the point's, else the service's default) via
+    the problem's lethal defect distribution — exactly like
+    :meth:`repro.core.method.YieldAnalyzer.evaluate`.
+    """
+
+    problem: object
+    max_defects: Optional[int] = None
+    epsilon: Optional[float] = None
+
+
+@dataclass
+class SweepServiceStats:
+    """Monotone counters describing what a service instance did so far."""
+
+    points_requested: int = 0
+    points_evaluated: int = 0
+    structures_built: int = 0
+    structure_reuses: int = 0
+    result_cache_hits: int = 0
+    disk_cache_hits: int = 0
+    parallel_batches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+def _circuit_digest(circuit) -> str:
+    """Return a stable hex digest of a gate-level circuit's structure."""
+    h = hashlib.sha256()
+    h.update(repr(getattr(circuit, "name", "")).encode())
+    for node in circuit.nodes:
+        h.update(
+            (
+                "%s|%s|%s;"
+                % (node.name, getattr(node.op, "name", node.op), tuple(node.fanins))
+            ).encode()
+        )
+    h.update(repr(sorted(circuit.outputs.items())).encode())
+    return h.hexdigest()
+
+
+def _float_digest(values) -> str:
+    h = hashlib.sha256()
+    for v in values:
+        h.update(repr(float(v)).encode())
+        h.update(b",")
+    return h.hexdigest()
+
+
+def structure_key(problem, truncation: int, ordering) -> Tuple:
+    """Key identifying the reusable DD structure of a point.
+
+    Two points share a structure exactly when they share the fault tree,
+    the component list, the truncation level and the ordering strategy —
+    the defect model is free to differ.
+    """
+    return (
+        _circuit_digest(problem.fault_tree),
+        tuple(problem.component_names),
+        int(truncation),
+        ordering.key(),
+    )
+
+
+def result_key(problem, truncation: int, ordering) -> Tuple:
+    """Key identifying the final result of a point (structure + defect model).
+
+    The probability traversal consumes exactly the lethal count pmf
+    ``Q'_0..Q'_M`` (plus the tail mass) and the conditional hit vector
+    ``P'_i``, so hashing those captures every defect-model input.
+    """
+    lethal = problem.lethal_defect_distribution()
+    pmf = [lethal.pmf(k) for k in range(int(truncation) + 1)]
+    pmf.append(lethal.tail(int(truncation)))
+    return structure_key(problem, truncation, ordering) + (
+        _float_digest(pmf),
+        _float_digest(problem.lethal_component_probabilities()),
+    )
+
+
+class SweepService:
+    """Evaluates batches of yield points with diagram reuse and caching.
+
+    Parameters
+    ----------
+    ordering:
+        Ordering strategy shared by every point (default: the paper's best
+        pair, ``OrderingSpec("w", "ml")``; pass ``sift=True`` for dynamic
+        reordering).
+    epsilon:
+        Default error budget for points that pin neither ``max_defects``
+        nor their own ``epsilon``.
+    workers:
+        Fan independent structure groups out over this many
+        ``multiprocessing`` processes (0 or 1 = serial).  Falls back to
+        serial execution if the platform cannot spawn workers.
+    cache_dir:
+        Optional directory for the on-disk result cache (created on
+        demand).  Results are pickled per key; corrupt or unreadable
+        entries are treated as misses.
+    max_structures:
+        How many compiled structures to keep in memory (LRU).
+    max_results:
+        How many finished results to keep in the in-memory cache (oldest
+        evicted first); the on-disk cache, when enabled, is unbounded.
+    analyzer_options:
+        Extra keyword arguments for the underlying
+        :class:`repro.core.method.YieldAnalyzer` (e.g. ``node_limit``).
+    """
+
+    def __init__(
+        self,
+        *,
+        ordering=None,
+        epsilon: float = 1e-4,
+        workers: int = 0,
+        cache_dir: Optional[str] = None,
+        max_structures: int = 8,
+        max_results: int = 65536,
+        **analyzer_options,
+    ) -> None:
+        if max_structures < 1:
+            raise ValueError("max_structures must be at least 1")
+        if max_results < 1:
+            raise ValueError("max_results must be at least 1")
+        from ..ordering.strategies import OrderingSpec
+
+        self.ordering = ordering or OrderingSpec("w", "ml")
+        self.epsilon = float(epsilon)
+        self.workers = int(workers)
+        self.cache_dir = cache_dir
+        self.max_structures = int(max_structures)
+        self.max_results = int(max_results)
+        self.analyzer_options = analyzer_options
+        self.stats = SweepServiceStats()
+        self._structures: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._results: "OrderedDict[Tuple, object]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, problem, *, max_defects=None, epsilon=None):
+        """Evaluate a single point (convenience wrapper over the batch path)."""
+        return self.evaluate_batch(
+            [SweepPoint(problem, max_defects=max_defects, epsilon=epsilon)]
+        )[0]
+
+    def evaluate_batch(self, points: Sequence[SweepPoint]) -> List[object]:
+        """Evaluate every point and return the results in request order."""
+        points = list(points)
+        self.stats.points_requested += len(points)
+        results: List[Optional[object]] = [None] * len(points)
+
+        # resolve truncations and serve what the caches already know
+        pending: Dict[Tuple, List[int]] = {}
+        keys: List[Optional[Tuple]] = [None] * len(points)
+        truncations: List[int] = [0] * len(points)
+        for idx, point in enumerate(points):
+            truncation = self._resolve_truncation(point)
+            truncations[idx] = truncation
+            rkey = result_key(point.problem, truncation, self.ordering)
+            keys[idx] = rkey
+            cached = self._results.get(rkey)
+            if cached is not None:
+                self._results.move_to_end(rkey)
+                self.stats.result_cache_hits += 1
+                results[idx] = cached
+                continue
+            cached = self._disk_get(rkey)
+            if cached is not None:
+                self.stats.disk_cache_hits += 1
+                self._remember_result(rkey, cached)
+                results[idx] = cached
+                continue
+            skey = structure_key(point.problem, truncation, self.ordering)
+            pending.setdefault(skey, []).append(idx)
+
+        if pending:
+            groups = list(pending.items())
+            if self.workers > 1 and len(groups) > 1:
+                evaluated = self._run_parallel(groups, points, truncations)
+            else:
+                evaluated = self._run_serial(groups, points, truncations)
+            for idx, result in evaluated:
+                results[idx] = result
+                rkey = keys[idx]
+                self._remember_result(rkey, result)
+                self._disk_put(rkey, result)
+                self.stats.points_evaluated += 1
+
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise RuntimeError("points %s were not evaluated" % missing)
+        return results  # type: ignore[return-value]
+
+    def density_sweep(
+        self,
+        problem_factory: Callable[[float], object],
+        mean_defect_values: Sequence[float],
+        *,
+        max_defects: Optional[int] = None,
+        epsilon: Optional[float] = None,
+    ) -> List[Tuple[float, float, int]]:
+        """Return ``(mean_defects, yield_estimate, M)`` over a density sweep.
+
+        ``problem_factory`` maps the expected number of manufacturing
+        defects to a problem (e.g. ``lambda mean: ms_problem(2,
+        mean_defects=mean)``).  Because the factory varies only the defect
+        model, every point that resolves to the same truncation level
+        shares one diagram build.
+        """
+        points = [
+            SweepPoint(problem_factory(mean), max_defects=max_defects, epsilon=epsilon)
+            for mean in mean_defect_values
+        ]
+        results = self.evaluate_batch(points)
+        return [
+            (float(mean), result.yield_estimate, result.truncation)
+            for mean, result in zip(mean_defect_values, results)
+        ]
+
+    def truncation_sweep(
+        self,
+        problem,
+        max_defects_values: Sequence[int],
+    ) -> List[Tuple[int, float, float]]:
+        """Return ``(M, yield_estimate, error_bound)`` for every requested ``M``."""
+        points = [SweepPoint(problem, max_defects=int(m)) for m in max_defects_values]
+        results = self.evaluate_batch(points)
+        return [
+            (int(m), result.yield_estimate, result.error_bound)
+            for m, result in zip(max_defects_values, results)
+        ]
+
+    def clear(self) -> None:
+        """Drop the in-memory structure and result caches (disk kept)."""
+        self._structures.clear()
+        self._results.clear()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _analyzer(self):
+        from ..core.method import YieldAnalyzer
+
+        return YieldAnalyzer(self.ordering, epsilon=self.epsilon, **self.analyzer_options)
+
+    def _resolve_truncation(self, point: SweepPoint) -> int:
+        if point.max_defects is not None:
+            return int(point.max_defects)
+        budget = self.epsilon if point.epsilon is None else float(point.epsilon)
+        return point.problem.lethal_defect_distribution().truncation_level(budget)
+
+    def _structure_for(self, skey: Tuple, problem, truncation: int):
+        compiled = self._structures.get(skey)
+        if compiled is not None:
+            self._structures.move_to_end(skey)
+            self.stats.structure_reuses += 1
+            return compiled, True
+        compiled = self._analyzer().compile_for_truncation(problem, truncation)
+        self._store_structure(skey, compiled)
+        self.stats.structures_built += 1
+        return compiled, False
+
+    def _store_structure(self, skey: Tuple, compiled) -> None:
+        self._structures[skey] = compiled
+        self._structures.move_to_end(skey)
+        while len(self._structures) > self.max_structures:
+            self._structures.popitem(last=False)
+
+    def _remember_result(self, rkey: Tuple, result) -> None:
+        self._results[rkey] = result
+        self._results.move_to_end(rkey)
+        while len(self._results) > self.max_results:
+            self._results.popitem(last=False)
+
+    def _run_serial(self, groups, points, truncations):
+        evaluated = []
+        for skey, indices in groups:
+            first = indices[0]
+            compiled, reused = self._structure_for(
+                skey, points[first].problem, truncations[first]
+            )
+            for idx in indices:
+                evaluated.append(
+                    (idx, compiled.evaluate(points[idx].problem, reused=reused))
+                )
+                reused = True
+        return evaluated
+
+    def _run_parallel(self, groups, points, truncations):
+        import multiprocessing
+
+        payloads = []
+        for skey, indices in groups:
+            if skey in self._structures:
+                # already compiled locally: cheaper to evaluate in-process
+                continue
+            payloads.append(
+                (
+                    skey,
+                    self.ordering.key(),
+                    self.epsilon,
+                    self.analyzer_options,
+                    truncations[indices[0]],
+                    indices,
+                    [points[idx].problem for idx in indices],
+                )
+            )
+        local_groups = [g for g in groups if g[0] in self._structures]
+
+        evaluated = []
+        if payloads:
+            try:
+                processes = min(self.workers, len(payloads))
+                with multiprocessing.Pool(processes=processes) as pool:
+                    for skey, compiled, chunk in pool.map(_evaluate_group, payloads):
+                        # keep the worker-built structure for later batches
+                        if compiled is not None:
+                            self._store_structure(skey, compiled)
+                        evaluated.extend(chunk)
+                self.stats.parallel_batches += 1
+                self.stats.structures_built += len(payloads)
+            except Exception:
+                # pickling or platform trouble: fall back to in-process work
+                fallback = [g for g in groups if g[0] not in self._structures]
+                evaluated = self._run_serial(fallback, points, truncations)
+        if local_groups:
+            evaluated.extend(self._run_serial(local_groups, points, truncations))
+        return evaluated
+
+    # ------------------------------------------------------------------ #
+    # Disk cache
+    # ------------------------------------------------------------------ #
+
+    def _disk_path(self, rkey: Tuple) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        digest = hashlib.sha256(repr(rkey).encode()).hexdigest()
+        return os.path.join(self.cache_dir, "yield-%s.pkl" % digest)
+
+    def _disk_get(self, rkey: Tuple):
+        path = self._disk_path(rkey)
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+
+    def _disk_put(self, rkey: Tuple, result) -> None:
+        path = self._disk_path(rkey)
+        if path is None:
+            return
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - caching must never fail a sweep
+            pass
+
+
+def _evaluate_group(payload):
+    """Worker entry point: build one group's structure, evaluate its points.
+
+    Returns ``(structure_key, compiled, [(index, result), ...])`` so the
+    parent process can adopt the structure into its LRU and serve later
+    batches without rebuilding.
+    """
+    skey, ordering_key, epsilon, analyzer_options, truncation, indices, problems = payload
+    from ..core.method import YieldAnalyzer
+    from ..ordering.strategies import OrderingSpec
+
+    mv, bits, sift = ordering_key
+    ordering = OrderingSpec(mv, bits, sift=sift, strict=False)
+    analyzer = YieldAnalyzer(ordering, epsilon=epsilon, **analyzer_options)
+    compiled = analyzer.compile_for_truncation(problems[0], truncation)
+    out = []
+    reused = False
+    for idx, problem in zip(indices, problems):
+        out.append((idx, compiled.evaluate(problem, reused=reused)))
+        reused = True
+    return skey, compiled, out

@@ -14,14 +14,30 @@ traversal (and the construction routes feeding it) needs:
   (used by the ablation baseline in :mod:`repro.mdd.direct`);
 * traversal, evaluation and size queries.
 
+Like the ROBDD manager, this manager plugs into the shared kernel of
+:mod:`repro.engine.kernel`: nodes are reference counted, dead nodes are
+reclaimed on demand with slot reuse, the apply computed table is
+size-bounded with statistics, and the variable order can be changed in
+place with :meth:`MDDManager.swap_adjacent_levels` /
+:meth:`MDDManager.reorder` (Rudell sifting over multiple-valued variables).
+
 The function itself is boolean (terminals 0/1); only the variables are
 multiple-valued, which is all the yield method requires.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..engine.kernel import (
+    DEFAULT_CACHE_BOUND,
+    DEFAULT_GC_THRESHOLD,
+    FALSE,
+    FREE_LEVEL,
+    TERMINAL_LEVEL,
+    TRUE,
+    DDKernel,
+)
 from ..faulttree.multivalued import MultiValuedVariable
 
 
@@ -29,38 +45,60 @@ class MDDError(ValueError):
     """Raised on invalid ROMDD operations."""
 
 
-#: Handle of the FALSE terminal.
-FALSE = 0
-#: Handle of the TRUE terminal.
-TRUE = 1
-
-_TERMINAL_LEVEL = 1 << 30
+_TERMINAL_LEVEL = TERMINAL_LEVEL
 
 
-class MDDManager:
-    """Manager holding ROMDD nodes for a fixed multiple-valued variable order.
+class MDDManager(DDKernel):
+    """Manager holding ROMDD nodes for a multiple-valued variable order.
 
     Parameters
     ----------
     variables:
         The multiple-valued variables from the top of the diagrams (level 0)
         downwards.
+    cache_bound:
+        Maximum number of entries of the apply computed table (``None`` for
+        unbounded).
+    gc_threshold:
+        Node-table growth that makes :meth:`~repro.engine.kernel.DDKernel.checkpoint`
+        trigger an automatic garbage collection.
     """
 
-    def __init__(self, variables: Sequence[MultiValuedVariable]) -> None:
+    def __init__(
+        self,
+        variables: Sequence[MultiValuedVariable],
+        *,
+        cache_bound: Optional[int] = DEFAULT_CACHE_BOUND,
+        gc_threshold: int = DEFAULT_GC_THRESHOLD,
+    ) -> None:
         if not variables:
             raise MDDError("at least one variable is required")
         names = [v.name for v in variables]
         if len(set(names)) != len(names):
             raise MDDError("variable names must be unique")
-        self._variables: Tuple[MultiValuedVariable, ...] = tuple(variables)
+        self._variables: List[MultiValuedVariable] = list(variables)
         self._level_of: Dict[str, int] = {v.name: i for i, v in enumerate(variables)}
 
-        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._level: List[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
         self._children: List[Tuple[int, ...]] = [(), ()]
 
         self._unique: Dict[Tuple[int, Tuple[int, ...]], int] = {}
-        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._init_kernel(cache_bound=cache_bound, gc_threshold=gc_threshold)
+        self._apply_cache = self._new_computed_table("apply")
+        self._reorder_index: Optional[List[Set[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Kernel hooks
+    # ------------------------------------------------------------------ #
+
+    def _node_children(self, handle: int) -> Iterable[int]:
+        return self._children[handle]
+
+    def _node_key(self, handle: int) -> Hashable:
+        return (self._level[handle], self._children[handle])
+
+    def _release_slot(self, handle: int) -> None:
+        self._children[handle] = ()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -69,7 +107,7 @@ class MDDManager:
     @property
     def variables(self) -> Tuple[MultiValuedVariable, ...]:
         """The variables from level 0 (top) downwards."""
-        return self._variables
+        return tuple(self._variables)
 
     @property
     def num_variables(self) -> int:
@@ -77,8 +115,8 @@ class MDDManager:
 
     @property
     def num_nodes_allocated(self) -> int:
-        """Total number of nodes ever created, terminals included."""
-        return len(self._level)
+        """Total number of nodes ever created, terminals included (monotone)."""
+        return self._created
 
     def level_of(self, name: str) -> int:
         """Return the level of variable ``name``."""
@@ -113,6 +151,36 @@ class MDDManager:
         """Return the terminal for ``value``."""
         return TRUE if value else FALSE
 
+    def _mk_raw(self, level: int, children: Tuple[int, ...]) -> int:
+        """Reduce, hash-cons and reference-count a node (no domain checks)."""
+        first = children[0]
+        for c in children:
+            if c != first:
+                break
+        else:
+            return first
+        key = (level, children)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        if self._free:
+            handle = self._free.pop()
+            self._level[handle] = level
+            self._children[handle] = children
+            self._refs[handle] = 0
+        else:
+            handle = len(self._level)
+            self._level.append(level)
+            self._children.append(children)
+            self._refs.append(0)
+        refs = self._refs
+        for c in children:
+            if c > TRUE:
+                refs[c] += 1
+        self._created += 1
+        self._unique[key] = handle
+        return handle
+
     def mk(self, level: int, children: Sequence[int]) -> int:
         """Return the (reduced, hash-consed) node at ``level`` with ``children``.
 
@@ -126,18 +194,7 @@ class MDDManager:
                 "variable %r expects %d children, got %d"
                 % (var.name, var.cardinality, len(children))
             )
-        first = children[0]
-        if all(c == first for c in children):
-            return first
-        key = (level, children)
-        found = self._unique.get(key)
-        if found is not None:
-            return found
-        handle = len(self._level)
-        self._level.append(level)
-        self._children.append(children)
-        self._unique[key] = handle
-        return handle
+        return self._mk_raw(level, children)
 
     def literal(self, name: str, accepted_values: Iterable[int]) -> int:
         """Return the ROMDD of the filter "variable ``name`` takes a value in the set"."""
@@ -170,8 +227,10 @@ class MDDManager:
         if cached is not None:
             return cached
         level = self._level[f]
-        result = self.mk(level, [self._apply_unary(c) for c in self._children[f]])
-        self._apply_cache[key] = result
+        result = self._mk_raw(
+            level, tuple(self._apply_unary(c) for c in self._children[f])
+        )
+        self._apply_cache.put(key, result)
         return result
 
     def and_(self, f: int, g: int) -> int:
@@ -250,17 +309,176 @@ class MDDManager:
         cardinality = self._variables[level].cardinality
         f_children = self._expand(f, level, cardinality)
         g_children = self._expand(g, level, cardinality)
-        children = [
+        children = tuple(
             self._apply(fc, gc, op) for fc, gc in zip(f_children, g_children)
-        ]
-        result = self.mk(level, children)
-        self._apply_cache[key] = result
+        )
+        result = self._mk_raw(level, children)
+        self._apply_cache.put(key, result)
         return result
 
     def _expand(self, node: int, level: int, cardinality: int) -> Sequence[int]:
         if node > TRUE and self._level[node] == level:
             return self._children[node]
         return (node,) * cardinality
+
+    # ------------------------------------------------------------------ #
+    # Dynamic reordering
+    # ------------------------------------------------------------------ #
+
+    def begin_reorder(self) -> None:
+        """Enter a reordering session (see :meth:`repro.bdd.BDDManager.begin_reorder`)."""
+        if self._reorder_index is not None:
+            raise MDDError("a reordering session is already active")
+        self.garbage_collect()
+        index: List[Set[int]] = [set() for _ in self._variables]
+        level = self._level
+        for h in self.iter_live_handles():
+            index[level[h]].add(h)
+        self._reorder_index = index
+
+    def end_reorder(self) -> None:
+        """Leave the reordering session and flush the computed tables."""
+        self._reorder_index = None
+        for table in self._computed_tables.values():
+            table.clear()
+
+    @property
+    def in_reorder(self) -> bool:
+        return self._reorder_index is not None
+
+    def nodes_at_level(self, level: int) -> int:
+        """Return the number of allocated nodes labelled with ``level``."""
+        if self._reorder_index is not None:
+            return len(self._reorder_index[level])
+        levels = self._level
+        return sum(1 for h in self.iter_live_handles() if levels[h] == level)
+
+    def swap_adjacent_levels(self, level: int) -> None:
+        """Exchange the variables at ``level`` and ``level + 1`` in place.
+
+        The multiple-valued generalization of the ROBDD swap: a node that
+        depends on both variables is rewritten to branch on the lower
+        variable first, with one fresh upper-variable node per value of the
+        lower variable's domain.  Handles keep denoting the same functions.
+        """
+        i = level
+        j = level + 1
+        if not 0 <= i < len(self._variables) - 1:
+            raise MDDError("cannot swap level %d with %d" % (i, j))
+        index = self._reorder_index
+        if index is not None:
+            ui, vi = index[i], index[j]
+        else:
+            levels = self._level
+            ui, vi = set(), set()
+            for h in self.iter_live_handles():
+                lv = levels[h]
+                if lv == i:
+                    ui.add(h)
+                elif lv == j:
+                    vi.add(h)
+
+        u_var = self._variables[i]
+        v_var = self._variables[j]
+        u_card = u_var.cardinality
+        v_card = v_var.cardinality
+
+        # swap the variable metadata first so _mk_raw levels stay meaningful
+        self._variables[i] = v_var
+        self._variables[j] = u_var
+        self._level_of[v_var.name] = i
+        self._level_of[u_var.name] = j
+
+        levels = self._level
+        children = self._children
+        refs = self._refs
+        unique = self._unique
+
+        for h in ui:
+            del unique[(i, children[h])]
+        for h in vi:
+            del unique[(j, children[h])]
+
+        new_i: Set[int] = set()
+        new_j: Set[int] = set()
+        dependent: List[int] = []
+        for h in ui:
+            if any(levels[c] == j for c in children[h]):
+                dependent.append(h)
+            else:
+                levels[h] = j
+                unique[(j, children[h])] = h
+                new_j.add(h)
+
+        for h in dependent:
+            kids = children[h]
+            grand = [
+                children[c] if levels[c] == j else (c,) * v_card for c in kids
+            ]
+            for c in kids:
+                if c > TRUE:
+                    refs[c] -= 1
+            new_kids: List[int] = []
+            for b in range(v_card):
+                column = tuple(grand[a][b] for a in range(u_card))
+                node = self._mk_raw(j, column)
+                if node > TRUE:
+                    refs[node] += 1
+                    if levels[node] == j:
+                        new_j.add(node)
+                new_kids.append(node)
+            new_tuple = tuple(new_kids)
+            children[h] = new_tuple
+            levels[h] = i
+            unique[(i, new_tuple)] = h
+            new_i.add(h)
+
+        dead: List[int] = []
+        for h in vi:
+            if index is not None and refs[h] == 0:
+                dead.append(h)
+            else:
+                levels[h] = i
+                unique[(i, children[h])] = h
+                new_i.add(h)
+
+        while dead:
+            h = dead.pop()
+            if refs[h] != 0 or levels[h] == FREE_LEVEL:
+                continue
+            lv = levels[h]
+            if lv != j:
+                unique.pop((lv, children[h]), None)
+                index[lv].discard(h)  # type: ignore[index]
+            for c in children[h]:
+                if c > TRUE:
+                    refs[c] -= 1
+                    if refs[c] == 0:
+                        dead.append(c)
+            children[h] = ()
+            levels[h] = FREE_LEVEL
+            self._free.append(h)
+
+        if index is not None:
+            index[i] = new_i
+            index[j] = new_j
+
+    def reorder(self, roots: Iterable[int] = (), **kwargs):
+        """Minimise the diagram sizes by sifting; returns the reorder stats.
+
+        ``roots`` are protected for the duration.  Keyword arguments are
+        forwarded to :func:`repro.engine.reorder.sift`.
+        """
+        from ..engine.reorder import sift
+
+        roots = [r for r in roots if r > TRUE]
+        for r in roots:
+            self.ref(r)
+        try:
+            return sift(self, **kwargs)
+        finally:
+            for r in roots:
+                self.deref(r)
 
     # ------------------------------------------------------------------ #
     # Queries

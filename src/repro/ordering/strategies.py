@@ -64,9 +64,18 @@ class OrderingSpec:
         Enforce the paper's combination rule (heuristic bit orders only with
         the matching multiple-valued heuristic).  Set to ``False`` to explore
         other combinations.
+    sift:
+        Improve the static order dynamically: after the coded ROBDD is
+        built, run group-preserving Rudell sifting
+        (:func:`repro.engine.reorder.sift_grouped`) before converting to the
+        ROMDD.  The static ``mv``/``bits`` pair still provides the starting
+        point, so ``OrderingSpec("w", "ml", sift=True)`` means "the paper's
+        best static order, then sift".
     """
 
-    def __init__(self, mv: str = "w", bits: str = "ml", *, strict: bool = True) -> None:
+    def __init__(
+        self, mv: str = "w", bits: str = "ml", *, strict: bool = True, sift: bool = False
+    ) -> None:
         if mv not in MV_ORDERINGS:
             raise OrderingError("unknown multiple-valued ordering %r" % (mv,))
         if bits not in BIT_ORDERINGS:
@@ -78,12 +87,19 @@ class OrderingSpec:
             )
         self.mv = mv
         self.bits = bits
+        self.sift = bool(sift)
 
     def needs_circuit(self) -> bool:
         """Return whether this spec requires the binary gate-level description."""
         return self.mv in _HEURISTIC_NAMES or self.bits in _HEURISTIC_NAMES
 
+    def key(self) -> Tuple[str, str, bool]:
+        """Return a hashable identity (used by the engine's caches)."""
+        return (self.mv, self.bits, self.sift)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.sift:
+            return "OrderingSpec(mv=%r, bits=%r, sift=True)" % (self.mv, self.bits)
         return "OrderingSpec(mv=%r, bits=%r)" % (self.mv, self.bits)
 
 

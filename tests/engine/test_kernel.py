@@ -1,0 +1,193 @@
+"""Engine-kernel invariants: GC safety, slot reuse, cache statistics."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.engine.kernel import BoundedComputedTable, CacheStats
+from repro.faulttree.multivalued import MultiValuedVariable
+from repro.mdd import MDDManager
+
+
+def truth_table(manager, node, names):
+    return tuple(
+        manager.evaluate(node, dict(zip(names, values)))
+        for values in itertools.product((False, True), repeat=len(names))
+    )
+
+
+NAMES = ["a", "b", "c", "d", "e"]
+
+
+def build_functions(manager):
+    a, b, c, d, e = (manager.var(n) for n in NAMES)
+    f1 = manager.or_(manager.and_(a, d), manager.and_(b, e))
+    f2 = manager.xor_(c, manager.and_(a, e))
+    f3 = manager.ite(f1, f2, manager.not_(c))
+    return [f1, f2, f3]
+
+
+class TestBoundedComputedTable:
+    def test_get_put_and_stats(self):
+        table = BoundedComputedTable(bound=8)
+        assert table.get("missing") is None
+        table.put("k", 42)
+        assert table.get("k") == 42
+        assert table.stats.hits == 1
+        assert table.stats.misses == 1
+        assert table.stats.insertions == 1
+
+    def test_zero_valued_entries_are_hits(self):
+        # FALSE is handle 0; a cached 0 must not be mistaken for a miss
+        table = BoundedComputedTable(bound=8)
+        table.put("k", 0)
+        assert table.get("k") == 0
+        assert table.stats.hits == 1
+
+    def test_eviction_keeps_size_bounded(self):
+        table = BoundedComputedTable(bound=10)
+        for i in range(50):
+            table.put(i, i)
+        assert len(table) <= 10
+        assert table.stats.evictions > 0
+        # the most recent insertion always survives
+        assert table.get(49) == 49
+
+    def test_clear_counts(self):
+        table = BoundedComputedTable(bound=8)
+        table.put("k", 1)
+        table.clear()
+        assert len(table) == 0
+        assert table.stats.clears == 1
+        assert table.get("k") is None
+
+    def test_rejects_tiny_bound(self):
+        with pytest.raises(ValueError):
+            BoundedComputedTable(bound=1)
+
+    def test_unbounded_table_never_evicts(self):
+        table = BoundedComputedTable(bound=None)
+        for i in range(5000):
+            table.put(i, i)
+        assert len(table) == 5000
+        assert table.stats.evictions == 0
+
+
+class TestCacheStatistics:
+    def test_counters_are_monotone_across_operations(self):
+        manager = BDDManager(NAMES)
+        previous = CacheStats().as_dict()
+        for _ in range(5):
+            build_functions(manager)
+            current = manager.kernel_stats().caches["ite"]
+            for key in ("hits", "misses", "insertions", "evictions"):
+                assert current[key] >= previous[key]
+            previous = current
+        assert previous["hits"] > 0  # rebuilt functions hit the cache
+
+    def test_hit_rate(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        stats.hits = 3
+        stats.misses = 1
+        assert stats.hit_rate == pytest.approx(0.75)
+
+
+class TestGarbageCollection:
+    def test_gc_never_frees_nodes_reachable_from_live_roots(self):
+        manager = BDDManager(NAMES)
+        functions = build_functions(manager)
+        tables = [truth_table(manager, f, NAMES) for f in functions]
+        for f in functions:
+            manager.ref(f)
+        protected = set()
+        for f in functions:
+            protected |= manager.reachable(f)
+
+        manager.garbage_collect()
+
+        for handle in protected:
+            assert manager.level(handle) != -1 or manager.is_terminal(handle)
+        for f, table in zip(functions, tables):
+            assert truth_table(manager, f, NAMES) == table
+
+    def test_gc_reclaims_unreferenced_diagrams(self):
+        manager = BDDManager(NAMES)
+        keep, drop, _ = build_functions(manager)
+        manager.ref(keep)
+        live_before = manager.num_live_nodes
+        freed = manager.garbage_collect()
+        assert freed > 0
+        assert manager.num_live_nodes == live_before - freed
+        # the kept function still evaluates
+        truth_table(manager, keep, NAMES)
+
+    def test_deref_then_gc_frees_and_slots_are_reused(self):
+        manager = BDDManager(NAMES)
+        f1, f2, f3 = build_functions(manager)
+        for f in (f1, f2, f3):
+            manager.ref(f)
+        manager.garbage_collect()
+        live_with_all = manager.num_live_nodes
+
+        manager.deref(f3)
+        manager.garbage_collect()
+        assert manager.num_live_nodes < live_with_all
+        assert manager.num_free_slots > 0
+
+        free_before = manager.num_free_slots
+        manager.and_(f1, f2)  # allocates through the free list first
+        assert manager.num_free_slots < free_before
+
+    def test_created_count_is_monotone_despite_reuse(self):
+        manager = BDDManager(NAMES)
+        f1, _, _ = build_functions(manager)
+        manager.ref(f1)
+        created = manager.num_nodes_allocated
+        manager.garbage_collect()
+        assert manager.num_nodes_allocated == created
+        build_functions(manager)
+        assert manager.num_nodes_allocated > created
+
+    def test_deref_without_ref_raises(self):
+        manager = BDDManager(NAMES)
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        with pytest.raises(ValueError):
+            manager.deref(f)
+
+    def test_checkpoint_runs_gc_once_threshold_is_passed(self):
+        manager = BDDManager(NAMES, gc_threshold=4)
+        build_functions(manager)  # garbage: nothing is referenced
+        freed = manager.checkpoint()
+        assert freed > 0
+        assert manager.kernel_stats().gc_runs >= 1
+
+    def test_mdd_gc_mirrors_bdd_gc(self):
+        variables = [MultiValuedVariable("v%d" % i, [0, 1, 2]) for i in range(3)]
+        manager = MDDManager(variables)
+        keep = manager.and_(
+            manager.literal("v0", [1, 2]), manager.literal("v2", [0, 2])
+        )
+        manager.or_(manager.literal("v1", [0]), manager.literal("v2", [1]))  # garbage
+        manager.ref(keep)
+        assignments = list(itertools.product([0, 1, 2], repeat=3))
+        before = [
+            manager.evaluate(keep, {"v0": a, "v1": b, "v2": c})
+            for a, b, c in assignments
+        ]
+        freed = manager.garbage_collect()
+        assert freed > 0
+        after = [
+            manager.evaluate(keep, {"v0": a, "v1": b, "v2": c})
+            for a, b, c in assignments
+        ]
+        assert before == after
+
+    def test_kernel_stats_snapshot(self):
+        manager = BDDManager(NAMES)
+        build_functions(manager)
+        stats = manager.kernel_stats()
+        assert stats.nodes_created == manager.num_nodes_allocated
+        assert stats.live_nodes == manager.num_live_nodes
+        assert "ite" in stats.caches

@@ -1,0 +1,210 @@
+"""Dynamic-reordering invariants: swaps and sifting preserve the functions."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.core.method import YieldAnalyzer
+from repro.engine.reorder import ReorderStats, sift, sift_grouped
+from repro.faulttree.multivalued import MultiValuedVariable
+from repro.mdd import MDDManager
+from repro.ordering import OrderingSpec
+from repro.ordering.grouped import GroupedVariableOrder
+from repro.soc import benchmark_problem
+
+NAMES = ["a", "b", "c", "d", "e", "f"]
+
+
+def truth_table(manager, node, names):
+    return tuple(
+        manager.evaluate(node, dict(zip(names, values)))
+        for values in itertools.product((False, True), repeat=len(names))
+    )
+
+
+def interleaved_function(manager):
+    """a.d + b.e + c.f — the classic order-sensitive function."""
+    pairs = [("a", "d"), ("b", "e"), ("c", "f")]
+    return manager.or_many(
+        manager.and_(manager.var(x), manager.var(y)) for x, y in pairs
+    )
+
+
+class TestAdjacentSwap:
+    def test_swap_preserves_truth_table_and_swaps_names(self):
+        manager = BDDManager(NAMES)
+        f = interleaved_function(manager)
+        reference = truth_table(manager, f, NAMES)
+        manager.swap_adjacent_levels(2)
+        assert manager.variable_order == ("a", "b", "d", "c", "e", "f")
+        assert truth_table(manager, f, NAMES) == reference
+
+    def test_swap_round_trip_restores_the_order(self):
+        manager = BDDManager(NAMES)
+        f = interleaved_function(manager)
+        size_before = manager.size(f)
+        manager.swap_adjacent_levels(1)
+        manager.swap_adjacent_levels(1)
+        assert manager.variable_order == tuple(NAMES)
+        assert manager.size(f) == size_before
+
+    def test_swap_keeps_canonicity(self):
+        manager = BDDManager(NAMES)
+        f = interleaved_function(manager)
+        manager.swap_adjacent_levels(0)
+        # rebuilding the same function must land on the same handle
+        g = interleaved_function(manager)
+        assert f == g
+
+    def test_swap_rejects_bad_levels(self):
+        manager = BDDManager(NAMES)
+        with pytest.raises(ValueError):
+            manager.swap_adjacent_levels(len(NAMES) - 1)
+        with pytest.raises(ValueError):
+            manager.swap_adjacent_levels(-1)
+
+    def test_mdd_swap_preserves_semantics(self):
+        variables = [MultiValuedVariable("v%d" % i, [0, 1, 2]) for i in range(3)]
+        manager = MDDManager(variables)
+        f = manager.or_(
+            manager.and_(manager.literal("v0", [1]), manager.literal("v2", [0, 2])),
+            manager.literal("v1", [2]),
+        )
+        assignments = list(itertools.product([0, 1, 2], repeat=3))
+        reference = [
+            manager.evaluate(f, {"v0": a, "v1": b, "v2": c}) for a, b, c in assignments
+        ]
+        manager.swap_adjacent_levels(0)
+        manager.swap_adjacent_levels(1)
+        assert [v.name for v in manager.variables] == ["v1", "v2", "v0"]
+        assert [
+            manager.evaluate(f, {"v0": a, "v1": b, "v2": c}) for a, b, c in assignments
+        ] == reference
+
+
+class TestSifting:
+    def test_sift_reduces_the_interleaved_order(self):
+        # with the order a,d,b,e,c,f the function is linear; starting from
+        # the interleaved order a,b,c,d,e,f sifting must shrink the diagram
+        manager = BDDManager(NAMES)
+        f = interleaved_function(manager)
+        reference = truth_table(manager, f, NAMES)
+        size_before = manager.size(f)
+
+        stats = manager.reorder(roots=[f])
+
+        assert isinstance(stats, ReorderStats)
+        assert stats.final_size <= stats.initial_size
+        assert manager.size(f) < size_before
+        assert truth_table(manager, f, NAMES) == reference
+
+    def test_sift_never_grows_the_diagram(self):
+        manager = BDDManager(["a", "d", "b", "e", "c", "f"])
+        f = interleaved_function(manager)
+        size_before = manager.size(f)  # already optimally ordered
+        manager.reorder(roots=[f])
+        assert manager.size(f) <= size_before
+
+    def test_sift_protects_multiple_roots(self):
+        manager = BDDManager(NAMES)
+        f = interleaved_function(manager)
+        g = manager.xor_(manager.var("a"), manager.var("f"))
+        tf, tg = truth_table(manager, f, NAMES), truth_table(manager, g, NAMES)
+        manager.reorder(roots=[f, g])
+        assert truth_table(manager, f, NAMES) == tf
+        assert truth_table(manager, g, NAMES) == tg
+
+    def test_sift_range_restricts_positions(self):
+        manager = BDDManager(NAMES)
+        f = interleaved_function(manager)
+        manager.ref(f)
+        sift(manager, lower=0, upper=2, variables=["a", "b", "c"])
+        # the restricted variables may only permute within levels 0..2
+        assert sorted(manager.variable_order[:3]) == ["a", "b", "c"]
+        assert manager.variable_order[3:] == ("d", "e", "f")
+
+    def test_mdd_sift_preserves_semantics(self):
+        variables = [MultiValuedVariable("v%d" % i, [0, 1, 2]) for i in range(4)]
+        manager = MDDManager(variables)
+        f = manager.or_(
+            manager.and_(manager.literal("v0", [1, 2]), manager.literal("v2", [2])),
+            manager.and_(manager.literal("v1", [0]), manager.literal("v3", [1, 2])),
+        )
+        assignments = list(itertools.product([0, 1, 2], repeat=4))
+        reference = [
+            manager.evaluate(f, dict(zip(("v0", "v1", "v2", "v3"), values)))
+            for values in assignments
+        ]
+        stats = manager.reorder(roots=[f])
+        assert stats.final_size <= stats.initial_size
+        assert [
+            manager.evaluate(f, dict(zip(("v0", "v1", "v2", "v3"), values)))
+            for values in assignments
+        ] == reference
+
+
+class TestGroupedSifting:
+    def _compiled_order(self, problem, spec, max_defects):
+        analyzer = YieldAnalyzer(spec)
+        return analyzer.compile(problem, max_defects=max_defects)
+
+    def test_groups_stay_contiguous_and_order_is_valid(self):
+        problem = benchmark_problem("MS2", mean_defects=2.0)
+        analyzer = YieldAnalyzer(OrderingSpec("w", "ml"))
+        compiled = analyzer.compile(problem, max_defects=3)
+        grouped = compiled.grouped_order
+
+        # rebuild the coded ROBDD and sift it through the public API
+        from repro.bdd.builder import build_circuit_bdd
+        from repro.core.gfunction import GeneralizedFaultTree
+
+        gfunction = GeneralizedFaultTree(
+            problem.fault_tree, problem.component_names, 3
+        )
+        manager, root, _ = build_circuit_bdd(
+            gfunction.binary_circuit(), grouped.flat_bit_order()
+        )
+        manager.ref(root)
+        new_groups, stats = sift_grouped(manager, grouped.groups)
+
+        # must be constructible: contiguity and permutation checks built in
+        new_order = GroupedVariableOrder(new_groups)
+        assert new_order.flat_bit_order() == list(manager.variable_order)
+        assert sorted(new_order.variable_names) == sorted(grouped.variable_names)
+        assert stats.final_size <= stats.initial_size
+
+    def test_pipeline_probability_is_preserved_by_sifting(self):
+        problem = benchmark_problem("MS2", mean_defects=2.0)
+        static = YieldAnalyzer(OrderingSpec("w", "ml")).evaluate(
+            problem, max_defects=3
+        )
+        sifted = YieldAnalyzer(OrderingSpec("w", "ml", sift=True)).evaluate(
+            problem, max_defects=3
+        )
+        assert sifted.yield_estimate == pytest.approx(
+            static.yield_estimate, abs=1e-12
+        )
+        assert sifted.error_bound == pytest.approx(static.error_bound, abs=1e-15)
+        assert sifted.extra["sift_swaps"] >= 0
+
+    def test_sifting_beats_or_matches_the_worst_static_ordering(self):
+        # acceptance bar: on a Table 2 circuit, dynamic reordering must not
+        # end up above the worst static ordering it started from
+        problem = benchmark_problem("MS2", mean_defects=2.0)
+        sizes = {}
+        for mv in ("wv", "wvr", "vw", "vrw"):
+            analyzer = YieldAnalyzer(OrderingSpec(mv, "ml"))
+            robdd, _ = analyzer.diagram_sizes(problem, max_defects=3)
+            sizes[mv] = robdd
+        worst_mv = max(sizes, key=sizes.get)
+
+        sifting = YieldAnalyzer(OrderingSpec(worst_mv, "ml", sift=True))
+        sifted_robdd, _ = sifting.diagram_sizes(problem, max_defects=3)
+        assert sifted_robdd <= sizes[worst_mv]
+
+    def test_ordering_spec_sift_flag(self):
+        spec = OrderingSpec("w", "ml", sift=True)
+        assert spec.sift is True
+        assert spec.key() == ("w", "ml", True)
+        assert OrderingSpec("w", "ml").key() == ("w", "ml", False)
