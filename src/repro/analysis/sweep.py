@@ -27,14 +27,19 @@ def truncation_sweep(
     *,
     ordering: Optional[OrderingSpec] = None,
     service: Optional[SweepService] = None,
+    workers: int = 0,
 ) -> List[Tuple[int, float, float]]:
     """Return ``(M, yield_estimate, error_bound)`` for every requested ``M``.
 
     The yield estimates are non-decreasing in ``M`` and the error bounds are
-    non-increasing; both facts are asserted by the test-suite.
+    non-increasing; both facts are asserted by the test-suite.  ``workers``
+    fans the independent truncation levels out over processes (ignored when
+    an explicit ``service`` is supplied).
     """
     if service is None:
-        service = SweepService(ordering=ordering or OrderingSpec("w", "ml"))
+        service = SweepService(
+            ordering=ordering or OrderingSpec("w", "ml"), workers=workers
+        )
     return service.truncation_sweep(problem, max_defects_values)
 
 
@@ -45,19 +50,27 @@ def defect_density_sweep(
     epsilon: Optional[float] = None,
     ordering: Optional[OrderingSpec] = None,
     service: Optional[SweepService] = None,
+    workers: int = 0,
+    shard_size: int = 16,
 ) -> List[Tuple[float, float, int]]:
     """Return ``(mean_defects, yield_estimate, M)`` over a defect-density sweep.
 
     ``problem_factory`` maps the expected number of manufacturing defects to a
     :class:`YieldProblem` (e.g. ``lambda mean: ms_problem(2, mean_defects=mean)``).
     Every density that resolves to the same truncation level reuses one
-    diagram build.  ``epsilon`` defaults to the service's configured budget
-    (1e-4 for a fresh service); passing it explicitly overrides per point.
+    diagram build, and all of a build's defect models are evaluated in one
+    batched bottom-up pass.  ``epsilon`` defaults to the service's configured
+    budget (1e-4 for a fresh service); passing it explicitly overrides per
+    point.  ``workers`` / ``shard_size`` configure the multiprocessing
+    fan-out with intra-group point sharding (ignored when an explicit
+    ``service`` is supplied).
     """
     if service is None:
         service = SweepService(
             ordering=ordering or OrderingSpec("w", "ml"),
             epsilon=1e-4 if epsilon is None else epsilon,
+            workers=workers,
+            shard_size=shard_size,
         )
     return service.density_sweep(
         problem_factory, mean_defect_values, epsilon=epsilon

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..engine.kernel import recursion_guard
 from ..faulttree.circuit import Circuit
 from ..faulttree.ops import GateOp
 from .manager import FALSE, TRUE, BDDError, BDDManager
@@ -107,6 +108,12 @@ class CircuitBDDBuilder:
         if manager is None:
             manager = BDDManager(self._order)
 
+        # ITE recurses at most twice per level, so chain-shaped circuits
+        # with thousands of variables need an explicit recursion budget
+        with recursion_guard(2 * manager.num_variables + 200):
+            return self._build_guarded(circuit, manager, cone, output)
+
+    def _build_guarded(self, circuit: Circuit, manager: BDDManager, cone, output):
         stats = BuildStats()
         node_bdd: Dict[int, int] = {}
 

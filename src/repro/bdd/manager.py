@@ -24,8 +24,12 @@ Design notes
   adjacent levels in place (every handle keeps denoting the same function),
   and :meth:`BDDManager.reorder` runs Rudell-style sifting on top of it (see
   :mod:`repro.engine.reorder`).
-* Recursion depth of every operation is bounded by the number of variables,
-  so plain recursion is safe.
+* Recursion depth of the ITE operation is bounded by the number of
+  variables; builders that process deep circuits wrap their loops in
+  :func:`repro.engine.kernel.recursion_guard` so chain-shaped diagrams with
+  thousands of levels cannot hit the interpreter limit.  The traversal
+  queries (``restrict``, ``sat_count``, ``reachable``, ``support``) are
+  fully iterative.
 """
 
 from __future__ import annotations
@@ -478,25 +482,38 @@ class BDDManager(DDKernel):
         return current == TRUE
 
     def restrict(self, node: int, name: str, value: bool) -> int:
-        """Return the cofactor of ``node`` with variable ``name`` fixed to ``value``."""
+        """Return the cofactor of ``node`` with variable ``name`` fixed to ``value``.
+
+        Iterative (explicit two-phase stack), so arbitrarily deep diagrams
+        cannot hit the interpreter recursion limit.
+        """
         target_level = self.level_of(name)
+        levels = self._level
+        low = self._low
+        high = self._high
+        # nodes strictly below the target variable cannot contain it: identity
         cache: Dict[int, int] = {}
 
-        def walk(n: int) -> int:
-            if n <= TRUE or self._level[n] > target_level:
+        def resolved(n: int) -> int:
+            if n <= TRUE or levels[n] > target_level:
                 return n
-            if n in cache:
-                return cache[n]
-            if self._level[n] == target_level:
-                result = self._high[n] if value else self._low[n]
-            else:
-                low = walk(self._low[n])
-                high = walk(self._high[n])
-                result = self._mk(self._level[n], low, high)
-            cache[n] = result
-            return result
+            return cache[n]
 
-        return walk(node)
+        stack = [(node, False)]
+        while stack:
+            n, expanded = stack.pop()
+            if n <= TRUE or levels[n] > target_level or n in cache:
+                continue
+            if levels[n] == target_level:
+                cache[n] = high[n] if value else low[n]
+                continue
+            if expanded:
+                cache[n] = self._mk(levels[n], resolved(low[n]), resolved(high[n]))
+            else:
+                stack.append((n, True))
+                stack.append((low[n], False))
+                stack.append((high[n], False))
+        return resolved(node)
 
     def support(self, node: int) -> List[str]:
         """Return the variables the function rooted at ``node`` depends on."""
@@ -539,31 +556,36 @@ class BDDManager(DDKernel):
         return len(seen)
 
     def sat_count(self, node: int) -> int:
-        """Return the number of satisfying assignments over *all* manager variables."""
+        """Return the number of satisfying assignments over *all* manager variables.
+
+        Iterative post-order walk, safe on arbitrarily deep diagrams.
+        """
         nvars = self.num_variables
-        cache: Dict[int, int] = {}
-
-        def count(n: int) -> int:
-            # number of solutions over variables strictly below (deeper than or
-            # equal to) level(n), normalized afterwards
-            if n == FALSE:
-                return 0
-            if n == TRUE:
-                return 1 << 0
+        if node == FALSE:
+            return 0
+        if node == TRUE:
+            return 1 << nvars
+        # number of solutions over variables strictly below level(n),
+        # normalized by the root's level afterwards
+        cache: Dict[int, int] = {FALSE: 0, TRUE: 1}
+        stack = [(node, False)]
+        while stack:
+            n, expanded = stack.pop()
             if n in cache:
-                return cache[n]
-            level = self._level[n]
+                continue
             lo, hi = self._low[n], self._high[n]
-            lo_count = count(lo) << (self._gap(level, lo) - 1)
-            hi_count = count(hi) << (self._gap(level, hi) - 1)
-            result = lo_count + hi_count
-            cache[n] = result
-            return result
-
-        total = count(node)
-        if node <= TRUE:
-            return total << nvars if node == TRUE else 0
-        return total << self._level[node]
+            if expanded:
+                level = self._level[n]
+                lo_count = cache[lo] << (self._gap(level, lo) - 1)
+                hi_count = cache[hi] << (self._gap(level, hi) - 1)
+                cache[n] = lo_count + hi_count
+            else:
+                stack.append((n, True))
+                if lo not in cache:
+                    stack.append((lo, False))
+                if hi not in cache:
+                    stack.append((hi, False))
+        return cache[node] << self._level[node]
 
     def _gap(self, level: int, child: int) -> int:
         child_level = self._level[child] if child > TRUE else self.num_variables

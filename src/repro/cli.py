@@ -8,14 +8,19 @@ Python:
 * ``benchmark NAME``    — run one of the paper's benchmarks end to end
   (optionally with a Monte-Carlo cross-check);
 * ``sweep NAME``        — evaluate a defect-density sweep through the
-  engine's batch service (one diagram build per truncation level, optional
-  ``--workers`` fan-out and ``--cache-dir`` result cache);
+  engine's batch service: one diagram build per truncation level, all defect
+  models of a build evaluated in a single batched pass, optional
+  ``--workers``/``--jobs`` fan-out with intra-group point sharding
+  (``--shard-size``), a ``--cache-dir`` result cache and ``--stats`` engine
+  diagnostics;
 * ``table {1,2,3,4}``   — regenerate one of the paper's tables on the small
   benchmark set;
 * ``list``              — list the available benchmark names.
 
 Every method command accepts ``--sift`` to improve the static variable
-order by dynamic (group-preserving) sifting before the ROMDD conversion.
+order by dynamic (group-preserving) sifting before the ROMDD conversion,
+and ``--sift-converge`` to repeat sifting passes (plus a group window
+permutation) until the diagram stops shrinking.
 
 Every command prints a plain-text report to stdout and returns a non-zero
 exit code on user errors (unknown benchmark, malformed file...).
@@ -96,16 +101,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_method_options(sweep)
     sweep.add_argument(
         "--workers",
+        "--jobs",
+        dest="workers",
         type=int,
         default=0,
         metavar="N",
-        help="evaluate independent structure groups in N processes",
+        help="evaluate structure groups (and shards of large groups) in N processes",
+    )
+    sweep.add_argument(
+        "--shard-size",
+        type=int,
+        default=16,
+        metavar="POINTS",
+        help="minimum points per intra-group worker shard (default 16)",
     )
     sweep.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
         help="persist sweep results under DIR and reuse them on later runs",
+    )
+    sweep.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine statistics (cache hits, linearization reuse, phase times)",
     )
 
     table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
@@ -167,6 +186,21 @@ def _add_method_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="improve the static order by dynamic (group-preserving) sifting",
     )
+    parser.add_argument(
+        "--sift-converge",
+        action="store_true",
+        help="repeat sifting passes (with a group window permutation) until "
+        "the diagram stops shrinking (implies --sift)",
+    )
+
+
+def _ordering_from(args) -> OrderingSpec:
+    return OrderingSpec(
+        args.ordering,
+        args.bit_ordering,
+        sift=args.sift,
+        sift_converge=args.sift_converge,
+    )
 
 
 def _report_result(result, montecarlo_result=None) -> None:
@@ -202,7 +236,7 @@ def _run_evaluate(args) -> int:
             problem,
             epsilon=args.epsilon,
             max_defects=args.max_defects,
-            ordering=OrderingSpec(args.ordering, args.bit_ordering, sift=args.sift),
+            ordering=_ordering_from(args),
         )
     except (DistributionError, OrderingError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -227,7 +261,7 @@ def _run_benchmark(args) -> int:
             problem,
             epsilon=args.epsilon,
             max_defects=args.max_defects,
-            ordering=OrderingSpec(args.ordering, args.bit_ordering, sift=args.sift),
+            ordering=_ordering_from(args),
         )
     except (OrderingError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -256,9 +290,10 @@ def _run_sweep(args) -> int:
         return 2
     try:
         service = SweepService(
-            ordering=OrderingSpec(args.ordering, args.bit_ordering, sift=args.sift),
+            ordering=_ordering_from(args),
             epsilon=args.epsilon,
             workers=args.workers,
+            shard_size=args.shard_size,
             cache_dir=args.cache_dir,
         )
         started = time.perf_counter()
@@ -290,7 +325,41 @@ def _run_sweep(args) -> int:
         )
     )
     print("  time (s)            : %.2f" % elapsed)
+    if args.stats:
+        _report_engine_stats(stats)
     return 0
+
+
+def _report_engine_stats(stats) -> None:
+    """Print the engine diagnostics behind ``repro sweep --stats``."""
+    cache_misses = stats.points_evaluated
+    cache_hits = stats.result_cache_hits + stats.disk_cache_hits
+    print("Engine statistics")
+    print(
+        "  result cache        : %d hits / %d misses (%d from disk)"
+        % (cache_hits, cache_misses, stats.disk_cache_hits)
+    )
+    print(
+        "  batched passes      : %d (%d points, %d sharded over %d shards)"
+        % (
+            stats.batched_passes,
+            stats.points_evaluated,
+            stats.points_sharded,
+            stats.shards_dispatched,
+        )
+    )
+    print(
+        "  linearizations      : %d built, %d reused"
+        % (stats.linearize_builds, stats.linearize_reuses)
+    )
+    print(
+        "  phase wall-clock    : build %.3fs / reorder %.3fs / evaluate %.3fs"
+        % (
+            stats.build_seconds - stats.reorder_seconds,
+            stats.reorder_seconds,
+            stats.evaluate_seconds,
+        )
+    )
 
 
 def _run_table(args) -> int:

@@ -26,11 +26,13 @@ densities re-run only step 7; the batch front-end for that reuse is
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..bdd.builder import CircuitBDDBuilder
+from ..bdd.manager import BDDManager
+from ..engine.batch import LinearizedDiagram
 from ..mdd.from_bdd import convert_bdd_to_mdd
-from ..mdd.probability import probability_of_one
+from ..mdd.probability import probability_of_many
 from ..ordering.grouped import GroupedVariableOrder
 from ..ordering.strategies import OrderingSpec, compute_grouped_order
 from .gfunction import GeneralizedFaultTree
@@ -64,6 +66,8 @@ class CompiledYield:
         ordering: OrderingSpec,
         build_timings: Tuple[float, float, float],
         sift_swaps: int = 0,
+        reorder_seconds: float = 0.0,
+        reorder_triggers: int = 0,
     ) -> None:
         self.gfunction = gfunction
         self.grouped_order = grouped_order
@@ -78,8 +82,32 @@ class CompiledYield:
         self.ordering = ordering
         self.build_timings = build_timings
         self.sift_swaps = sift_swaps
+        #: Wall-clock seconds spent in dynamic reordering during the build.
+        self.reorder_seconds = reorder_seconds
+        #: Times the kernel's checkpoint fired mid-build reordering.
+        self.reorder_triggers = reorder_triggers
         #: Number of :meth:`evaluate` calls served by this structure.
         self.evaluations = 0
+        #: Linearized-array cache of the ROMDD plus its reuse counters.
+        self._linearized: Optional[LinearizedDiagram] = None
+        self.linearize_builds = 0
+        self.linearize_reuses = 0
+
+    def linearized(self) -> LinearizedDiagram:
+        """Return the flat arrays of the ROMDD, linearizing at most once.
+
+        The compiled diagram never mutates, so repeat sweeps over the same
+        structure skip linearization entirely (``linearize_reuses`` counts
+        the skips).
+        """
+        if self._linearized is None:
+            self._linearized = LinearizedDiagram.from_mdd(
+                self.mdd_manager, self.mdd_root
+            )
+            self.linearize_builds += 1
+        else:
+            self.linearize_reuses += 1
+        return self._linearized
 
     def evaluate(self, problem: YieldProblem, *, reused: bool = False) -> YieldResult:
         """Run the probability traversal for ``problem`` on this structure.
@@ -90,50 +118,89 @@ class CompiledYield:
         result's ``extra`` diagnostics so reports can tell a fresh build
         from a structure-cache hit.
         """
-        lethal_distribution = problem.lethal_defect_distribution()
-        error_bound = lethal_distribution.tail(self.truncation)
+        return self.evaluate_many([problem], reused=reused)[0]
+
+    def evaluate_many(
+        self,
+        problems: Sequence[YieldProblem],
+        *,
+        reused: bool = False,
+        use_numpy: Optional[bool] = None,
+    ) -> List[YieldResult]:
+        """Evaluate every defect model in one batched bottom-up pass.
+
+        All ``problems`` must share the fault-tree structure and component
+        names the structure was compiled from; only their defect models may
+        differ.  The ROMDD is walked **once** for the whole batch (see
+        :mod:`repro.engine.batch`), so K models cost one linearized pass
+        instead of K traversals.  The first result carries the build
+        diagnostics (``reused`` flag and build timings); the rest are marked
+        as structure reuses, mirroring the per-point route.
+        """
+        problems = list(problems)
+        if not problems:
+            return []
 
         t0 = time.perf_counter()
-        distributions = self.gfunction.variable_distributions(
-            lethal_distribution, problem.lethal_component_probabilities()
+        lethal_distributions = [p.lethal_defect_distribution() for p in problems]
+        distributions = [
+            self.gfunction.variable_distributions(
+                lethal, problem.lethal_component_probabilities()
+            )
+            for lethal, problem in zip(lethal_distributions, problems)
+        ]
+        probabilities_failed = probability_of_many(
+            self.mdd_manager,
+            self.mdd_root,
+            distributions,
+            linearized=self.linearized(),
+            use_numpy=use_numpy,
         )
-        probability_failed = probability_of_one(
-            self.mdd_manager, self.mdd_root, distributions
-        )
-        yield_estimate = 1.0 - probability_failed
-        t1 = time.perf_counter()
-        self.evaluations += 1
+        elapsed = time.perf_counter() - t0
+        per_point = elapsed / len(problems)
+        self.evaluations += len(problems)
 
         ordering_t, build_t, conversion_t = self.build_timings
-        timings = StageTimings(
-            ordering=0.0 if reused else ordering_t,
-            robdd_build=0.0 if reused else build_t,
-            mdd_conversion=0.0 if reused else conversion_t,
-            probability=t1 - t0,
-        )
-        extra = {
-            "robdd_allocated": float(self.robdd_allocated),
-            "mdd_allocated": float(self.mdd_manager.num_nodes_allocated),
-            "binary_variables": float(len(self.grouped_order.flat_bit_order())),
-            "gates_processed": float(self.gates_processed),
-            "structure_reused": 1.0 if reused else 0.0,
-        }
-        if self.ordering.sift:
-            extra["sift_swaps"] = float(self.sift_swaps)
-        return YieldResult(
-            name=problem.name,
-            yield_estimate=yield_estimate,
-            error_bound=error_bound,
-            truncation=self.truncation,
-            probability_not_functioning=probability_failed,
-            coded_robdd_size=self.coded_robdd_size,
-            robdd_peak=self.robdd_peak,
-            romdd_size=self.romdd_size,
-            ordering=(self.ordering.mv, self.ordering.bits),
-            variable_order=self.grouped_order.variable_names,
-            timings=timings,
-            extra=extra,
-        )
+        results: List[YieldResult] = []
+        for index, (problem, lethal, probability_failed) in enumerate(
+            zip(problems, lethal_distributions, probabilities_failed)
+        ):
+            point_reused = reused if index == 0 else True
+            timings = StageTimings(
+                ordering=0.0 if point_reused else ordering_t,
+                robdd_build=0.0 if point_reused else build_t,
+                mdd_conversion=0.0 if point_reused else conversion_t,
+                probability=per_point,
+            )
+            extra = {
+                "robdd_allocated": float(self.robdd_allocated),
+                "mdd_allocated": float(self.mdd_manager.num_nodes_allocated),
+                "binary_variables": float(len(self.grouped_order.flat_bit_order())),
+                "gates_processed": float(self.gates_processed),
+                "structure_reused": 1.0 if point_reused else 0.0,
+                "batched_models": float(len(problems)),
+            }
+            if self.ordering.sift:
+                extra["sift_swaps"] = float(self.sift_swaps)
+            if self.reorder_triggers:
+                extra["reorder_triggers"] = float(self.reorder_triggers)
+            results.append(
+                YieldResult(
+                    name=problem.name,
+                    yield_estimate=1.0 - probability_failed,
+                    error_bound=lethal.tail(self.truncation),
+                    truncation=self.truncation,
+                    probability_not_functioning=probability_failed,
+                    coded_robdd_size=self.coded_robdd_size,
+                    robdd_peak=self.robdd_peak,
+                    romdd_size=self.romdd_size,
+                    ordering=(self.ordering.mv, self.ordering.bits),
+                    variable_order=self.grouped_order.variable_names,
+                    timings=timings,
+                    extra=extra,
+                )
+            )
+        return results
 
 
 class YieldAnalyzer:
@@ -159,6 +226,12 @@ class YieldAnalyzer:
         Optional cap on allocated ROBDD nodes; exceeding it raises
         :class:`repro.bdd.builder.ResourceLimitExceeded` (the paper's
         "failed" entries).
+    reorder_on_growth:
+        Optional live-node threshold after which the kernel's checkpoint
+        triggers group-preserving sifting *during* the coded-ROBDD build
+        (see :meth:`repro.engine.kernel.DDKernel.set_reorder_trigger`).
+        Keeps ballooning intermediate diagrams in check before the final
+        sift/conversion.  ``None`` disables mid-build reordering.
     """
 
     def __init__(
@@ -169,12 +242,14 @@ class YieldAnalyzer:
         track_peak: bool = False,
         peak_stride: int = 1,
         node_limit: Optional[int] = None,
+        reorder_on_growth: Optional[int] = None,
     ) -> None:
         self.ordering = ordering or OrderingSpec("w", "ml")
         self.epsilon = float(epsilon)
         self.track_peak = track_peak
         self.peak_stride = peak_stride
         self.node_limit = node_limit
+        self.reorder_on_growth = reorder_on_growth
 
     # ------------------------------------------------------------------ #
     # Main entry points
@@ -225,12 +300,16 @@ class YieldAnalyzer:
         grouped_order = self._grouped_order(gfunction)
         t1 = time.perf_counter()
 
-        bdd_manager, bdd_root, build_stats = self._build_coded_robdd(
-            gfunction, grouped_order
+        bdd_manager, bdd_root, build_stats, grouped_order, trigger_state = (
+            self._build_coded_robdd(gfunction, grouped_order)
         )
-        sift_swaps = 0
+        sift_swaps = trigger_state["swaps"]
+        reorder_seconds = trigger_state["seconds"]
         if self.ordering.sift:
-            grouped_order, sift_swaps = self._sift(bdd_manager, bdd_root, grouped_order)
+            t_sift = time.perf_counter()
+            grouped_order, pass_swaps = self._sift(bdd_manager, bdd_root, grouped_order)
+            reorder_seconds += time.perf_counter() - t_sift
+            sift_swaps += pass_swaps
             build_stats.final_size = bdd_manager.size(bdd_root)
             if build_stats.final_size > build_stats.peak_live_nodes:
                 build_stats.peak_live_nodes = build_stats.final_size
@@ -257,6 +336,8 @@ class YieldAnalyzer:
             ordering=self.ordering,
             build_timings=(t1 - t0, t2 - t1, t3 - t2),
             sift_swaps=sift_swaps,
+            reorder_seconds=reorder_seconds,
+            reorder_triggers=trigger_state["triggers"],
         )
 
     # ------------------------------------------------------------------ #
@@ -316,14 +397,51 @@ class YieldAnalyzer:
             peak_stride=self.peak_stride,
             node_limit=self.node_limit,
         )
-        return builder.build(gfunction.binary_circuit())
+        manager = BDDManager(grouped_order.flat_bit_order())
+        trigger_state = {
+            "groups": grouped_order.groups,
+            "swaps": 0,
+            "triggers": 0,
+            "seconds": 0.0,
+        }
+        if self.reorder_on_growth is not None:
+            from ..engine.reorder import sift_grouped
+
+            def mid_build_reorder(mgr) -> None:
+                # the builder ref-protects every live gate function before
+                # its checkpoint, so this is a safe point to reorder; the
+                # group state threads through so later triggers (and the
+                # final conversion) see the current order
+                started = time.perf_counter()
+                new_groups, stats = sift_grouped(mgr, trigger_state["groups"])
+                trigger_state["groups"] = new_groups
+                trigger_state["swaps"] += stats.swaps
+                trigger_state["triggers"] += 1
+                trigger_state["seconds"] += time.perf_counter() - started
+
+            manager.set_reorder_trigger(
+                mid_build_reorder, threshold=int(self.reorder_on_growth)
+            )
+        bdd_manager, bdd_root, build_stats = builder.build(
+            gfunction.binary_circuit(), manager
+        )
+        bdd_manager.clear_reorder_trigger()
+        if trigger_state["triggers"]:
+            grouped_order = GroupedVariableOrder(trigger_state["groups"])
+            build_stats.final_size = bdd_manager.size(bdd_root)
+        return bdd_manager, bdd_root, build_stats, grouped_order, trigger_state
 
     def _sift(self, bdd_manager, bdd_root: int, grouped_order: GroupedVariableOrder):
         from ..engine.reorder import sift_grouped
 
         bdd_manager.ref(bdd_root)
         try:
-            new_groups, stats = sift_grouped(bdd_manager, grouped_order.groups)
+            new_groups, stats = sift_grouped(
+                bdd_manager,
+                grouped_order.groups,
+                converge=self.ordering.sift_converge,
+                window=3 if self.ordering.sift_converge else 0,
+            )
         finally:
             bdd_manager.deref(bdd_root)
         return GroupedVariableOrder(new_groups), stats.swaps

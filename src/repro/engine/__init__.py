@@ -12,24 +12,41 @@ reusable analysis engine — out of :mod:`repro.bdd` and :mod:`repro.mdd`:
   sifting on top of the managers' ``swap_adjacent_levels`` primitive,
   including the group-preserving variant needed by the coded-ROBDD
   pipeline;
+* :mod:`repro.engine.batch` — the batched probability engine: linearize a
+  ROMDD once into flat topological arrays and evaluate every defect model
+  of a sweep in a single bottom-up pass (pure Python, with an optional
+  numpy fast path that stays bit-for-bit identical);
 * :mod:`repro.engine.service` — the batch evaluation service: build a
-  decision diagram once per (structure, truncation, ordering) and re-run
-  the cheap probability traversal for every point of a sweep, with an
-  optional ``multiprocessing`` fan-out and a keyed result cache.
+  decision diagram once per (structure, truncation, ordering), evaluate all
+  of its defect models in one batched pass, shard the points of large
+  groups across an optional ``multiprocessing`` fan-out, and keep keyed
+  result caches.
 """
 
-from .kernel import BoundedComputedTable, CacheStats, DDKernel, KernelStats
-from .reorder import ReorderStats, sift, sift_grouped
+from .batch import HAVE_NUMPY, BatchEvalError, LinearizedDiagram
+from .kernel import (
+    BoundedComputedTable,
+    CacheStats,
+    DDKernel,
+    KernelStats,
+    recursion_guard,
+)
+from .reorder import ReorderStats, sift, sift_grouped, sift_to_convergence
 from .service import SweepPoint, SweepService, SweepServiceStats
 
 __all__ = [
+    "BatchEvalError",
     "BoundedComputedTable",
     "CacheStats",
     "DDKernel",
+    "HAVE_NUMPY",
     "KernelStats",
+    "LinearizedDiagram",
     "ReorderStats",
+    "recursion_guard",
     "sift",
     "sift_grouped",
+    "sift_to_convergence",
     "SweepPoint",
     "SweepService",
     "SweepServiceStats",

@@ -12,7 +12,13 @@ adjacent levels in place while every handle keeps denoting the same function
   binary variables that encode one multiple-valued variable must stay
   contiguous, so bits are sifted *within* their group and the groups are
   sifted as atomic blocks.  It returns the new grouped order so the
-  ROBDD-to-ROMDD conversion can follow the reordered diagram.
+  ROBDD-to-ROMDD conversion can follow the reordered diagram.  Pass
+  ``converge=True`` to repeat passes until the node count stops improving
+  and ``window=2``/``3`` to add a group-aware window permutation (every
+  ``window`` adjacent blocks are exhaustively permuted, best arrangement
+  kept) after each block-sifting pass;
+* :func:`sift_to_convergence` repeats plain :func:`sift` passes until a
+  pass no longer shrinks the diagram (Rudell's "sift until convergence").
 
 Both functions work on any manager implementing the small reordering
 protocol (``num_variables``, ``num_live_nodes``, ``nodes_at_level``,
@@ -39,6 +45,8 @@ class ReorderStats:
     final_size: int
     #: Number of adjacent-level swaps performed.
     swaps: int
+    #: Number of sifting passes executed (1 unless converging).
+    passes: int = 1
 
     @property
     def reduction(self) -> float:
@@ -180,6 +188,56 @@ def sift(
             manager.end_reorder()
 
 
+def sift_to_convergence(
+    manager,
+    *,
+    max_passes: int = 8,
+    max_growth: float = 1.2,
+    lower: int = 0,
+    upper: Optional[int] = None,
+    variables: Optional[Sequence[str]] = None,
+) -> ReorderStats:
+    """Repeat :func:`sift` passes until the node count stops improving.
+
+    A single sifting pass parks every variable greedily given the positions
+    of the others, so a second pass over the already-moved order frequently
+    finds further reductions.  The loop stops after ``max_passes`` or as
+    soon as a pass fails to shrink the shared node count.
+    """
+    if max_passes < 1:
+        raise ValueError("max_passes must be at least 1")
+    owns_session = not manager.in_reorder
+    if owns_session:
+        manager.begin_reorder()
+    try:
+        initial: Optional[int] = None
+        swaps = 0
+        passes = 0
+        while passes < max_passes:
+            stats = sift(
+                manager,
+                max_growth=max_growth,
+                lower=lower,
+                upper=upper,
+                variables=variables,
+            )
+            passes += 1
+            swaps += stats.swaps
+            if initial is None:
+                initial = stats.initial_size
+            if stats.final_size >= stats.initial_size:
+                break
+        return ReorderStats(
+            initial_size=initial if initial is not None else manager.num_live_nodes,
+            final_size=manager.num_live_nodes,
+            swaps=swaps,
+            passes=passes,
+        )
+    finally:
+        if owns_session:
+            manager.end_reorder()
+
+
 def _swap_adjacent_blocks(counter: _SwapCounter, start: int, width_a: int, width_b: int) -> None:
     """Exchange the block at ``start`` (width ``width_a``) with the next one.
 
@@ -201,15 +259,27 @@ def _block_starts(widths: Sequence[int]) -> List[int]:
     return starts
 
 
-def _sift_blocks(counter: _SwapCounter, widths: List[int], max_growth: float) -> List[int]:
-    """Sift whole blocks; mutates ``widths`` order and returns the permutation.
+def _swap_blocks_at(counter: _SwapCounter, widths: List[int], order: List[int], k: int) -> None:
+    """Exchange the adjacent blocks at positions ``k`` and ``k + 1``.
 
-    ``widths[k]`` is the width of the block currently ``k``-th from the top.
-    The returned list maps the final block sequence to the original block
-    indices.
+    Keeps ``widths`` and ``order`` (position -> original block index) in
+    sync with the diagram.
+    """
+    start = sum(widths[:k])
+    _swap_adjacent_blocks(counter, start, widths[k], widths[k + 1])
+    widths[k], widths[k + 1] = widths[k + 1], widths[k]
+    order[k], order[k + 1] = order[k + 1], order[k]
+
+
+def _sift_blocks(
+    counter: _SwapCounter, widths: List[int], order: List[int], max_growth: float
+) -> None:
+    """Sift whole blocks; mutates ``widths`` and ``order`` in place.
+
+    ``widths[k]`` is the width of the block currently ``k``-th from the top
+    and ``order[k]`` its original index.
     """
     manager = counter.manager
-    order = list(range(len(widths)))
     # process the widest diagrams' owners first: approximate each block's
     # contribution by the nodes currently inside its span
     def block_population(k: int) -> int:
@@ -226,17 +296,11 @@ def _sift_blocks(counter: _SwapCounter, widths: List[int], max_growth: float) ->
         last = len(order) - 1
 
         def move_down(k: int) -> int:
-            start = _block_starts(widths)[k]
-            _swap_adjacent_blocks(counter, start, widths[k], widths[k + 1])
-            widths[k], widths[k + 1] = widths[k + 1], widths[k]
-            order[k], order[k + 1] = order[k + 1], order[k]
+            _swap_blocks_at(counter, widths, order, k)
             return k + 1
 
         def move_up(k: int) -> int:
-            start = _block_starts(widths)[k - 1]
-            _swap_adjacent_blocks(counter, start, widths[k - 1], widths[k])
-            widths[k - 1], widths[k] = widths[k], widths[k - 1]
-            order[k - 1], order[k] = order[k], order[k - 1]
+            _swap_blocks_at(counter, widths, order, k - 1)
             return k - 1
 
         if last - k <= k:
@@ -257,7 +321,40 @@ def _sift_blocks(counter: _SwapCounter, widths: List[int], max_growth: float) ->
             k = move_down(k)
         while k > best_k:
             k = move_up(k)
-    return order
+
+
+def _window_pass(
+    counter: _SwapCounter, widths: List[int], order: List[int], window: int
+) -> bool:
+    """Permute every ``window`` adjacent blocks exhaustively, keeping the best.
+
+    The group-aware analogue of Rudell's window permutation: a window of 2
+    tries the swapped arrangement, a window of 3 walks all six permutations
+    through a fixed adjacent-swap sequence; the arrangement with the
+    smallest shared node count wins (walking back through the remaining
+    transpositions restores it).  Returns whether anything improved.
+    """
+    manager = counter.manager
+    improved = False
+    for k in range(len(widths) - window + 1):
+        best_size = manager.num_live_nodes
+        # the transposition sequences visiting every permutation of the window
+        sequence = (k,) if window == 2 else (k, k + 1, k, k + 1, k)
+        best_depth = 0
+        applied: List[int] = []
+        for position in sequence:
+            _swap_blocks_at(counter, widths, order, position)
+            applied.append(position)
+            size = manager.num_live_nodes
+            if size < best_size:
+                best_size = size
+                best_depth = len(applied)
+                improved = True
+        while len(applied) > best_depth:
+            # adjacent block swaps are involutions: replaying the suffix in
+            # reverse returns the diagram to the best arrangement seen
+            _swap_blocks_at(counter, widths, order, applied.pop())
+    return improved
 
 
 def sift_grouped(
@@ -267,6 +364,9 @@ def sift_grouped(
     max_growth: float = 1.2,
     sift_bits: bool = True,
     sift_blocks: bool = True,
+    converge: bool = False,
+    window: int = 0,
+    max_passes: int = 8,
 ) -> Tuple[list, ReorderStats]:
     """Sift a coded ROBDD while keeping each group's bits contiguous.
 
@@ -283,6 +383,15 @@ def sift_grouped(
         Excursion abort factor, as in :func:`sift`.
     sift_bits / sift_blocks:
         Enable the within-group pass and the whole-group pass.
+    converge:
+        Repeat full passes (bits, blocks, window) until a pass no longer
+        shrinks the shared node count, up to ``max_passes``.
+    window:
+        ``2`` or ``3`` adds a group-aware window permutation after each
+        block-sifting pass (every ``window`` adjacent groups are permuted
+        exhaustively, the best arrangement kept); ``0`` disables it.
+    max_passes:
+        Upper bound on convergence iterations.
 
     Returns
     -------
@@ -292,6 +401,10 @@ def sift_grouped(
         :class:`~repro.ordering.grouped.GroupedVariableOrder`), and
         ``stats`` is a :class:`ReorderStats`.
     """
+    if window not in (0, 2, 3):
+        raise ValueError("window must be 0 (disabled), 2 or 3")
+    if max_passes < 1:
+        raise ValueError("max_passes must be at least 1")
     groups = list(groups)
     widths = [len(bits) for _, bits in groups]
     expected = [bit for _, bits in groups for bit in bits]
@@ -308,38 +421,54 @@ def sift_grouped(
     try:
         initial = manager.num_live_nodes
         counter = _SwapCounter(manager)
+        order = list(range(len(groups)))
+        passes = 0
 
-        if sift_bits:
-            starts = _block_starts(widths)
-            for (variable, bits), start, width in zip(groups, starts, widths):
-                if width > 1:
-                    inner = sift(
-                        manager,
-                        max_growth=max_growth,
-                        lower=start,
-                        upper=start + width - 1,
-                        variables=list(bits),
-                    )
-                    counter.count += inner.swaps
+        while True:
+            size_before = manager.num_live_nodes
 
-        if sift_blocks and len(groups) > 1:
-            permutation = _sift_blocks(counter, list(widths), max_growth)
-        else:
-            permutation = list(range(len(groups)))
+            if sift_bits:
+                starts = _block_starts(widths)
+                span_names = list(manager.variable_order)
+                for start, width in zip(starts, widths):
+                    if width > 1:
+                        inner = sift(
+                            manager,
+                            max_growth=max_growth,
+                            lower=start,
+                            upper=start + width - 1,
+                            variables=span_names[start : start + width],
+                        )
+                        counter.count += inner.swaps
 
-        order = manager.variable_order
+            if sift_blocks and len(groups) > 1:
+                _sift_blocks(counter, widths, order, max_growth)
+
+            if window >= 2 and len(groups) >= window:
+                _window_pass(counter, widths, order, window)
+
+            passes += 1
+            if (
+                not converge
+                or passes >= max_passes
+                or manager.num_live_nodes >= size_before
+            ):
+                break
+
+        final_names = manager.variable_order
         new_groups = []
         position = 0
-        for block_id in permutation:
+        for block_id in order:
             variable, bits = groups[block_id]
             width = len(bits)
-            new_groups.append((variable, tuple(order[position : position + width])))
+            new_groups.append((variable, tuple(final_names[position : position + width])))
             position += width
 
         stats = ReorderStats(
             initial_size=initial,
             final_size=manager.num_live_nodes,
             swaps=counter.count,
+            passes=passes,
         )
         return new_groups, stats
     finally:

@@ -12,12 +12,21 @@ needs **one** diagram build, not one per point.
 * points (:class:`SweepPoint`) are grouped by their *structure key*
   (a digest of the fault tree, the component list, ``M`` and the ordering);
 * one :class:`repro.core.method.CompiledYield` is built per group (LRU-kept
-  across batches) and every point of the group re-runs only the traversal;
+  across batches) and every point of the group re-runs only the traversal —
+  **all of a group's defect models in one batched bottom-up pass** over the
+  structure's linearized arrays (:mod:`repro.engine.batch`), not one
+  traversal per point;
 * finished results live in a keyed in-memory cache and, optionally, an
   on-disk cache (``cache_dir``), so repeated sweeps are free;
 * independent groups can fan out over ``multiprocessing`` workers — each
   worker builds its group's structure once and evaluates all of the group's
-  points in-process.
+  points in-process;
+* a single *large* group no longer serializes the fan-out: its points are
+  sharded across workers (``shard_size`` points minimum per shard).  The
+  parent builds the structure once and ships the pickled
+  :class:`~repro.core.method.CompiledYield` to the shards, so each worker
+  evaluates its chunk without rebuilding; shards that do land in the same
+  worker process additionally share a per-process structure cache.
 
 The service deliberately imports :mod:`repro.core` lazily: the decision
 diagram managers import :mod:`repro.engine.kernel` at module load, so a
@@ -29,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -62,8 +72,22 @@ class SweepServiceStats:
     result_cache_hits: int = 0
     disk_cache_hits: int = 0
     parallel_batches: int = 0
+    #: Batched multi-model passes executed (one per group dispatch).
+    batched_passes: int = 0
+    #: Points evaluated through intra-group shards on workers.
+    points_sharded: int = 0
+    #: Intra-group shard payloads dispatched to the worker pool (whole-group
+    #: worker payloads are not counted — see ``parallel_batches``).
+    shards_dispatched: int = 0
+    #: Linearized-array builds / reuses across the compiled structures.
+    linearize_builds: int = 0
+    linearize_reuses: int = 0
+    #: Per-phase wall-clock seconds (parent process only).
+    build_seconds: float = 0.0
+    reorder_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         return dict(self.__dict__)
 
 
@@ -135,8 +159,16 @@ class SweepService:
         nor their own ``epsilon``.
     workers:
         Fan independent structure groups out over this many
-        ``multiprocessing`` processes (0 or 1 = serial).  Falls back to
-        serial execution if the platform cannot spawn workers.
+        ``multiprocessing`` processes (0 or 1 = serial).  The pool is
+        persistent: spawned lazily by the first parallel batch (or
+        explicitly with :meth:`ensure_workers`), reused by every later
+        batch and torn down by :meth:`close`.  Falls back to serial
+        execution if the platform cannot spawn workers.
+    shard_size:
+        Minimum number of points per intra-group shard.  A group with at
+        least ``2 * shard_size`` points is split into up to ``workers``
+        chunks so a single large group can saturate the pool; smaller
+        groups stay whole (one batched pass each).
     cache_dir:
         Optional directory for the on-disk result cache (created on
         demand).  Results are pickled per key; corrupt or unreadable
@@ -157,6 +189,7 @@ class SweepService:
         ordering=None,
         epsilon: float = 1e-4,
         workers: int = 0,
+        shard_size: int = 16,
         cache_dir: Optional[str] = None,
         max_structures: int = 8,
         max_results: int = 65536,
@@ -166,11 +199,14 @@ class SweepService:
             raise ValueError("max_structures must be at least 1")
         if max_results < 1:
             raise ValueError("max_results must be at least 1")
+        if shard_size < 1:
+            raise ValueError("shard_size must be at least 1")
         from ..ordering.strategies import OrderingSpec
 
         self.ordering = ordering or OrderingSpec("w", "ml")
         self.epsilon = float(epsilon)
         self.workers = int(workers)
+        self.shard_size = int(shard_size)
         self.cache_dir = cache_dir
         self.max_structures = int(max_structures)
         self.max_results = int(max_results)
@@ -178,6 +214,8 @@ class SweepService:
         self.stats = SweepServiceStats()
         self._structures: "OrderedDict[Tuple, object]" = OrderedDict()
         self._results: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._pool = None
+        self._pool_broken = False
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -221,7 +259,7 @@ class SweepService:
 
         if pending:
             groups = list(pending.items())
-            if self.workers > 1 and len(groups) > 1:
+            if self.workers > 1:
                 evaluated = self._run_parallel(groups, points, truncations)
             else:
                 evaluated = self._run_serial(groups, points, truncations)
@@ -281,6 +319,41 @@ class SweepService:
         self._structures.clear()
         self._results.clear()
 
+    def ensure_workers(self):
+        """Spawn the persistent worker pool now (idempotent).
+
+        The pool is otherwise created lazily by the first batch that needs
+        it; long-lived callers can pre-spawn so the first sweep does not pay
+        the process start-up.  Returns the pool, or ``None`` when workers
+        are disabled or the platform cannot spawn processes.
+        """
+        if self.workers <= 1 or self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                import multiprocessing
+
+                self._pool = multiprocessing.Pool(processes=self.workers)
+            except Exception:  # pragma: no cover - platform specific
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the persistent worker pool (caches are kept)."""
+        # getattr: __del__ may run on instances whose __init__ raised early
+        pool = getattr(self, "_pool", None)
+        self._pool = None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def __del__(self):  # pragma: no cover - interpreter-dependent timing
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -305,7 +378,21 @@ class SweepService:
         compiled = self._analyzer().compile_for_truncation(problem, truncation)
         self._store_structure(skey, compiled)
         self.stats.structures_built += 1
+        self.stats.build_seconds += sum(compiled.build_timings)
+        self.stats.reorder_seconds += compiled.reorder_seconds
         return compiled, False
+
+    def _evaluate_group_locally(self, compiled, problems, *, reused: bool):
+        """One batched pass over a group's defect models, with bookkeeping."""
+        builds_before = compiled.linearize_builds
+        reuses_before = compiled.linearize_reuses
+        started = time.perf_counter()
+        results = compiled.evaluate_many(problems, reused=reused)
+        self.stats.evaluate_seconds += time.perf_counter() - started
+        self.stats.batched_passes += 1
+        self.stats.linearize_builds += compiled.linearize_builds - builds_before
+        self.stats.linearize_reuses += compiled.linearize_reuses - reuses_before
+        return results
 
     def _store_structure(self, skey: Tuple, compiled) -> None:
         self._structures[skey] = compiled
@@ -326,53 +413,134 @@ class SweepService:
             compiled, reused = self._structure_for(
                 skey, points[first].problem, truncations[first]
             )
-            for idx in indices:
-                evaluated.append(
-                    (idx, compiled.evaluate(points[idx].problem, reused=reused))
-                )
-                reused = True
+            results = self._evaluate_group_locally(
+                compiled, [points[idx].problem for idx in indices], reused=reused
+            )
+            evaluated.extend(zip(indices, results))
         return evaluated
 
-    def _run_parallel(self, groups, points, truncations):
-        import multiprocessing
+    def _shard_count(self, num_points: int) -> int:
+        """How many worker shards a group of ``num_points`` points gets."""
+        if self.workers <= 1:
+            return 1
+        return min(self.workers, max(1, num_points // self.shard_size))
 
+    def _run_parallel(self, groups, points, truncations):
+        # settle pool availability before any stats-mutating shard prep, so
+        # a platform that cannot spawn workers falls back to the serial
+        # route without double-counting structure/linearization work
+        if self.ensure_workers() is None:
+            return self._run_serial(groups, points, truncations)
         payloads = []
+        local_groups = []
+        sharded_points = 0
+        sharded_payloads = 0
         for skey, indices in groups:
-            if skey in self._structures:
-                # already compiled locally: cheaper to evaluate in-process
+            compiled = self._structures.get(skey)
+            shards = self._shard_count(len(indices))
+            if shards <= 1:
+                if compiled is not None:
+                    # already compiled locally: cheaper to evaluate in-process
+                    local_groups.append((skey, indices))
+                else:
+                    payloads.append(
+                        self._payload(skey, indices, points, truncations, None, False)
+                    )
                 continue
-            payloads.append(
-                (
-                    skey,
-                    self.ordering.key(),
-                    self.epsilon,
-                    self.analyzer_options,
-                    truncations[indices[0]],
-                    indices,
-                    [points[idx].problem for idx in indices],
+            # intra-group point sharding: one structure build in the parent,
+            # the pickled structure (with its linearized arrays, so workers
+            # skip linearization too) ships with every chunk so each worker
+            # evaluates its points without rebuilding
+            if compiled is None:
+                compiled, reused = self._structure_for(
+                    skey, points[indices[0]].problem, truncations[indices[0]]
                 )
-            )
-        local_groups = [g for g in groups if g[0] in self._structures]
+                fresh = not reused
+            else:
+                self._structures.move_to_end(skey)
+                self.stats.structure_reuses += 1
+                fresh = False
+            builds_before = compiled.linearize_builds
+            compiled.linearized()
+            self.stats.linearize_builds += compiled.linearize_builds - builds_before
+            sharded_points += len(indices)
+            for shard_index, chunk in enumerate(_chunked(indices, shards)):
+                payloads.append(
+                    self._payload(
+                        skey,
+                        chunk,
+                        points,
+                        truncations,
+                        compiled,
+                        fresh and shard_index == 0,
+                    )
+                )
+                sharded_payloads += 1
+
+        if len(payloads) <= 1:
+            # at most one whole-group build pending: a pool cannot help, so
+            # run the whole batch in-process (structures the parent already
+            # holds are simply reused by the serial route)
+            return self._run_serial(groups, points, truncations)
 
         evaluated = []
-        if payloads:
+        local_keys = {skey for skey, _ in local_groups}
+        pool = self.ensure_workers()
+        if pool is None:  # pragma: no cover - pool died between the checks
+            fallback = [g for g in groups if g[0] not in local_keys]
+            evaluated = self._run_serial(fallback, points, truncations)
+        else:
             try:
-                processes = min(self.workers, len(payloads))
-                with multiprocessing.Pool(processes=processes) as pool:
-                    for skey, compiled, chunk in pool.map(_evaluate_group, payloads):
-                        # keep the worker-built structure for later batches
-                        if compiled is not None:
-                            self._store_structure(skey, compiled)
-                        evaluated.extend(chunk)
+                started = time.perf_counter()
+                worker_build_seconds = 0.0
+                for skey, compiled, chunk, shard_stats in pool.map(
+                    _evaluate_shard, payloads
+                ):
+                    # keep the worker-built structure for later batches
+                    if compiled is not None:
+                        self._store_structure(skey, compiled)
+                    if shard_stats.get("built"):
+                        self.stats.structures_built += 1
+                        self.stats.build_seconds += shard_stats.get("build_seconds", 0.0)
+                        self.stats.reorder_seconds += shard_stats.get(
+                            "reorder_seconds", 0.0
+                        )
+                        worker_build_seconds += shard_stats.get("build_seconds", 0.0)
+                    self.stats.batched_passes += 1
+                    self.stats.linearize_builds += shard_stats.get("linearize_builds", 0)
+                    self.stats.linearize_reuses += shard_stats.get("linearize_reuses", 0)
+                    evaluated.extend(chunk)
+                # the pool wall clock minus the build time workers reported is
+                # the evaluation (plus transfer) share of the phase breakdown
+                elapsed = time.perf_counter() - started
+                self.stats.evaluate_seconds += max(0.0, elapsed - worker_build_seconds)
                 self.stats.parallel_batches += 1
-                self.stats.structures_built += len(payloads)
+                self.stats.shards_dispatched += sharded_payloads
+                self.stats.points_sharded += sharded_points
             except Exception:
-                # pickling or platform trouble: fall back to in-process work
-                fallback = [g for g in groups if g[0] not in self._structures]
+                # pickling or pool trouble: drop the (possibly wedged) pool and
+                # fall back to in-process work; the next batch may retry with a
+                # fresh pool — one bad payload must not disable parallelism
+                # for the rest of the service's lifetime
+                self.close()
+                fallback = [g for g in groups if g[0] not in local_keys]
                 evaluated = self._run_serial(fallback, points, truncations)
         if local_groups:
             evaluated.extend(self._run_serial(local_groups, points, truncations))
         return evaluated
+
+    def _payload(self, skey, indices, points, truncations, compiled, fresh):
+        return (
+            skey,
+            self.ordering.key(),
+            self.epsilon,
+            self.analyzer_options,
+            truncations[indices[0]],
+            list(indices),
+            [points[idx].problem for idx in indices],
+            compiled,
+            fresh,
+        )
 
     # ------------------------------------------------------------------ #
     # Disk cache
@@ -408,24 +576,75 @@ class SweepService:
             pass
 
 
-def _evaluate_group(payload):
-    """Worker entry point: build one group's structure, evaluate its points.
-
-    Returns ``(structure_key, compiled, [(index, result), ...])`` so the
-    parent process can adopt the structure into its LRU and serve later
-    batches without rebuilding.
-    """
-    skey, ordering_key, epsilon, analyzer_options, truncation, indices, problems = payload
-    from ..core.method import YieldAnalyzer
-    from ..ordering.strategies import OrderingSpec
-
-    mv, bits, sift = ordering_key
-    ordering = OrderingSpec(mv, bits, sift=sift, strict=False)
-    analyzer = YieldAnalyzer(ordering, epsilon=epsilon, **analyzer_options)
-    compiled = analyzer.compile_for_truncation(problems[0], truncation)
+def _chunked(items: Sequence, chunks: int) -> List[list]:
+    """Split ``items`` into ``chunks`` contiguous, near-equal, non-empty lists."""
+    chunks = max(1, min(int(chunks), len(items)))
+    size, extra = divmod(len(items), chunks)
     out = []
-    reused = False
-    for idx, problem in zip(indices, problems):
-        out.append((idx, compiled.evaluate(problem, reused=reused)))
-        reused = True
-    return skey, compiled, out
+    position = 0
+    for index in range(chunks):
+        width = size + (1 if index < extra else 0)
+        out.append(list(items[position : position + width]))
+        position += width
+    return out
+
+
+#: Per-worker-process structure cache: shards of the same group that land in
+#: the same worker share one build (bounded; workers are short-lived).
+_WORKER_STRUCTURES: "OrderedDict[Tuple, object]" = OrderedDict()
+_WORKER_STRUCTURES_BOUND = 4
+
+
+def _evaluate_shard(payload):
+    """Worker entry point: evaluate one shard of a structure group.
+
+    When the payload ships a compiled structure (intra-group sharding) the
+    worker evaluates its chunk directly; otherwise it builds the group's
+    structure — consulting the per-process cache first — and returns it so
+    the parent can adopt it into its LRU and serve later batches without
+    rebuilding.  All of the shard's defect models run in one batched pass.
+    """
+    (
+        skey,
+        ordering_key,
+        epsilon,
+        analyzer_options,
+        truncation,
+        indices,
+        problems,
+        compiled,
+        fresh,
+    ) = payload
+    built = False
+    if compiled is None:
+        compiled = _WORKER_STRUCTURES.get(skey)
+        if compiled is None:
+            from ..core.method import YieldAnalyzer
+            from ..ordering.strategies import OrderingSpec
+
+            ordering = OrderingSpec.from_key(ordering_key)
+            analyzer = YieldAnalyzer(ordering, epsilon=epsilon, **analyzer_options)
+            compiled = analyzer.compile_for_truncation(problems[0], truncation)
+            built = True
+            _WORKER_STRUCTURES[skey] = compiled
+            while len(_WORKER_STRUCTURES) > _WORKER_STRUCTURES_BOUND:
+                _WORKER_STRUCTURES.popitem(last=False)
+        fresh = built
+    builds_before = compiled.linearize_builds
+    reuses_before = compiled.linearize_reuses
+    results = compiled.evaluate_many(problems, reused=not fresh)
+    shard_stats = {
+        "built": built,
+        "models": len(problems),
+        "linearize_builds": compiled.linearize_builds - builds_before,
+        "linearize_reuses": compiled.linearize_reuses - reuses_before,
+    }
+    if built:
+        shard_stats["build_seconds"] = sum(compiled.build_timings)
+        shard_stats["reorder_seconds"] = compiled.reorder_seconds
+    return (
+        skey,
+        compiled if built else None,
+        list(zip(indices, results)),
+        shard_stats,
+    )

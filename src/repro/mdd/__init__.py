@@ -6,15 +6,22 @@
   ROMDD conversion (Fig. 3 procedure);
 * :func:`~repro.mdd.direct.build_mdd_from_mvcircuit` — direct ROMDD
   construction (ablation / cross-validation path);
-* :func:`~repro.mdd.probability.probability_of_one` — the depth-first
-  probability traversal that produces the yield.
+* :func:`~repro.mdd.probability.probability_of_one` /
+  :func:`~repro.mdd.probability.probability_of_many` — the probability
+  traversal that produces the yield, batched over defect models through the
+  linearized arrays of :mod:`repro.engine.batch`.
 """
 
 from .direct import DirectBuildStats, build_mdd_from_mvcircuit
 from .dot import mdd_to_dot, write_mdd_dot
 from .from_bdd import convert_bdd_to_mdd
 from .manager import FALSE, TRUE, MDDError, MDDManager
-from .probability import VariableDistributions, probability_of_one
+from .probability import (
+    VariableDistributions,
+    probability_of_many,
+    probability_of_one,
+    probability_of_one_reference,
+)
 
 __all__ = [
     "MDDManager",
@@ -25,6 +32,8 @@ __all__ = [
     "build_mdd_from_mvcircuit",
     "DirectBuildStats",
     "probability_of_one",
+    "probability_of_many",
+    "probability_of_one_reference",
     "VariableDistributions",
     "mdd_to_dot",
     "write_mdd_dot",

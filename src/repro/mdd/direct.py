@@ -73,31 +73,38 @@ def build_mdd_from_mvcircuit(
             for fanin in node.fanins:
                 remaining_readers[fanin] += 1
 
+    from ..engine.kernel import recursion_guard
+
     node_mdd: Dict[int, int] = {}
-    for idx in sorted(cone):
-        node = circuit.node(idx)
-        if node.is_input:
-            gate = filters[node.name]
-            accepted = [v for v in gate.variable.values if gate.evaluate(v)]
-            node_mdd[idx] = manager.literal(gate.variable.name, accepted)
-            continue
-        if node.is_const:
-            node_mdd[idx] = TRUE if node.name == "1" else FALSE
-            continue
+    # the binary apply recurses once per multiple-valued level; guard for
+    # chain-shaped circuits over many variables
+    with recursion_guard(2 * manager.num_variables + 200):
+        for idx in sorted(cone):
+            node = circuit.node(idx)
+            if node.is_input:
+                gate = filters[node.name]
+                accepted = [v for v in gate.variable.values if gate.evaluate(v)]
+                node_mdd[idx] = manager.literal(gate.variable.name, accepted)
+                continue
+            if node.is_const:
+                node_mdd[idx] = TRUE if node.name == "1" else FALSE
+                continue
 
-        fanin_mdds = [node_mdd[f] for f in node.fanins]
-        node_mdd[idx] = _apply_gate(manager, node.op, fanin_mdds)
-        stats.gates_processed += 1
+            fanin_mdds = [node_mdd[f] for f in node.fanins]
+            node_mdd[idx] = _apply_gate(manager, node.op, fanin_mdds)
+            stats.gates_processed += 1
 
-        for fanin in node.fanins:
-            remaining_readers[fanin] -= 1
-            if remaining_readers[fanin] == 0 and fanin != output:
-                node_mdd.pop(fanin, None)
+            for fanin in node.fanins:
+                remaining_readers[fanin] -= 1
+                if remaining_readers[fanin] == 0 and fanin != output:
+                    node_mdd.pop(fanin, None)
 
-        if track_peak:
-            live = len(set().union(*(manager.reachable(h) for h in node_mdd.values())))
-            if live > stats.peak_live_nodes:
-                stats.peak_live_nodes = live
+            if track_peak:
+                live = len(
+                    set().union(*(manager.reachable(h) for h in node_mdd.values()))
+                )
+                if live > stats.peak_live_nodes:
+                    stats.peak_live_nodes = live
 
     root = node_mdd[output]
     stats.final_size = manager.size(root)

@@ -222,16 +222,32 @@ class MDDManager(DDKernel):
             return FALSE
         if f == FALSE:
             return TRUE
-        key = ("not", f, -1)
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            return cached
-        level = self._level[f]
-        result = self._mk_raw(
-            level, tuple(self._apply_unary(c) for c in self._children[f])
-        )
-        self._apply_cache.put(key, result)
-        return result
+        # iterative post-order complementation: deep (chain-shaped) diagrams
+        # must not hit the interpreter recursion limit.  Results collect in a
+        # local map (complete for the walk even if the bounded shared cache
+        # evicts mid-traversal) and are published to the cache at the end.
+        cache = self._apply_cache
+        local: Dict[int, int] = {FALSE: TRUE, TRUE: FALSE}
+        stack = [(f, False)]
+        while stack:
+            n, expanded = stack.pop()
+            if n in local:
+                continue
+            if expanded:
+                kids = tuple(local[c] for c in self._children[n])
+                result = self._mk_raw(self._level[n], kids)
+                local[n] = result
+                cache.put(("not", n, -1), result)
+                continue
+            cached = cache.get(("not", n, -1))
+            if cached is not None:
+                local[n] = cached
+                continue
+            stack.append((n, True))
+            for child in self._children[n]:
+                if child not in local:
+                    stack.append((child, False))
+        return local[f]
 
     def and_(self, f: int, g: int) -> int:
         """Return ``f AND g``."""

@@ -13,12 +13,22 @@ The independence of ``W, V_1, ..., V_M`` plus the fact that a node's function
 only depends on the variables below it make this single pass exact.  Skipped
 variables contribute a factor of 1 because their value probabilities sum to
 one, so no correction is needed for edges that jump levels.
+
+Since the batched engine landed, the pass is executed by
+:mod:`repro.engine.batch`: the diagram is linearized once into flat arrays
+and :func:`probability_of_many` evaluates any number of defect models in a
+single bottom-up sweep (no recursion, no memo dicts, optional numpy
+vectorization).  :func:`probability_of_one` is the single-model wrapper; the
+original recursive traversal survives as
+:func:`probability_of_one_reference` because the equivalence tests pin the
+batched kernel to it bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..engine.batch import LinearizedDiagram
 from .manager import FALSE, TRUE, MDDError, MDDManager
 
 
@@ -67,6 +77,48 @@ class VariableDistributions:
         return self._by_level[level]
 
 
+def level_columns_for(
+    linearized: LinearizedDiagram,
+    distributions: Sequence[VariableDistributions],
+) -> Dict[int, tuple]:
+    """Transpose per-model distributions into the batch kernel's layout.
+
+    For every level present in ``linearized``, returns one probability
+    vector per variable value, each of length ``len(distributions)``.
+    """
+    columns: Dict[int, tuple] = {}
+    for level in linearized.levels:
+        vectors = [dist.probabilities_at_level(level) for dist in distributions]
+        cardinality = len(vectors[0])
+        columns[level] = tuple(
+            tuple(vector[value] for vector in vectors) for value in range(cardinality)
+        )
+    return columns
+
+
+def probability_of_many(
+    manager: MDDManager,
+    root: int,
+    distributions: Sequence[Mapping[str, Mapping[int, float]]],
+    *,
+    linearized: Optional[LinearizedDiagram] = None,
+    use_numpy: Optional[bool] = None,
+) -> List[float]:
+    """Return ``P(function == 1)`` under every defect model, in one pass.
+
+    ``distributions`` is a sequence of per-model mappings (variable name to
+    ``{value: probability}``).  Pass a pre-built ``linearized`` diagram to
+    amortize the linearization across calls (compiled structures do).
+    """
+    if not distributions:
+        return []
+    validated = [VariableDistributions(manager, d) for d in distributions]
+    if linearized is None:
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+    columns = level_columns_for(linearized, validated)
+    return linearized.evaluate(columns, len(validated), use_numpy=use_numpy)
+
+
 def probability_of_one(
     manager: MDDManager,
     root: int,
@@ -75,6 +127,22 @@ def probability_of_one(
     """Return ``P(function rooted at root == 1)`` for independent variables.
 
     ``distributions`` maps every variable name to ``{value: probability}``.
+    Evaluation is iterative (a single-model batched pass), so deep diagrams
+    cannot hit the interpreter recursion limit.
+    """
+    return probability_of_many(manager, root, [distributions])[0]
+
+
+def probability_of_one_reference(
+    manager: MDDManager,
+    root: int,
+    distributions: Mapping[str, Mapping[int, float]],
+) -> float:
+    """The original recursive traversal, kept as the equivalence oracle.
+
+    The batched kernel must match this function bit for bit (asserted by
+    the property suite); production code should call
+    :func:`probability_of_one` / :func:`probability_of_many` instead.
     """
     dist = VariableDistributions(manager, distributions)
     cache: Dict[int, float] = {FALSE: 0.0, TRUE: 1.0}

@@ -71,10 +71,21 @@ class OrderingSpec:
         ROMDD.  The static ``mv``/``bits`` pair still provides the starting
         point, so ``OrderingSpec("w", "ml", sift=True)`` means "the paper's
         best static order, then sift".
+    sift_converge:
+        Instead of a single sifting pass, repeat group-preserving passes
+        (plus a group-aware window permutation) until the node count stops
+        improving (:func:`repro.engine.reorder.sift_grouped` with
+        ``converge=True``).  Implies ``sift``.
     """
 
     def __init__(
-        self, mv: str = "w", bits: str = "ml", *, strict: bool = True, sift: bool = False
+        self,
+        mv: str = "w",
+        bits: str = "ml",
+        *,
+        strict: bool = True,
+        sift: bool = False,
+        sift_converge: bool = False,
     ) -> None:
         if mv not in MV_ORDERINGS:
             raise OrderingError("unknown multiple-valued ordering %r" % (mv,))
@@ -87,17 +98,39 @@ class OrderingSpec:
             )
         self.mv = mv
         self.bits = bits
-        self.sift = bool(sift)
+        self.sift_converge = bool(sift_converge)
+        self.sift = bool(sift) or self.sift_converge
 
     def needs_circuit(self) -> bool:
         """Return whether this spec requires the binary gate-level description."""
         return self.mv in _HEURISTIC_NAMES or self.bits in _HEURISTIC_NAMES
 
-    def key(self) -> Tuple[str, str, bool]:
-        """Return a hashable identity (used by the engine's caches)."""
-        return (self.mv, self.bits, self.sift)
+    def key(self) -> Tuple[str, str, object]:
+        """Return a hashable identity (used by the engine's caches).
+
+        The third element encodes the dynamic-reordering mode: ``False``
+        (static), ``True`` (one sifting pass) or ``"converge"``
+        (sift-to-convergence) — still truthy exactly when sifting runs, so
+        existing ``(mv, bits, sift)`` unpacking keeps working.
+        """
+        mode: object = "converge" if self.sift_converge else self.sift
+        return (self.mv, self.bits, mode)
+
+    @classmethod
+    def from_key(cls, key: Tuple[str, str, object], *, strict: bool = False) -> "OrderingSpec":
+        """Rebuild a spec from :meth:`key` (used by the worker processes)."""
+        mv, bits, mode = key
+        return cls(
+            mv,
+            bits,
+            strict=strict,
+            sift=bool(mode),
+            sift_converge=(mode == "converge"),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.sift_converge:
+            return "OrderingSpec(mv=%r, bits=%r, sift_converge=True)" % (self.mv, self.bits)
         if self.sift:
             return "OrderingSpec(mv=%r, bits=%r, sift=True)" % (self.mv, self.bits)
         return "OrderingSpec(mv=%r, bits=%r)" % (self.mv, self.bits)

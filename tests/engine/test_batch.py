@@ -1,0 +1,237 @@
+"""Unit tests of the batched probability engine and its service plumbing."""
+
+import pytest
+
+from repro.core.method import YieldAnalyzer
+from repro.core.problem import YieldProblem
+from repro.distributions import ComponentDefectModel, PoissonDefectDistribution
+from repro.engine.batch import HAVE_NUMPY, BatchEvalError, LinearizedDiagram
+from repro.engine.service import SweepPoint, SweepService
+from repro.faulttree import FaultTreeBuilder
+from repro.faulttree.multivalued import MultiValuedVariable
+from repro.mdd.manager import FALSE, TRUE, MDDManager
+from repro.mdd.probability import (
+    probability_of_many,
+    probability_of_one,
+    probability_of_one_reference,
+)
+from repro.ordering import OrderingSpec
+
+
+def small_manager():
+    variables = [
+        MultiValuedVariable("w", (0, 1, 2)),
+        MultiValuedVariable("v", (1, 2)),
+    ]
+    manager = MDDManager(variables)
+    # f = (w >= 1) AND (v == 2), shares the v node under two w values
+    v_node = manager.literal("v", [2])
+    root = manager.mk(0, [FALSE, v_node, v_node])
+    return manager, root
+
+
+DIST = {"w": {0: 0.5, 1: 0.3, 2: 0.2}, "v": {1: 0.4, 2: 0.6}}
+DIST2 = {"w": {0: 0.1, 1: 0.1, 2: 0.8}, "v": {1: 0.25, 2: 0.75}}
+
+
+class TestLinearizedDiagram:
+    def test_layers_are_bottom_up(self):
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        assert linearized.node_count == 2
+        assert list(linearized.levels) == [1, 0]
+        assert linearized.cardinality_at(0) == 3
+        assert linearized.cardinality_at(1) == 2
+
+    def test_terminal_roots(self):
+        manager, _ = small_manager()
+        for terminal, value in ((FALSE, 0.0), (TRUE, 1.0)):
+            linearized = LinearizedDiagram.from_mdd(manager, terminal)
+            assert linearized.evaluate({}, 3) == [value] * 3
+
+    def test_matches_recursive_reference_exactly(self):
+        manager, root = small_manager()
+        expected = probability_of_one_reference(manager, root, DIST)
+        assert probability_of_one(manager, root, DIST) == expected
+        batched = probability_of_many(manager, root, [DIST, DIST2])
+        assert batched[0] == expected
+        assert batched[1] == probability_of_one_reference(manager, root, DIST2)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_numpy_path_is_bit_for_bit(self):
+        manager, root = small_manager()
+        models = [DIST, DIST2] * 4
+        python = probability_of_many(manager, root, models, use_numpy=False)
+        vectorized = probability_of_many(manager, root, models, use_numpy=True)
+        assert python == vectorized
+
+    def test_missing_level_probabilities_raise(self):
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        with pytest.raises(BatchEvalError):
+            linearized.evaluate({0: ((1.0,), (0.0,), (0.0,))}, 1)
+
+    def test_zero_models_rejected(self):
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        with pytest.raises(BatchEvalError):
+            linearized.evaluate({}, 0)
+
+    def test_pass_counters(self):
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        columns = {
+            0: ((0.5,), (0.3,), (0.2,)),
+            1: ((0.4,), (0.6,)),
+        }
+        linearized.evaluate(columns, 1, use_numpy=False)
+        assert linearized.python_passes == 1
+        assert linearized.models_evaluated == 1
+        if HAVE_NUMPY:
+            linearized.evaluate(columns, 1, use_numpy=True)
+            assert linearized.numpy_passes == 1
+
+
+def build_tree():
+    ft = FaultTreeBuilder("batch-tmr")
+    ft.set_top(ft.k_out_of_n_failed(2, ["M1", "M2", "M3"]))
+    return ft.build()
+
+
+TREE = build_tree()
+
+
+def make_problem(mean_defects):
+    model = ComponentDefectModel.uniform(["M1", "M2", "M3"], lethality=0.8)
+    distribution = PoissonDefectDistribution(mean=mean_defects)
+    return YieldProblem(TREE, model, distribution, name="batch-tmr")
+
+
+MEANS = [0.2 + 0.2 * i for i in range(12)]
+
+
+class TestCompiledYieldBatching:
+    def test_evaluate_many_matches_per_point_evaluate(self):
+        analyzer = YieldAnalyzer()
+        compiled = analyzer.compile(make_problem(1.0), max_defects=3)
+        problems = [make_problem(m) for m in MEANS]
+        batched = compiled.evaluate_many(problems)
+        for problem, result in zip(problems, batched):
+            single = analyzer.compile(problem, max_defects=3).evaluate(problem)
+            assert result.yield_estimate == single.yield_estimate
+            assert result.error_bound == pytest.approx(single.error_bound)
+        assert batched[0].extra["structure_reused"] == 0.0
+        assert all(r.extra["structure_reused"] == 1.0 for r in batched[1:])
+        assert all(r.extra["batched_models"] == len(problems) for r in batched)
+
+    def test_linearization_is_cached(self):
+        compiled = YieldAnalyzer().compile(make_problem(1.0), max_defects=3)
+        compiled.evaluate_many([make_problem(m) for m in MEANS])
+        compiled.evaluate_many([make_problem(m + 0.05) for m in MEANS])
+        assert compiled.linearize_builds == 1
+        assert compiled.linearize_reuses == 1
+
+    def test_empty_batch(self):
+        compiled = YieldAnalyzer().compile(make_problem(1.0), max_defects=2)
+        assert compiled.evaluate_many([]) == []
+
+
+class TestServiceSharding:
+    def test_sharded_sweep_matches_serial(self):
+        serial = SweepService()
+        expected = serial.density_sweep(make_problem, MEANS, max_defects=3)
+
+        sharded = SweepService(workers=2, shard_size=3)
+        rows = sharded.density_sweep(make_problem, MEANS, max_defects=3)
+        for (mean_a, yield_a, m_a), (mean_b, yield_b, m_b) in zip(expected, rows):
+            assert mean_a == mean_b
+            assert m_a == m_b
+            assert yield_b == yield_a  # same batched arithmetic on every route
+
+        stats = sharded.stats
+        if stats.parallel_batches:  # pool may be unavailable on odd platforms
+            assert stats.points_sharded == len(MEANS)
+            assert 2 <= stats.shards_dispatched <= len(MEANS)
+            # the parent built the structure once and shipped it
+            assert stats.structures_built == 1
+
+    def test_small_groups_stay_whole(self):
+        service = SweepService(workers=4, shard_size=16)
+        service.density_sweep(make_problem, MEANS[:4], max_defects=3)
+        assert service.stats.points_sharded == 0
+        assert service.stats.parallel_batches == 0
+
+    def test_batched_pass_counters_and_phase_clock(self):
+        service = SweepService()
+        service.density_sweep(make_problem, MEANS, max_defects=3)
+        stats = service.stats
+        assert stats.batched_passes == 1
+        assert stats.linearize_builds == 1
+        assert stats.evaluate_seconds > 0.0
+        assert stats.build_seconds > 0.0
+        as_dict = stats.as_dict()
+        for key in ("points_sharded", "shards_dispatched", "reorder_seconds"):
+            assert key in as_dict
+
+    def test_shard_size_validation(self):
+        with pytest.raises(ValueError):
+            SweepService(shard_size=0)
+
+
+class TestSiftConvergence:
+    def test_ordering_key_modes(self):
+        assert OrderingSpec("w", "ml").key() == ("w", "ml", False)
+        assert OrderingSpec("w", "ml", sift=True).key() == ("w", "ml", True)
+        converge = OrderingSpec("w", "ml", sift_converge=True)
+        assert converge.key() == ("w", "ml", "converge")
+        assert converge.sift  # implied
+        rebuilt = OrderingSpec.from_key(converge.key())
+        assert rebuilt.sift and rebuilt.sift_converge
+        assert OrderingSpec.from_key(("w", "ml", True)).sift
+        assert not OrderingSpec.from_key(("w", "ml", False)).sift
+
+    def test_converge_never_worse_than_static(self):
+        problem = make_problem(1.0)
+        static = YieldAnalyzer(OrderingSpec("vrw", "ml"))
+        converge = YieldAnalyzer(OrderingSpec("vrw", "ml", sift_converge=True))
+        static_size, _ = static.diagram_sizes(problem, max_defects=3)
+        converged_size, _ = converge.diagram_sizes(problem, max_defects=3)
+        assert converged_size <= static_size
+
+    def test_converge_yield_is_unchanged(self):
+        problem = make_problem(1.2)
+        plain = YieldAnalyzer().evaluate(problem, max_defects=3)
+        converged = YieldAnalyzer(
+            OrderingSpec("w", "ml", sift_converge=True)
+        ).evaluate(problem, max_defects=3)
+        assert converged.yield_estimate == pytest.approx(
+            plain.yield_estimate, abs=1e-12
+        )
+
+
+class TestMidBuildReorderTrigger:
+    def test_trigger_fires_and_result_is_unchanged(self):
+        problem = make_problem(1.0)
+        plain = YieldAnalyzer().evaluate(problem, max_defects=4)
+        triggered_analyzer = YieldAnalyzer(
+            # tiny thresholds so the small benchmark trips the trigger
+            reorder_on_growth=32,
+        )
+        compiled = triggered_analyzer.compile(problem, max_defects=4)
+        result = compiled.evaluate(problem)
+        assert result.yield_estimate == pytest.approx(plain.yield_estimate, abs=1e-12)
+        assert compiled.reorder_triggers >= 1
+        assert result.extra["reorder_triggers"] >= 1.0
+
+    def test_trigger_counts_in_kernel_stats(self):
+        problem = make_problem(1.0)
+        analyzer = YieldAnalyzer(reorder_on_growth=32)
+        compiled = analyzer.compile(problem, max_defects=4)
+        assert compiled.reorder_triggers >= 1
+
+    def test_service_threads_reorder_option(self):
+        service = SweepService(reorder_on_growth=32)
+        rows = service.density_sweep(make_problem, MEANS[:3], max_defects=4)
+        reference = SweepService().density_sweep(make_problem, MEANS[:3], max_defects=4)
+        for (_, yield_a, _), (_, yield_b, _) in zip(rows, reference):
+            assert yield_a == pytest.approx(yield_b, abs=1e-12)

@@ -1,0 +1,125 @@
+"""Deep (chain-shaped) diagrams must not hit the interpreter recursion limit.
+
+Chain fault trees produce decision diagrams whose depth equals the number of
+variables, which blows past CPython's default limit of 1000 frames for any
+traversal that recurses per level.  These tests build chains several times
+deeper than the default limit and exercise every code path the batched
+engine and the managers expose: the guarded ITE build, the iterative
+``restrict`` / ``sat_count`` / ``support`` / dot export, the iterative ROMDD
+complementation and the linearized probability pass.
+"""
+
+import sys
+
+import pytest
+
+from repro.bdd.builder import CircuitBDDBuilder
+from repro.bdd.dot import bdd_to_dot
+from repro.bdd.manager import TRUE as BDD_TRUE
+from repro.engine.kernel import recursion_guard
+from repro.faulttree.circuit import Circuit
+from repro.faulttree.multivalued import MultiValuedVariable
+from repro.faulttree.ops import GateOp
+from repro.mdd.dot import mdd_to_dot
+from repro.mdd.manager import TRUE, MDDManager
+from repro.mdd.probability import probability_of_many, probability_of_one
+
+#: Deep enough that one stack frame per level overflows the default limit.
+DEPTH = 1500
+
+
+def build_and_chain(n):
+    """An AND chain: out = x0 AND x1 AND ... AND x_{n-1}, one gate per step."""
+    circuit = Circuit("chain")
+    acc = circuit.add_input("x0")
+    for i in range(1, n):
+        nxt = circuit.add_input("x%d" % i)
+        acc = circuit.add_gate(GateOp.AND, [acc, nxt])
+    circuit.set_output(acc)
+    return circuit
+
+
+class TestDeepBDD:
+    def test_guard_raises_and_restores_the_limit(self):
+        before = sys.getrecursionlimit()
+        with recursion_guard(before + 5000):
+            assert sys.getrecursionlimit() > before
+        assert sys.getrecursionlimit() == before
+
+    @pytest.fixture(scope="class")
+    def chain_bdd(self):
+        circuit = build_and_chain(DEPTH)
+        order = ["x%d" % i for i in range(DEPTH)]
+        manager, root, _ = CircuitBDDBuilder(order, track_peak=False).build(circuit)
+        return manager, root
+
+    def test_chain_build_and_iterative_queries(self, chain_bdd):
+        manager, root = chain_bdd
+        # the chain ROBDD has one node per variable
+        assert manager.size(root) == DEPTH + 2
+
+        # iterative queries on a diagram ~3x deeper than the default limit
+        assert len(manager.support(root)) == DEPTH
+        assert manager.sat_count(root) == 1
+        restricted = manager.restrict(root, "x%d" % (DEPTH - 1), True)
+        assert manager.size(restricted) == DEPTH + 1
+        assert manager.restrict(restricted, "x0", False) == 0
+
+        dot = bdd_to_dot(manager, root)
+        assert dot.count("->") >= DEPTH
+
+    def test_chain_evaluate(self, chain_bdd):
+        manager, root = chain_bdd
+        assignment = {"x%d" % i: True for i in range(DEPTH)}
+        assert manager.evaluate(root, assignment) is True
+        assignment["x%d" % (DEPTH // 2)] = False
+        assert manager.evaluate(root, assignment) is False
+
+
+def build_mdd_chain(manager, depth):
+    """node_i = (v_i == 1) AND node_{i+1}, built bottom-up without recursion."""
+    node = TRUE
+    for level in range(depth - 1, -1, -1):
+        node = manager.mk(level, [0, node])
+    return node
+
+
+class TestDeepMDD:
+    @pytest.fixture(scope="class")
+    def chain(self):
+        variables = [
+            MultiValuedVariable("v%d" % i, (0, 1)) for i in range(DEPTH)
+        ]
+        manager = MDDManager(variables)
+        root = build_mdd_chain(manager, DEPTH)
+        manager.ref(root)
+        return manager, root
+
+    def test_probability_pass_is_iterative(self, chain):
+        manager, root = chain
+        distributions = {
+            "v%d" % i: {0: 0.0, 1: 1.0} for i in range(DEPTH)
+        }
+        assert probability_of_one(manager, root, distributions) == 1.0
+        # flip one deep variable: the conjunction must drop to that weight
+        distributions["v%d" % (DEPTH - 1)] = {0: 0.25, 1: 0.75}
+        batched = probability_of_many(
+            manager,
+            root,
+            [distributions, {**distributions, "v0": {0: 1.0, 1: 0.0}}],
+        )
+        assert batched[0] == pytest.approx(0.75)
+        assert batched[1] == 0.0
+
+    def test_complement_and_queries_are_iterative(self, chain):
+        manager, root = chain
+        complement = manager.not_(root)
+        assert complement != root
+        assert manager.not_(complement) == root
+        assert len(manager.support(root)) == DEPTH
+        assert manager.evaluate(root, {"v%d" % i: 1 for i in range(DEPTH)}) is True
+
+    def test_dot_export_is_iterative(self, chain):
+        manager, root = chain
+        dot = mdd_to_dot(manager, root)
+        assert dot.count("->") >= DEPTH

@@ -208,3 +208,78 @@ class TestGroupedSifting:
         assert spec.sift is True
         assert spec.key() == ("w", "ml", True)
         assert OrderingSpec("w", "ml").key() == ("w", "ml", False)
+
+
+class TestSiftToConvergence:
+    def test_convergence_never_worse_than_single_pass(self):
+        from repro.engine.reorder import sift_to_convergence
+
+        manager = BDDManager(NAMES)
+        f = interleaved_function(manager)
+        reference = truth_table(manager, f, NAMES)
+        manager.ref(f)
+        stats = sift_to_convergence(manager)
+        assert stats.passes >= 1
+        assert stats.final_size <= stats.initial_size
+        assert truth_table(manager, f, NAMES) == reference
+
+    def test_single_pass_stats_report_one_pass(self):
+        manager = BDDManager(NAMES)
+        f = interleaved_function(manager)
+        manager.ref(f)
+        stats = sift(manager)
+        assert stats.passes == 1
+
+    def test_max_passes_validation(self):
+        from repro.engine.reorder import sift_to_convergence
+
+        manager = BDDManager(NAMES)
+        with pytest.raises(ValueError):
+            sift_to_convergence(manager, max_passes=0)
+
+
+class TestGroupedConvergenceAndWindow:
+    def test_grouped_converge_with_window_preserves_probability(self):
+        problem = benchmark_problem("MS2", mean_defects=2.0)
+        grouped = YieldAnalyzer(OrderingSpec("vrw", "ml")).compile(
+            problem, max_defects=3
+        ).grouped_order
+
+        from repro.bdd.builder import build_circuit_bdd
+        from repro.core.gfunction import GeneralizedFaultTree
+
+        gfunction = GeneralizedFaultTree(problem.fault_tree, problem.component_names, 3)
+        manager, root, _ = build_circuit_bdd(
+            gfunction.binary_circuit(), grouped.flat_bit_order()
+        )
+        manager.ref(root)
+        single_groups, single = sift_grouped(manager, grouped.groups)
+
+        manager2, root2, _ = build_circuit_bdd(
+            gfunction.binary_circuit(), grouped.flat_bit_order()
+        )
+        manager2.ref(root2)
+        converged_groups, converged = sift_grouped(
+            manager2, grouped.groups, converge=True, window=3
+        )
+        assert converged.passes >= 1
+        assert converged.final_size <= single.final_size
+        # the reordered groups must still form a valid grouped order
+        order = GroupedVariableOrder(converged_groups)
+        assert order.flat_bit_order() == list(manager2.variable_order)
+
+    def test_window_validation(self):
+        problem = benchmark_problem("MS2", mean_defects=2.0)
+        grouped = YieldAnalyzer(OrderingSpec("w", "ml")).compile(
+            problem, max_defects=2
+        ).grouped_order
+
+        from repro.bdd.builder import build_circuit_bdd
+        from repro.core.gfunction import GeneralizedFaultTree
+
+        gfunction = GeneralizedFaultTree(problem.fault_tree, problem.component_names, 2)
+        manager, root, _ = build_circuit_bdd(
+            gfunction.binary_circuit(), grouped.flat_bit_order()
+        )
+        with pytest.raises(ValueError):
+            sift_grouped(manager, grouped.groups, window=5)
