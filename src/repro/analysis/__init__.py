@@ -1,5 +1,10 @@
 """Reporting helpers: regeneration of the paper's tables and parameter sweeps."""
 
+from .importance import (
+    class_hardening_potential,
+    hardening_potential,
+    yield_sensitivity,
+)
 from .report import format_cell, format_markdown_table, format_table
 from .sweep import defect_density_sweep, truncation_sweep
 from .tables import (
@@ -18,6 +23,9 @@ __all__ = [
     "format_cell",
     "truncation_sweep",
     "defect_density_sweep",
+    "yield_sensitivity",
+    "hardening_potential",
+    "class_hardening_potential",
     "table1",
     "table2",
     "table3",

@@ -13,6 +13,11 @@ Python:
   ``--workers``/``--jobs`` fan-out with intra-group point sharding
   (``--shard-size``), a ``--cache-dir`` result cache and ``--stats`` engine
   diagnostics;
+* ``importance NAME``   — rank the components of a benchmark by yield
+  sensitivity (analytic reverse-mode gradients over the linearized ROMDD,
+  or ``--fd`` for the legacy central finite difference) and by hardening
+  potential (immune-component perturbations, batched through the sweep
+  service with optional ``--jobs`` fan-out);
 * ``table {1,2,3,4}``   — regenerate one of the paper's tables on the small
   benchmark set;
 * ``list``              — list the available benchmark names.
@@ -125,6 +130,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print engine statistics (cache hits, linearization reuse, phase times)",
+    )
+
+    importance = subparsers.add_parser(
+        "importance",
+        help="rank components by yield sensitivity and hardening potential",
+    )
+    importance.add_argument("name", help="benchmark name, e.g. MS2 or ESEN4x1")
+    importance.add_argument(
+        "--mean-defects",
+        type=float,
+        default=2.0,
+        help="expected number of manufacturing defects (default 2.0)",
+    )
+    importance.add_argument(
+        "--clustering",
+        type=float,
+        default=4.0,
+        help="negative-binomial clustering parameter alpha (default 4.0)",
+    )
+    _add_method_options(importance)
+    importance.add_argument(
+        "--components",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict the ranking to these components (default: all)",
+    )
+    importance.add_argument(
+        "--measure",
+        choices=("sensitivity", "hardening", "both"),
+        default="both",
+        help="which importance measure(s) to report (default both)",
+    )
+    importance.add_argument(
+        "--fd",
+        action="store_true",
+        help="use the legacy central finite-difference sensitivity route "
+        "instead of analytic reverse-mode gradients",
+    )
+    importance.add_argument(
+        "--relative-step",
+        type=float,
+        default=0.05,
+        metavar="H",
+        help="relative perturbation step of the --fd route, in (0, 1) "
+        "(default 0.05)",
+    )
+    importance.add_argument(
+        "--workers",
+        "--jobs",
+        dest="workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="evaluate perturbed structure groups in N processes",
+    )
+    importance.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine statistics (gradient passes, batched passes, "
+        "cache hits, phase times)",
     )
 
     table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
@@ -331,7 +397,7 @@ def _run_sweep(args) -> int:
 
 
 def _report_engine_stats(stats) -> None:
-    """Print the engine diagnostics behind ``repro sweep --stats``."""
+    """Print the engine diagnostics behind ``repro sweep/importance --stats``."""
     cache_misses = stats.points_evaluated
     cache_hits = stats.result_cache_hits + stats.disk_cache_hits
     print("Engine statistics")
@@ -349,17 +415,108 @@ def _report_engine_stats(stats) -> None:
         )
     )
     print(
+        "  gradient passes     : %d (%d points differentiated)"
+        % (stats.gradient_passes, stats.points_differentiated)
+    )
+    print(
         "  linearizations      : %d built, %d reused"
         % (stats.linearize_builds, stats.linearize_reuses)
     )
     print(
-        "  phase wall-clock    : build %.3fs / reorder %.3fs / evaluate %.3fs"
+        "  phase wall-clock    : build %.3fs / reorder %.3fs / "
+        "evaluate %.3fs / gradients %.3fs"
         % (
             stats.build_seconds - stats.reorder_seconds,
             stats.reorder_seconds,
             stats.evaluate_seconds,
+            stats.gradient_seconds,
         )
     )
+
+
+def _run_importance(args) -> int:
+    import time
+
+    from .analysis.importance import hardening_potential, yield_sensitivity
+    from .engine.service import SweepService
+
+    try:
+        problem = benchmark_problem(
+            args.name, mean_defects=args.mean_defects, clustering=args.clustering
+        )
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    service = None
+    try:
+        service = SweepService(
+            ordering=_ordering_from(args),
+            epsilon=args.epsilon,
+            workers=args.workers,
+        )
+        started = time.perf_counter()
+        rows = []
+        if args.measure in ("sensitivity", "both"):
+            sensitivity = yield_sensitivity(
+                problem,
+                components=args.components,
+                relative_step=args.relative_step,
+                max_defects=args.max_defects,
+                epsilon=args.epsilon,
+                method="fd" if args.fd else "analytic",
+                service=service,
+            )
+            route = (
+                "central finite differences, h=%g" % args.relative_step
+                if args.fd
+                else "analytic reverse-mode gradients"
+            )
+            rows.append(
+                (
+                    "Yield sensitivity (%s)" % route,
+                    ("component", "dY / d(rel. P_i)"),
+                    [(name, "%+.3e" % value) for name, value in sensitivity],
+                )
+            )
+        if args.measure in ("hardening", "both"):
+            hardening = hardening_potential(
+                problem,
+                components=args.components,
+                max_defects=args.max_defects,
+                epsilon=args.epsilon,
+                service=service,
+            )
+            rows.append(
+                (
+                    "Hardening potential (immune-component perturbation, batched)",
+                    ("component", "yield gain"),
+                    [(name, "%+.3e" % value) for name, value in hardening],
+                )
+            )
+        elapsed = time.perf_counter() - started
+    except KeyError as exc:
+        # importance-layer KeyErrors already carry "unknown component ..."
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    except (DistributionError, OrderingError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    finally:
+        if service is not None:
+            service.close()
+    print(
+        "Component importance for %s (C=%d, mean defects %g)"
+        % (problem.name, problem.num_components, args.mean_defects)
+    )
+    for title, headers, table_rows in rows:
+        print()
+        print(title)
+        print(format_table(headers, table_rows))
+    print()
+    print("  time (s)            : %.2f" % elapsed)
+    if args.stats:
+        _report_engine_stats(service.stats)
+    return 0
 
 
 def _run_table(args) -> int:
@@ -393,6 +550,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_benchmark(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "importance":
+        return _run_importance(args)
     if args.command == "table":
         return _run_table(args)
     if args.command == "list":

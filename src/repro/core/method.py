@@ -32,12 +32,12 @@ from ..bdd.builder import CircuitBDDBuilder
 from ..bdd.manager import BDDManager
 from ..engine.batch import LinearizedDiagram
 from ..mdd.from_bdd import convert_bdd_to_mdd
-from ..mdd.probability import probability_of_many
+from ..mdd.probability import gradient_of_many, probability_of_many
 from ..ordering.grouped import GroupedVariableOrder
 from ..ordering.strategies import OrderingSpec, compute_grouped_order
 from .gfunction import GeneralizedFaultTree
 from .problem import YieldProblem
-from .results import StageTimings, YieldResult
+from .results import StageTimings, YieldGradients, YieldResult
 
 
 class CompiledYield:
@@ -88,6 +88,8 @@ class CompiledYield:
         self.reorder_triggers = reorder_triggers
         #: Number of :meth:`evaluate` calls served by this structure.
         self.evaluations = 0
+        #: Number of defect models differentiated by :meth:`gradients_many`.
+        self.gradient_evaluations = 0
         #: Linearized-array cache of the ROMDD plus its reuse counters.
         self._linearized: Optional[LinearizedDiagram] = None
         self.linearize_builds = 0
@@ -201,6 +203,114 @@ class CompiledYield:
                 )
             )
         return results
+
+
+    def gradients_many(
+        self,
+        problems: Sequence[YieldProblem],
+        *,
+        use_numpy: Optional[bool] = None,
+    ) -> List[YieldGradients]:
+        """Differentiate ``Y_M`` for every defect model in one extra pass.
+
+        Runs the linearized forward pass plus one reverse (adjoint) pass —
+        K models at once — to obtain the exact diagram-level gradients
+        ``dP(G=1)/dP(w=k)`` and ``dP(G=1)/dP(v_l=i)``, then closes the chain
+        rule through the lethal-defect model:
+
+        * the conditional hit probabilities ``P'_j = P_j / P_L`` give
+          ``dP'_j / dP_i = (delta_ij - P'_j) / P_L``;
+        * the thinned count distribution satisfies the exact identity
+          ``dQ'_k / dP_L = (k Q'_k - (k+1) Q'_{k+1}) / P_L`` (differentiate
+          ``Q'_k = sum_n Q_n C(n,k) p^k (1-p)^{n-k}`` and use
+          ``(n-k) C(n,k) = (k+1) C(n,k+1)``), which holds for *any* count
+          distribution under binomial thinning — so no per-family derivative
+          code is needed;
+        * the saturated entry ``P(w = M+1) = P(N' > M)`` telescopes to
+          ``d/dP_L = (M+1) Q'_{M+1} / P_L``.
+
+        The result is ``dY_M/dP_i`` for every component of every model — the
+        quantity the finite-difference importance route needed two full
+        evaluations per component to approximate.
+        """
+        problems = list(problems)
+        if not problems:
+            return []
+        lethal_distributions = [p.lethal_defect_distribution() for p in problems]
+        distributions = [
+            self.gfunction.variable_distributions(
+                lethal, problem.lethal_component_probabilities()
+            )
+            for lethal, problem in zip(lethal_distributions, problems)
+        ]
+        probabilities_failed, diagram_gradients = gradient_of_many(
+            self.mdd_manager,
+            self.mdd_root,
+            distributions,
+            linearized=self.linearized(),
+            use_numpy=use_numpy,
+        )
+        self.gradient_evaluations += len(problems)
+
+        names = self.gfunction.component_names
+        count_name = self.gfunction.count_variable.name
+        truncation = self.truncation
+        out: List[YieldGradients] = []
+        for problem, lethal, probability_failed, grads in zip(
+            problems, lethal_distributions, probabilities_failed, diagram_gradients
+        ):
+            lethality = problem.lethality
+            conditional = problem.lethal_component_probabilities()
+            raw = problem.components.raw_probabilities()
+
+            # diagram-level gradients: the count variable and the per-defect
+            # location variables (summed over defect positions l)
+            g_count = grads[count_name]
+            d_failure_d_count = tuple(
+                g_count[k] for k in range(truncation + 2)
+            )
+            location_sums = [0.0] * len(names)
+            for variable in self.gfunction.location_variables:
+                g_location = grads[variable.name]
+                for index in range(len(names)):
+                    location_sums[index] += g_location[index + 1]
+
+            # chain rule through the thinned count distribution Q'_k(P_L)
+            qprime = [lethal.pmf(k) for k in range(truncation + 2)]
+            d_count_d_lethality = [
+                (k * qprime[k] - (k + 1) * qprime[k + 1]) / lethality
+                for k in range(truncation + 1)
+            ]
+            d_overflow_d_lethality = (truncation + 1) * qprime[truncation + 1] / lethality
+            d_failure_d_lethality = sum(
+                g * d for g, d in zip(d_failure_d_count, d_count_d_lethality)
+            ) + d_failure_d_count[truncation + 1] * d_overflow_d_lethality
+
+            # chain rule through the conditional hit vector P'_j(P_1..P_C)
+            location_dot = sum(
+                s * p for s, p in zip(location_sums, conditional)
+            )
+            d_yield_d_raw = {}
+            sensitivity = {}
+            for index, name in enumerate(names):
+                d_failure = d_failure_d_lethality + (
+                    location_sums[index] - location_dot
+                ) / lethality
+                d_yield_d_raw[name] = -d_failure
+                sensitivity[name] = -d_failure * raw[index]
+            out.append(
+                YieldGradients(
+                    name=problem.name,
+                    truncation=truncation,
+                    probability_not_functioning=probability_failed,
+                    yield_estimate=1.0 - probability_failed,
+                    d_yield_d_raw=d_yield_d_raw,
+                    sensitivity=sensitivity,
+                    d_failure_d_count=d_failure_d_count,
+                    d_failure_d_location=dict(zip(names, location_sums)),
+                )
+            )
+        return out
 
 
 class YieldAnalyzer:

@@ -93,6 +93,56 @@ class YieldResult:
 
 
 @dataclass(frozen=True)
+class YieldGradients:
+    """Analytic derivatives of one defect model's yield estimate ``Y_M``.
+
+    Produced by :meth:`repro.core.method.CompiledYield.gradients_many`: one
+    forward plus one reverse pass over the linearized ROMDD, then the chain
+    rule through the lethal-defect model, instead of one perturbed sweep per
+    component.
+
+    Attributes
+    ----------
+    name:
+        The problem label the gradients belong to.
+    truncation:
+        The truncation level ``M`` the structure was compiled for.
+    probability_not_functioning:
+        ``P(G = 1)`` at the unperturbed defect model.
+    yield_estimate:
+        ``Y_M = 1 - P(G = 1)`` (same value :meth:`evaluate_many` reports).
+    d_yield_d_raw:
+        ``{component: dY_M / dP_i}`` — the exact derivative of the estimate
+        with respect to the component's raw per-defect lethal-hit
+        probability ``P_i`` (all other ``P_j`` held fixed; the induced
+        changes of the lethality ``P_L``, the lethal count distribution
+        ``Q'_k`` and the conditional hit vector ``P'`` are all accounted
+        for).
+    sensitivity:
+        ``{component: P_i * dY_M / dP_i}`` — the derivative with respect to
+        a *relative* change of ``P_i``, i.e. the analytic limit of the
+        finite-difference measure ``(Y(P_i(1+h)) - Y(P_i(1-h))) / 2h``.
+    d_failure_d_count:
+        ``dP(G=1) / dP(w = k)`` for ``k = 0 .. M+1`` (diagram-level).
+    d_failure_d_location:
+        ``{component: sum_l dP(G=1) / dP(v_l = i)}`` (diagram-level).
+    """
+
+    name: str
+    truncation: int
+    probability_not_functioning: float
+    yield_estimate: float
+    d_yield_d_raw: Dict[str, float]
+    sensitivity: Dict[str, float]
+    d_failure_d_count: Tuple[float, ...]
+    d_failure_d_location: Dict[str, float]
+
+    def ranking(self) -> Tuple[Tuple[str, float], ...]:
+        """Components most sensitive first (most negative ``sensitivity``)."""
+        return tuple(sorted(self.sensitivity.items(), key=lambda item: item[1]))
+
+
+@dataclass(frozen=True)
 class MonteCarloResult:
     """Outcome of the Monte-Carlo yield estimation baseline."""
 

@@ -26,7 +26,12 @@ needs **one** diagram build, not one per point.
   parent builds the structure once and ships the pickled
   :class:`~repro.core.method.CompiledYield` to the shards, so each worker
   evaluates its chunk without rebuilding; shards that do land in the same
-  worker process additionally share a per-process structure cache.
+  worker process additionally share a per-process structure cache;
+* :meth:`SweepService.gradient_batch` serves *importance* queries the same
+  way: per structure group, one forward-plus-reverse linearized pass
+  differentiates all of the group's defect models analytically
+  (``dY_M/dP_i`` for every component), replacing the two perturbed
+  evaluations per component the finite-difference route needs.
 
 The service deliberately imports :mod:`repro.core` lazily: the decision
 diagram managers import :mod:`repro.engine.kernel` at module load, so a
@@ -82,6 +87,11 @@ class SweepServiceStats:
     #: Linearized-array builds / reuses across the compiled structures.
     linearize_builds: int = 0
     linearize_reuses: int = 0
+    #: Reverse-mode gradient passes (one per structure group differentiated)
+    #: and the defect models they covered.
+    gradient_passes: int = 0
+    points_differentiated: int = 0
+    gradient_seconds: float = 0.0
     #: Per-phase wall-clock seconds (parent process only).
     build_seconds: float = 0.0
     reorder_seconds: float = 0.0
@@ -273,6 +283,55 @@ class SweepService:
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:  # pragma: no cover - defensive
             raise RuntimeError("points %s were not evaluated" % missing)
+        return results  # type: ignore[return-value]
+
+    def gradients(self, problem, *, max_defects=None, epsilon=None):
+        """Analytic yield gradients of a single point (see :meth:`gradient_batch`)."""
+        return self.gradient_batch(
+            [SweepPoint(problem, max_defects=max_defects, epsilon=epsilon)]
+        )[0]
+
+    def gradient_batch(self, points: Sequence[SweepPoint]) -> List[object]:
+        """Differentiate every point analytically, in request order.
+
+        Points are grouped by structure key exactly like
+        :meth:`evaluate_batch`; each group reuses (or builds once) its
+        compiled structure and runs **one** forward-plus-reverse linearized
+        pass over all of the group's defect models
+        (:meth:`repro.core.method.CompiledYield.gradients_many`).  Returns
+        one :class:`repro.core.results.YieldGradients` per point — exact
+        ``dY_M/dP_i`` for every component, with no perturbed re-evaluations.
+
+        Gradient results are not cached: a pass costs about two traversals,
+        which is cheaper than the digesting a result cache would need.
+        """
+        points = list(points)
+        results: List[Optional[object]] = [None] * len(points)
+        pending: Dict[Tuple, List[int]] = {}
+        truncations: List[int] = [0] * len(points)
+        for idx, point in enumerate(points):
+            truncation = self._resolve_truncation(point)
+            truncations[idx] = truncation
+            skey = structure_key(point.problem, truncation, self.ordering)
+            pending.setdefault(skey, []).append(idx)
+        for skey, indices in pending.items():
+            first = indices[0]
+            compiled, _ = self._structure_for(
+                skey, points[first].problem, truncations[first]
+            )
+            builds_before = compiled.linearize_builds
+            reuses_before = compiled.linearize_reuses
+            started = time.perf_counter()
+            gradients = compiled.gradients_many(
+                [points[idx].problem for idx in indices]
+            )
+            self.stats.gradient_seconds += time.perf_counter() - started
+            self.stats.gradient_passes += 1
+            self.stats.points_differentiated += len(indices)
+            self.stats.linearize_builds += compiled.linearize_builds - builds_before
+            self.stats.linearize_reuses += compiled.linearize_reuses - reuses_before
+            for idx, gradient in zip(indices, gradients):
+                results[idx] = gradient
         return results  # type: ignore[return-value]
 
     def density_sweep(

@@ -119,6 +119,54 @@ def probability_of_many(
     return linearized.evaluate(columns, len(validated), use_numpy=use_numpy)
 
 
+def gradient_of_many(
+    manager: MDDManager,
+    root: int,
+    distributions: Sequence[Mapping[str, Mapping[int, float]]],
+    *,
+    linearized: Optional[LinearizedDiagram] = None,
+    use_numpy: Optional[bool] = None,
+):
+    """Probabilities *and* exact per-entry gradients for every defect model.
+
+    Runs the linearized forward pass plus one reverse (adjoint) pass — see
+    :meth:`repro.engine.batch.LinearizedDiagram.backward` — and maps the
+    per-level gradient rows back to variable names.
+
+    Returns
+    -------
+    (probabilities, gradients)
+        ``probabilities[k]`` is ``P(function == 1)`` under model ``k``;
+        ``gradients[k]`` maps every variable name to ``{value: derivative}``
+        where the derivative is the exact partial of model ``k``'s
+        probability with respect to ``P(variable = value)``, all other
+        entries held fixed.  Variables the diagram does not depend on get
+        all-zero derivatives (the traversal never reads their entries).
+    """
+    if not distributions:
+        return [], []
+    validated = [VariableDistributions(manager, d) for d in distributions]
+    if linearized is None:
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+    columns = level_columns_for(linearized, validated)
+    probabilities, level_gradients = linearized.backward(
+        columns, len(validated), use_numpy=use_numpy
+    )
+    gradients = []
+    for k in range(len(validated)):
+        per_variable: Dict[str, Dict[int, float]] = {}
+        for variable in manager.variables:
+            rows = level_gradients.get(manager.level_of(variable.name))
+            if rows is None:
+                per_variable[variable.name] = {value: 0.0 for value in variable.values}
+            else:
+                per_variable[variable.name] = {
+                    value: rows[j][k] for j, value in enumerate(variable.values)
+                }
+        gradients.append(per_variable)
+    return probabilities, gradients
+
+
 def probability_of_one(
     manager: MDDManager,
     root: int,

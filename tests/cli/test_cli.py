@@ -83,6 +83,91 @@ class TestBenchmark:
         assert "unknown benchmark" in capsys.readouterr().err
 
 
+class TestImportance:
+    def test_default_reports_both_measures(self, capsys):
+        assert main(["importance", "MS2", "--max-defects", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Component importance for MS2" in out
+        assert "Yield sensitivity (analytic reverse-mode gradients)" in out
+        assert "Hardening potential" in out
+        assert "IPM_1" in out and "CS_2_2_B" in out
+        assert "dY / d(rel. P_i)" in out and "yield gain" in out
+
+    def test_component_subset_and_single_measure(self, capsys):
+        code = main(
+            [
+                "importance",
+                "MS2",
+                "--max-defects",
+                "2",
+                "--measure",
+                "sensitivity",
+                "--components",
+                "IPM_1",
+                "IPS_1_1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPM_1" in out and "IPS_1_1" in out
+        assert "Hardening potential" not in out
+
+    def test_fd_route(self, capsys):
+        code = main(
+            [
+                "importance",
+                "MS2",
+                "--max-defects",
+                "2",
+                "--measure",
+                "sensitivity",
+                "--fd",
+                "--relative-step",
+                "0.01",
+            ]
+        )
+        assert code == 0
+        assert "central finite differences, h=0.01" in capsys.readouterr().out
+
+    def test_stats_counters(self, capsys):
+        code = main(["importance", "MS2", "--max-defects", "2", "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Engine statistics" in out
+        # one analytic pass differentiates the single baseline model...
+        assert "gradient passes     : 1 (1 points differentiated)" in out
+        # ...and the hardening route batches baseline + 18 perturbed models
+        assert "batched passes      : 1 (19 points" in out
+        assert "gradients" in out  # phase wall-clock line
+
+    def test_jobs_fan_out(self, capsys):
+        code = main(
+            ["importance", "MS2", "--max-defects", "2", "--jobs", "2", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hardening potential" in out
+        assert "gradient passes     : 1" in out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["importance", "NOPE"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_invalid_step_is_a_user_error(self, capsys):
+        code = main(
+            ["importance", "MS2", "--max-defects", "2", "--fd", "--relative-step", "1.5"]
+        )
+        assert code == 2
+        assert "relative_step" in capsys.readouterr().err
+
+    def test_unknown_component(self, capsys):
+        code = main(
+            ["importance", "MS2", "--max-defects", "2", "--components", "ZZZ"]
+        )
+        assert code == 2
+        assert "unknown component" in capsys.readouterr().err
+
+
 class TestTable:
     def test_table1(self, capsys):
         assert main(["table", "1"]) == 0
