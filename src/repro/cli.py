@@ -18,6 +18,10 @@ Python:
   or ``--fd`` for the legacy central finite difference) and by hardening
   potential (immune-component perturbations, batched through the sweep
   service with optional ``--jobs`` fan-out);
+* ``cache``             — inspect and manage the persistent structure store
+  (``ls``/``info``/``warm``/``clear``): compiled decision-diagram
+  structures serialized under ``--store-dir`` so later processes (and
+  worker shards) warm-start from disk instead of rebuilding;
 * ``table {1,2,3,4}``   — regenerate one of the paper's tables on the small
   benchmark set;
 * ``list``              — list the available benchmark names.
@@ -127,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist sweep results under DIR and reuse them on later runs",
     )
     sweep.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist compiled structures under DIR: later processes (and "
+        "worker shards) warm-start from disk instead of rebuilding",
+    )
+    sweep.add_argument(
         "--stats",
         action="store_true",
         help="print engine statistics (cache hits, linearization reuse, phase times)",
@@ -187,10 +198,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate perturbed structure groups in N processes",
     )
     importance.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist compiled structures under DIR and warm-start from disk",
+    )
+    importance.add_argument(
         "--stats",
         action="store_true",
         help="print engine statistics (gradient passes, batched passes, "
         "cache hits, phase times)",
+    )
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and manage the persistent structure store",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_ls = cache_commands.add_parser("ls", help="list the stored structures")
+    cache_ls.add_argument("store_dir", metavar="DIR", help="structure store directory")
+
+    cache_info = cache_commands.add_parser(
+        "info", help="print the metadata of one stored structure"
+    )
+    cache_info.add_argument("store_dir", metavar="DIR", help="structure store directory")
+    cache_info.add_argument(
+        "digest", help="entry digest (a unique prefix is enough, see `cache ls`)"
+    )
+
+    cache_warm = cache_commands.add_parser(
+        "warm",
+        help="compile a benchmark's structure into the store ahead of time",
+    )
+    cache_warm.add_argument("store_dir", metavar="DIR", help="structure store directory")
+    cache_warm.add_argument("name", help="benchmark name, e.g. MS2 or ESEN4x1")
+    cache_warm.add_argument(
+        "--mean-defects",
+        type=float,
+        default=2.0,
+        help="expected number of manufacturing defects (used to resolve M "
+        "when --max-defects is not given; default 2.0)",
+    )
+    cache_warm.add_argument(
+        "--clustering",
+        type=float,
+        default=4.0,
+        help="negative-binomial clustering parameter alpha (default 4.0)",
+    )
+    _add_method_options(cache_warm)
+
+    cache_clear = cache_commands.add_parser(
+        "clear", help="remove stored structures"
+    )
+    cache_clear.add_argument("store_dir", metavar="DIR", help="structure store directory")
+    cache_clear.add_argument(
+        "digest",
+        nargs="?",
+        default=None,
+        help="only remove entries matching this digest prefix (default: all)",
     )
 
     table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
@@ -361,6 +427,7 @@ def _run_sweep(args) -> int:
             workers=args.workers,
             shard_size=args.shard_size,
             cache_dir=args.cache_dir,
+            store_dir=args.store_dir,
         )
         started = time.perf_counter()
         rows = service.density_sweep(
@@ -423,6 +490,13 @@ def _report_engine_stats(stats) -> None:
         % (stats.linearize_builds, stats.linearize_reuses)
     )
     print(
+        "  structure store     : %d hits / %d misses, %d bytes moved"
+        % (stats.store_hits, stats.store_misses, stats.store_bytes)
+    )
+    print(
+        "  worker payloads     : %d bytes dispatched" % stats.shard_payload_bytes
+    )
+    print(
         "  phase wall-clock    : build %.3fs / reorder %.3fs / "
         "evaluate %.3fs / gradients %.3fs"
         % (
@@ -453,6 +527,7 @@ def _run_importance(args) -> int:
             ordering=_ordering_from(args),
             epsilon=args.epsilon,
             workers=args.workers,
+            store_dir=args.store_dir,
         )
         started = time.perf_counter()
         rows = []
@@ -519,6 +594,81 @@ def _run_importance(args) -> int:
     return 0
 
 
+def _run_cache(args) -> int:
+    import json
+
+    from .engine.service import structure_key
+    from .engine.store import StoreError, StructureStore
+
+    store = StructureStore(args.store_dir)
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print("structure store %s is empty" % args.store_dir)
+            return 0
+        print(
+            "structure store %s: %d entries, %d bytes"
+            % (args.store_dir, len(entries), sum(e.nbytes for e in entries))
+        )
+        for entry in entries:
+            print("  %s" % entry.summary())
+        return 0
+    if args.cache_command == "info":
+        try:
+            meta = store.meta_of(args.digest)
+        except StoreError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        if meta is None:
+            print("error: no entry matches %r" % args.digest, file=sys.stderr)
+            return 2
+        meta = dict(meta)
+        # the layer arrays are bulk payload, not metadata
+        meta.get("linearized", {}).pop("layers", None)
+        print(json.dumps(meta, indent=2, sort_keys=True))
+        return 0
+    if args.cache_command == "warm":
+        from .core.method import YieldAnalyzer
+
+        try:
+            problem = benchmark_problem(
+                args.name, mean_defects=args.mean_defects, clustering=args.clustering
+            )
+        except KeyError as exc:
+            print("error: %s" % exc.args[0], file=sys.stderr)
+            return 2
+        try:
+            ordering = _ordering_from(args)
+            if args.max_defects is not None:
+                truncation = int(args.max_defects)
+            else:
+                truncation = problem.lethal_defect_distribution().truncation_level(
+                    args.epsilon
+                )
+            analyzer = YieldAnalyzer(ordering, epsilon=args.epsilon)
+            compiled = analyzer.compile_for_truncation(problem, truncation)
+            nbytes = store.save(
+                structure_key(problem, truncation, ordering), compiled
+            )
+        except (DistributionError, OrderingError, OSError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        from .engine.store import digest_of
+
+        digest = digest_of(structure_key(problem, truncation, ordering))
+        print(
+            "warmed %s (M=%d, %d ROMDD nodes) -> %s (%d bytes)"
+            % (problem.name, truncation, compiled.romdd_size, digest[:16], nbytes)
+        )
+        return 0
+    if args.cache_command == "clear":
+        removed = store.remove(args.digest) if args.digest else store.clear()
+        print("removed %d entries from %s" % (removed, args.store_dir))
+        return 0
+    print("error: unknown cache command %r" % args.cache_command, file=sys.stderr)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _run_table(args) -> int:
     kwargs = {}
     if args.benchmarks is not None:
@@ -552,6 +702,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "importance":
         return _run_importance(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "table":
         return _run_table(args)
     if args.command == "list":

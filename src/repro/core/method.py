@@ -30,12 +30,17 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..bdd.builder import CircuitBDDBuilder
 from ..bdd.manager import BDDManager
+from ..distributions import thinned_count_columns
 from ..engine.batch import LinearizedDiagram
 from ..mdd.from_bdd import convert_bdd_to_mdd
-from ..mdd.probability import gradient_of_many, probability_of_many
+from ..mdd.probability import (
+    LevelProfile,
+    columns_for_models,
+    validate_model_columns,
+)
 from ..ordering.grouped import GroupedVariableOrder
 from ..ordering.strategies import OrderingSpec, compute_grouped_order
-from .gfunction import GeneralizedFaultTree
+from .gfunction import GeneralizedFaultTree, GFunctionError
 from .problem import YieldProblem
 from .results import StageTimings, YieldGradients, YieldResult
 
@@ -48,15 +53,23 @@ class CompiledYield:
     ROMDD and the build statistics.  :meth:`evaluate` runs only the final
     probability traversal, so one compiled structure can serve a whole sweep
     of defect models over the same fault tree.
+
+    Evaluation and differentiation no longer touch the MDD node tables at
+    all: they run over the linearized arrays plus the
+    :class:`~repro.mdd.probability.LevelProfile` captured at compile time.
+    A structure restored from the persistent store
+    (:mod:`repro.engine.store`) therefore works with ``gfunction``,
+    ``grouped_order`` and ``mdd_manager`` all ``None`` — it carries the
+    linearized arrays, the profile and the flat identity fields instead.
     """
 
     def __init__(
         self,
         *,
-        gfunction: GeneralizedFaultTree,
-        grouped_order: GroupedVariableOrder,
+        gfunction: Optional[GeneralizedFaultTree],
+        grouped_order: Optional[GroupedVariableOrder],
         mdd_manager,
-        mdd_root: int,
+        mdd_root: Optional[int],
         truncation: int,
         coded_robdd_size: int,
         robdd_peak: int,
@@ -68,6 +81,15 @@ class CompiledYield:
         sift_swaps: int = 0,
         reorder_seconds: float = 0.0,
         reorder_triggers: int = 0,
+        component_names: Optional[Tuple[str, ...]] = None,
+        count_variable_name: Optional[str] = None,
+        location_variable_names: Optional[Tuple[str, ...]] = None,
+        variable_names: Optional[Tuple[str, ...]] = None,
+        binary_variables: Optional[int] = None,
+        level_profile: Optional[LevelProfile] = None,
+        mdd_allocated: Optional[int] = None,
+        linearized: Optional[LinearizedDiagram] = None,
+        from_store: bool = False,
     ) -> None:
         self.gfunction = gfunction
         self.grouped_order = grouped_order
@@ -86,12 +108,39 @@ class CompiledYield:
         self.reorder_seconds = reorder_seconds
         #: Times the kernel's checkpoint fired mid-build reordering.
         self.reorder_triggers = reorder_triggers
+        #: Flat identity fields (derived from the heavyweight objects when
+        #: they are present; supplied explicitly by the store's restore).
+        if gfunction is not None:
+            component_names = gfunction.component_names
+            count_variable_name = gfunction.count_variable.name
+            location_variable_names = tuple(
+                v.name for v in gfunction.location_variables
+            )
+        self.component_names = tuple(component_names or ())
+        self.count_variable_name = count_variable_name or "w"
+        self.location_variable_names = tuple(location_variable_names or ())
+        if grouped_order is not None:
+            variable_names = grouped_order.variable_names
+            binary_variables = len(grouped_order.flat_bit_order())
+        self.variable_names = tuple(variable_names or ())
+        self.binary_variables = int(binary_variables or 0)
+        if mdd_manager is not None:
+            if mdd_allocated is None:
+                mdd_allocated = mdd_manager.num_nodes_allocated
+            if level_profile is None:
+                level_profile = LevelProfile.from_manager(
+                    mdd_manager, self.count_variable_name
+                )
+        self.mdd_allocated = int(mdd_allocated or 0)
+        self.level_profile = level_profile
+        #: Whether this structure was warm-started from the persistent store.
+        self.from_store = from_store
         #: Number of :meth:`evaluate` calls served by this structure.
         self.evaluations = 0
         #: Number of defect models differentiated by :meth:`gradients_many`.
         self.gradient_evaluations = 0
         #: Linearized-array cache of the ROMDD plus its reuse counters.
-        self._linearized: Optional[LinearizedDiagram] = None
+        self._linearized: Optional[LinearizedDiagram] = linearized
         self.linearize_builds = 0
         self.linearize_reuses = 0
 
@@ -100,9 +149,14 @@ class CompiledYield:
 
         The compiled diagram never mutates, so repeat sweeps over the same
         structure skip linearization entirely (``linearize_reuses`` counts
-        the skips).
+        the skips).  Store-restored structures arrive with the arrays
+        pre-built (the store persists them), so they never linearize.
         """
         if self._linearized is None:
+            if self.mdd_manager is None:
+                raise RuntimeError(
+                    "structure has neither an MDD manager nor linearized arrays"
+                )
             self._linearized = LinearizedDiagram.from_mdd(
                 self.mdd_manager, self.mdd_root
             )
@@ -144,19 +198,13 @@ class CompiledYield:
             return []
 
         t0 = time.perf_counter()
-        lethal_distributions = [p.lethal_defect_distribution() for p in problems]
-        distributions = [
-            self.gfunction.variable_distributions(
-                lethal, problem.lethal_component_probabilities()
-            )
-            for lethal, problem in zip(lethal_distributions, problems)
-        ]
-        probabilities_failed = probability_of_many(
-            self.mdd_manager,
-            self.mdd_root,
-            distributions,
-            linearized=self.linearized(),
-            use_numpy=use_numpy,
+        linearized = self.linearized()
+        use_numpy = linearized.resolve_numpy(use_numpy, len(problems))
+        lethal_distributions, columns = self._model_columns(
+            problems, linearized, as_matrix=use_numpy
+        )
+        probabilities_failed = linearized.evaluate(
+            columns, len(problems), use_numpy=use_numpy
         )
         elapsed = time.perf_counter() - t0
         per_point = elapsed / len(problems)
@@ -176,12 +224,14 @@ class CompiledYield:
             )
             extra = {
                 "robdd_allocated": float(self.robdd_allocated),
-                "mdd_allocated": float(self.mdd_manager.num_nodes_allocated),
-                "binary_variables": float(len(self.grouped_order.flat_bit_order())),
+                "mdd_allocated": float(self.mdd_allocated),
+                "binary_variables": float(self.binary_variables),
                 "gates_processed": float(self.gates_processed),
                 "structure_reused": 1.0 if point_reused else 0.0,
                 "batched_models": float(len(problems)),
             }
+            if self.from_store:
+                extra["structure_from_store"] = 1.0
             if self.ordering.sift:
                 extra["sift_swaps"] = float(self.sift_swaps)
             if self.reorder_triggers:
@@ -197,12 +247,63 @@ class CompiledYield:
                     robdd_peak=self.robdd_peak,
                     romdd_size=self.romdd_size,
                     ordering=(self.ordering.mv, self.ordering.bits),
-                    variable_order=self.grouped_order.variable_names,
+                    variable_order=self.variable_names,
                     timings=timings,
                     extra=extra,
                 )
             )
         return results
+
+    def _model_columns(
+        self,
+        problems: Sequence[YieldProblem],
+        linearized: LinearizedDiagram,
+        *,
+        as_matrix: bool,
+    ):
+        """Vectorized model-column assembly for a batch of defect models.
+
+        Builds the two per-level probability inputs of the linearized kernel
+        in one shot — a ``(M + 2) x K`` count matrix and a ``C x K``
+        location matrix shared by every location level — instead of one
+        probability dict per (model, variable) pair.  The floats are the
+        same values the dict route produced (plain sums, same overflow
+        clamp), so evaluation stays bit-for-bit identical; only the Python
+        dict churn around them is gone.
+
+        Returns ``(lethal_distributions, columns)`` where ``columns`` maps
+        every level of the linearized diagram to its probability rows —
+        float64 matrices when ``as_matrix``, tuple rows otherwise.
+        """
+        lethal_distributions = [p.lethal_defect_distribution() for p in problems]
+        location_columns: List[List[float]] = []
+        expected = len(self.component_names)
+        for problem in problems:
+            probabilities = [
+                float(p) for p in problem.lethal_component_probabilities()
+            ]
+            if len(probabilities) != expected:
+                raise GFunctionError(
+                    "expected %d component probabilities, got %d"
+                    % (expected, len(probabilities))
+                )
+            total = sum(probabilities)
+            if abs(total - 1.0) > 1e-6:
+                raise GFunctionError(
+                    "lethal component probabilities must sum to 1, got %g" % total
+                )
+            location_columns.append(probabilities)
+        count_columns = thinned_count_columns(lethal_distributions, self.truncation)
+        validate_model_columns(count_columns, what="count")
+        validate_model_columns(location_columns, what="location")
+        columns = columns_for_models(
+            linearized,
+            self.level_profile,
+            count_columns,
+            location_columns,
+            as_matrix=as_matrix,
+        )
+        return lethal_distributions, columns
 
 
     def gradients_many(
@@ -236,44 +337,56 @@ class CompiledYield:
         problems = list(problems)
         if not problems:
             return []
-        lethal_distributions = [p.lethal_defect_distribution() for p in problems]
-        distributions = [
-            self.gfunction.variable_distributions(
-                lethal, problem.lethal_component_probabilities()
-            )
-            for lethal, problem in zip(lethal_distributions, problems)
-        ]
-        probabilities_failed, diagram_gradients = gradient_of_many(
-            self.mdd_manager,
-            self.mdd_root,
-            distributions,
-            linearized=self.linearized(),
-            use_numpy=use_numpy,
+        linearized = self.linearized()
+        use_numpy = linearized.resolve_numpy(use_numpy, len(problems))
+        lethal_distributions, columns = self._model_columns(
+            problems, linearized, as_matrix=use_numpy
+        )
+        probabilities_failed, level_gradients = linearized.backward(
+            columns, len(problems), use_numpy=use_numpy
         )
         self.gradient_evaluations += len(problems)
 
-        names = self.gfunction.component_names
-        count_name = self.gfunction.count_variable.name
+        names = self.component_names
         truncation = self.truncation
+        profile = self.level_profile
+        # per-level gradient rows mapped back to the variables; levels the
+        # diagram skips have identically-zero gradients (their probability
+        # entries are never read), matching the old dict route's zero fill
+        count_level = (
+            profile.level_of(self.count_variable_name) if profile is not None else None
+        )
+        count_rows = (
+            level_gradients.get(count_level) if count_level is not None else None
+        )
+        location_row_sets = []
+        for variable_name in self.location_variable_names:
+            level = profile.level_of(variable_name) if profile is not None else None
+            rows = level_gradients.get(level) if level is not None else None
+            if rows is not None:
+                location_row_sets.append(rows)
         out: List[YieldGradients] = []
-        for problem, lethal, probability_failed, grads in zip(
-            problems, lethal_distributions, probabilities_failed, diagram_gradients
+        for model, (problem, lethal, probability_failed) in enumerate(
+            zip(problems, lethal_distributions, probabilities_failed)
         ):
             lethality = problem.lethality
             conditional = problem.lethal_component_probabilities()
             raw = problem.components.raw_probabilities()
 
             # diagram-level gradients: the count variable and the per-defect
-            # location variables (summed over defect positions l)
-            g_count = grads[count_name]
-            d_failure_d_count = tuple(
-                g_count[k] for k in range(truncation + 2)
-            )
+            # location variables (summed over defect positions l, in
+            # v_1 .. v_M order so the float accumulation matches the
+            # per-variable route bit for bit)
+            if count_rows is not None:
+                d_failure_d_count = tuple(
+                    count_rows[value][model] for value in range(truncation + 2)
+                )
+            else:
+                d_failure_d_count = (0.0,) * (truncation + 2)
             location_sums = [0.0] * len(names)
-            for variable in self.gfunction.location_variables:
-                g_location = grads[variable.name]
+            for rows in location_row_sets:
                 for index in range(len(names)):
-                    location_sums[index] += g_location[index + 1]
+                    location_sums[index] += rows[index][model]
 
             # chain rule through the thinned count distribution Q'_k(P_L)
             qprime = [lethal.pmf(k) for k in range(truncation + 2)]

@@ -15,7 +15,12 @@ This subpackage provides the probabilistic substrate of the yield method:
   per-component probabilities ``P_i`` / ``P'_i``.
 """
 
-from .base import DefectCountDistribution, DistributionError, validate_probability_vector
+from .base import (
+    DefectCountDistribution,
+    DistributionError,
+    thinned_count_columns,
+    validate_probability_vector,
+)
 from .components import ComponentDefectModel, split_weights_by_class
 from .compound_poisson import CompoundPoissonDefectDistribution
 from .empirical import EmpiricalDefectDistribution, binomial_thinning
@@ -25,6 +30,7 @@ from .poisson import PoissonDefectDistribution
 __all__ = [
     "DefectCountDistribution",
     "DistributionError",
+    "thinned_count_columns",
     "validate_probability_vector",
     "ComponentDefectModel",
     "split_weights_by_class",

@@ -114,6 +114,29 @@ class DefectCountDistribution(ABC):
         return out
 
 
+def thinned_count_columns(
+    distributions: Sequence["DefectCountDistribution"], truncation: int
+) -> List[List[float]]:
+    """Return one ``[Q'_0 .. Q'_M, overflow]`` column per count distribution.
+
+    This is the batched form of the ``w``-distribution assembly of
+    :meth:`repro.core.gfunction.GeneralizedFaultTree.variable_distributions`:
+    the saturated entry is ``max(0, 1 - sum_{k<=M} Q'_k)`` with a plain
+    left-to-right float sum, so the emitted probabilities are bit-for-bit
+    the values the per-model dict route produced.  The K columns feed the
+    ``(M + 2) x K`` count matrix of the vectorized column assembly
+    (:func:`repro.mdd.probability.columns_for_models`).
+    """
+    if truncation < 0:
+        raise DistributionError("truncation must be non-negative, got %d" % truncation)
+    columns: List[List[float]] = []
+    for distribution in distributions:
+        pmf = [distribution.pmf(k) for k in range(truncation + 1)]
+        pmf.append(max(0.0, 1.0 - sum(pmf)))
+        columns.append(pmf)
+    return columns
+
+
 def validate_probability_vector(values: Sequence[float], *, name: str = "probabilities") -> List[float]:
     """Validate that ``values`` are non-negative and sum to at most 1 + tolerance.
 

@@ -20,7 +20,11 @@ reusable analysis engine — out of :mod:`repro.bdd` and :mod:`repro.mdd`:
   decision diagram once per (structure, truncation, ordering), evaluate all
   of its defect models in one batched pass, shard the points of large
   groups across an optional ``multiprocessing`` fan-out, and keep keyed
-  result caches.
+  result caches;
+* :mod:`repro.engine.store` — the persistent structure store: compiled
+  structures serialized to a versioned on-disk format (content-addressed
+  npz arrays plus JSON metadata) so cold processes and worker shards
+  warm-start from disk instead of rebuilding the diagrams.
 """
 
 from .batch import HAVE_NUMPY, BatchEvalError, LinearizedDiagram
@@ -33,6 +37,7 @@ from .kernel import (
 )
 from .reorder import ReorderStats, sift, sift_grouped, sift_to_convergence
 from .service import SweepPoint, SweepService, SweepServiceStats
+from .store import StoreEntry, StoreError, StructureStore
 
 __all__ = [
     "BatchEvalError",
@@ -47,6 +52,9 @@ __all__ = [
     "sift",
     "sift_grouped",
     "sift_to_convergence",
+    "StoreEntry",
+    "StoreError",
+    "StructureStore",
     "SweepPoint",
     "SweepService",
     "SweepServiceStats",

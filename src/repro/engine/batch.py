@@ -153,6 +153,11 @@ class LinearizedDiagram:
         """The levels present in the diagram, deepest first."""
         return tuple(level for level, _, _ in self._layers)
 
+    @property
+    def layers(self) -> Tuple[Tuple[int, Tuple[int, ...], Tuple[Tuple[int, ...], ...]], ...]:
+        """The raw ``(level, slots, kid_rows)`` layers (persisted by the store)."""
+        return self._layers
+
     def cardinality_at(self, level: int) -> int:
         """Return the branching factor of the nodes at ``level``."""
         for lv, _, kid_rows in self._layers:
@@ -266,12 +271,22 @@ class LinearizedDiagram:
                     % (level, len(kid_rows[0]), len(columns))
                 )
 
-    def _resolve_numpy(self, use_numpy: Optional[bool], num_models: int) -> bool:
+    def resolve_numpy(self, use_numpy: Optional[bool], num_models: int) -> bool:
+        """Decide whether a ``num_models``-wide pass takes the numpy route.
+
+        Exposed so callers that *assemble* the per-level columns (the
+        vectorized model-column assembly of
+        :meth:`repro.core.method.CompiledYield.evaluate_many`) can build
+        float64 matrices exactly when the kernel will consume them, and
+        plain tuple rows for the pure-Python kernel otherwise.
+        """
         if use_numpy is None:
             return HAVE_NUMPY and num_models * self.node_count >= _NUMPY_AUTO_CELLS
         if use_numpy and not HAVE_NUMPY:
             raise BatchEvalError("numpy is not available on this interpreter")
         return bool(use_numpy)
+
+    _resolve_numpy = resolve_numpy
 
     def _evaluate_scalar(self, level_columns) -> float:
         values: List[float] = [0.0, 1.0] + [0.0] * self.node_count
@@ -318,7 +333,13 @@ class LinearizedDiagram:
         values[1] = 1.0
         columns_by_level = {}
         for level, slots, kid_columns in layers:
-            columns = _np.asarray(level_columns[level], dtype=_np.float64)
+            columns = level_columns[level]
+            # pre-built float64 matrices (the vectorized column assembly)
+            # pass through untouched; tuple rows convert once per level
+            if not (
+                isinstance(columns, _np.ndarray) and columns.dtype == _np.float64
+            ):
+                columns = _np.asarray(columns, dtype=_np.float64)
             columns_by_level[level] = columns
             # child-ordered accumulation: same IEEE operation order as the
             # scalar traversal, vectorized over (nodes at level) x (models)

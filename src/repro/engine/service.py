@@ -23,10 +23,17 @@ needs **one** diagram build, not one per point.
   points in-process;
 * a single *large* group no longer serializes the fan-out: its points are
   sharded across workers (``shard_size`` points minimum per shard).  The
-  parent builds the structure once and ships the pickled
-  :class:`~repro.core.method.CompiledYield` to the shards, so each worker
-  evaluates its chunk without rebuilding; shards that do land in the same
-  worker process additionally share a per-process structure cache;
+  parent builds the structure once; without a store the pickled
+  :class:`~repro.core.method.CompiledYield` ships with every shard, with a
+  store (``store_dir``) the shard payload carries only a store *reference*
+  and each worker warm-starts the structure from disk — slimming the
+  dispatch from megabytes to a key.  Shards that land in the same worker
+  process additionally share a small per-process LRU of structures;
+* with ``store_dir`` set, compiled structures also survive process
+  restarts: :mod:`repro.engine.store` persists the linearized arrays and
+  the level profile in a versioned on-disk format, and the service resolves
+  structures memory-LRU → disk store → build (``store_hits`` /
+  ``store_misses`` / ``store_bytes`` count the traffic);
 * :meth:`SweepService.gradient_batch` serves *importance* queries the same
   way: per structure group, one forward-plus-reverse linearized pass
   differentiates all of the group's defect models analytically
@@ -92,6 +99,16 @@ class SweepServiceStats:
     gradient_passes: int = 0
     points_differentiated: int = 0
     gradient_seconds: float = 0.0
+    #: Persistent-store traffic: warm starts served from disk (parent and
+    #: worker processes), rebuilds the store could not prevent, and the
+    #: bytes moved to/from the store (saves plus loads).
+    store_hits: int = 0
+    store_misses: int = 0
+    store_bytes: int = 0
+    #: Pickled bytes of the payloads dispatched to the worker pool.  With
+    #: the store enabled, shard payloads carry a store reference instead of
+    #: the compiled structure, so this shrinks by orders of magnitude.
+    shard_payload_bytes: int = 0
     #: Per-phase wall-clock seconds (parent process only).
     build_seconds: float = 0.0
     reorder_seconds: float = 0.0
@@ -183,6 +200,13 @@ class SweepService:
         Optional directory for the on-disk result cache (created on
         demand).  Results are pickled per key; corrupt or unreadable
         entries are treated as misses.
+    store_dir:
+        Optional directory for the persistent *structure* store
+        (:class:`repro.engine.store.StructureStore`).  Compiled structures
+        are serialized once and warm-started by any later process — cold
+        service starts skip the ordering/ROBDD/ROMDD build entirely, and
+        worker shards receive a store reference instead of a multi-MB
+        pickled structure.  Corrupt or incompatible entries are rebuilt.
     max_structures:
         How many compiled structures to keep in memory (LRU).
     max_results:
@@ -201,6 +225,7 @@ class SweepService:
         workers: int = 0,
         shard_size: int = 16,
         cache_dir: Optional[str] = None,
+        store_dir: Optional[str] = None,
         max_structures: int = 8,
         max_results: int = 65536,
         **analyzer_options,
@@ -218,6 +243,13 @@ class SweepService:
         self.workers = int(workers)
         self.shard_size = int(shard_size)
         self.cache_dir = cache_dir
+        self.store_dir = store_dir
+        if store_dir:
+            from .store import StructureStore
+
+            self._store: Optional["StructureStore"] = StructureStore(store_dir)
+        else:
+            self._store = None
         self.max_structures = int(max_structures)
         self.max_results = int(max_results)
         self.analyzer_options = analyzer_options
@@ -429,17 +461,40 @@ class SweepService:
         return point.problem.lethal_defect_distribution().truncation_level(budget)
 
     def _structure_for(self, skey: Tuple, problem, truncation: int):
+        """Resolve a structure: memory LRU → persistent store → build."""
         compiled = self._structures.get(skey)
         if compiled is not None:
             self._structures.move_to_end(skey)
             self.stats.structure_reuses += 1
             return compiled, True
+        if self._store is not None:
+            loaded = self._store.load(skey)
+            if loaded is not None:
+                compiled, nbytes = loaded
+                self.stats.store_hits += 1
+                self.stats.store_bytes += nbytes
+                self._store_structure(skey, compiled)
+                return compiled, True
+            self.stats.store_misses += 1
         compiled = self._analyzer().compile_for_truncation(problem, truncation)
         self._store_structure(skey, compiled)
         self.stats.structures_built += 1
         self.stats.build_seconds += sum(compiled.build_timings)
         self.stats.reorder_seconds += compiled.reorder_seconds
+        self._persist_structure(skey, compiled)
         return compiled, False
+
+    def _persist_structure(self, skey: Tuple, compiled) -> None:
+        """Save a freshly built structure to the store (never fails a sweep)."""
+        if self._store is None:
+            return
+        builds_before = compiled.linearize_builds
+        try:
+            self.stats.store_bytes += self._store.save(skey, compiled)
+        except OSError:  # pragma: no cover - persisting is best-effort
+            pass
+        # saving linearizes on demand; surface that build in the counters
+        self.stats.linearize_builds += compiled.linearize_builds - builds_before
 
     def _evaluate_group_locally(self, compiled, problems, *, reused: bool):
         """One batched pass over a group's defect models, with bookkeeping."""
@@ -490,6 +545,7 @@ class SweepService:
         # route without double-counting structure/linearization work
         if self.ensure_workers() is None:
             return self._run_serial(groups, points, truncations)
+        store_root = self.store_dir if self._store is not None else None
         payloads = []
         local_groups = []
         sharded_points = 0
@@ -502,14 +558,21 @@ class SweepService:
                     # already compiled locally: cheaper to evaluate in-process
                     local_groups.append((skey, indices))
                 else:
+                    # whole-group dispatch: the worker resolves the structure
+                    # (its LRU → the store → a build) and hands it back for
+                    # the parent's LRU to serve later batches
                     payloads.append(
-                        self._payload(skey, indices, points, truncations, None, False)
+                        self._payload(
+                            skey, indices, points, truncations, None, False,
+                            store_root, True,
+                        )
                     )
                 continue
-            # intra-group point sharding: one structure build in the parent,
-            # the pickled structure (with its linearized arrays, so workers
-            # skip linearization too) ships with every chunk so each worker
-            # evaluates its points without rebuilding
+            # intra-group point sharding: one structure build in the parent.
+            # Without a store the pickled structure (with its linearized
+            # arrays, so workers skip linearization too) ships with every
+            # chunk; with a store the chunk carries only a store reference
+            # and each worker warm-starts the structure from disk.
             if compiled is None:
                 compiled, reused = self._structure_for(
                     skey, points[indices[0]].problem, truncations[indices[0]]
@@ -522,6 +585,12 @@ class SweepService:
             builds_before = compiled.linearize_builds
             compiled.linearized()
             self.stats.linearize_builds += compiled.linearize_builds - builds_before
+            ship = compiled
+            if self._store is not None:
+                if not self._store.contains(skey):
+                    self._persist_structure(skey, compiled)
+                if self._store.contains(skey):
+                    ship = None  # workers load the slim on-disk form instead
             sharded_points += len(indices)
             for shard_index, chunk in enumerate(_chunked(indices, shards)):
                 payloads.append(
@@ -530,8 +599,10 @@ class SweepService:
                         chunk,
                         points,
                         truncations,
-                        compiled,
+                        ship,
                         fresh and shard_index == 0,
+                        store_root if ship is None else None,
+                        False,
                     )
                 )
                 sharded_payloads += 1
@@ -550,14 +621,27 @@ class SweepService:
             evaluated = self._run_serial(fallback, points, truncations)
         else:
             try:
+                # the parent pickles the payloads itself (the pool then moves
+                # opaque bytes), so the dispatch cost is paid once and the
+                # exact payload size lands in ``shard_payload_bytes``
+                blobs = [
+                    pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+                    for payload in payloads
+                ]
+                self.stats.shard_payload_bytes += sum(len(blob) for blob in blobs)
                 started = time.perf_counter()
                 worker_build_seconds = 0.0
                 for skey, compiled, chunk, shard_stats in pool.map(
-                    _evaluate_shard, payloads
+                    _evaluate_shard, blobs
                 ):
-                    # keep the worker-built structure for later batches
+                    # keep the worker-resolved structure for later batches
                     if compiled is not None:
                         self._store_structure(skey, compiled)
+                        if shard_stats.get("built"):
+                            if self._store is not None and not self._store.contains(
+                                skey
+                            ):
+                                self._persist_structure(skey, compiled)
                     if shard_stats.get("built"):
                         self.stats.structures_built += 1
                         self.stats.build_seconds += shard_stats.get("build_seconds", 0.0)
@@ -565,6 +649,11 @@ class SweepService:
                             "reorder_seconds", 0.0
                         )
                         worker_build_seconds += shard_stats.get("build_seconds", 0.0)
+                    if shard_stats.get("store_hit"):
+                        self.stats.store_hits += 1
+                        self.stats.store_bytes += shard_stats.get("store_bytes", 0)
+                    if shard_stats.get("store_miss"):
+                        self.stats.store_misses += 1
                     self.stats.batched_passes += 1
                     self.stats.linearize_builds += shard_stats.get("linearize_builds", 0)
                     self.stats.linearize_reuses += shard_stats.get("linearize_reuses", 0)
@@ -588,7 +677,9 @@ class SweepService:
             evaluated.extend(self._run_serial(local_groups, points, truncations))
         return evaluated
 
-    def _payload(self, skey, indices, points, truncations, compiled, fresh):
+    def _payload(
+        self, skey, indices, points, truncations, compiled, fresh, store_root, adopt
+    ):
         return (
             skey,
             self.ordering.key(),
@@ -599,6 +690,8 @@ class SweepService:
             [points[idx].problem for idx in indices],
             compiled,
             fresh,
+            store_root,
+            adopt,
         )
 
     # ------------------------------------------------------------------ #
@@ -649,20 +742,40 @@ def _chunked(items: Sequence, chunks: int) -> List[list]:
 
 
 #: Per-worker-process structure cache: shards of the same group that land in
-#: the same worker share one build (bounded; workers are short-lived).
+#: the same worker share one resolution.  A true LRU (hits refresh recency)
+#: with a small bound, so a persistent pool serving many structure keys
+#: cannot grow it without limit.
 _WORKER_STRUCTURES: "OrderedDict[Tuple, object]" = OrderedDict()
 _WORKER_STRUCTURES_BOUND = 4
+
+
+def _worker_structure_get(skey):
+    compiled = _WORKER_STRUCTURES.get(skey)
+    if compiled is not None:
+        _WORKER_STRUCTURES.move_to_end(skey)
+    return compiled
+
+
+def _worker_structure_put(skey, compiled) -> None:
+    _WORKER_STRUCTURES[skey] = compiled
+    _WORKER_STRUCTURES.move_to_end(skey)
+    while len(_WORKER_STRUCTURES) > _WORKER_STRUCTURES_BOUND:
+        _WORKER_STRUCTURES.popitem(last=False)
 
 
 def _evaluate_shard(payload):
     """Worker entry point: evaluate one shard of a structure group.
 
-    When the payload ships a compiled structure (intra-group sharding) the
-    worker evaluates its chunk directly; otherwise it builds the group's
-    structure — consulting the per-process cache first — and returns it so
-    the parent can adopt it into its LRU and serve later batches without
-    rebuilding.  All of the shard's defect models run in one batched pass.
+    The payload arrives as parent-pickled bytes (the parent accounts the
+    exact dispatch size that way).  The worker resolves the shard's
+    structure in warmth order — shipped with the payload, the per-process
+    LRU, the persistent store, a fresh build — and evaluates all of the
+    shard's defect models in one batched pass.  A structure the parent did
+    not already hold (``adopt``) is returned so the parent's LRU serves
+    later batches without re-resolving.
     """
+    if isinstance(payload, (bytes, bytearray)):
+        payload = pickle.loads(payload)
     (
         skey,
         ordering_key,
@@ -673,21 +786,34 @@ def _evaluate_shard(payload):
         problems,
         compiled,
         fresh,
+        store_root,
+        adopt,
     ) = payload
     built = False
+    store_hit = False
+    store_miss = False
+    store_bytes = 0
     if compiled is None:
-        compiled = _WORKER_STRUCTURES.get(skey)
+        compiled = _worker_structure_get(skey)
         if compiled is None:
-            from ..core.method import YieldAnalyzer
-            from ..ordering.strategies import OrderingSpec
+            if store_root is not None:
+                from .store import StructureStore
 
-            ordering = OrderingSpec.from_key(ordering_key)
-            analyzer = YieldAnalyzer(ordering, epsilon=epsilon, **analyzer_options)
-            compiled = analyzer.compile_for_truncation(problems[0], truncation)
-            built = True
-            _WORKER_STRUCTURES[skey] = compiled
-            while len(_WORKER_STRUCTURES) > _WORKER_STRUCTURES_BOUND:
-                _WORKER_STRUCTURES.popitem(last=False)
+                loaded = StructureStore(store_root).load(skey)
+                if loaded is not None:
+                    compiled, store_bytes = loaded
+                    store_hit = True
+                else:
+                    store_miss = True
+            if compiled is None:
+                from ..core.method import YieldAnalyzer
+                from ..ordering.strategies import OrderingSpec
+
+                ordering = OrderingSpec.from_key(ordering_key)
+                analyzer = YieldAnalyzer(ordering, epsilon=epsilon, **analyzer_options)
+                compiled = analyzer.compile_for_truncation(problems[0], truncation)
+                built = True
+            _worker_structure_put(skey, compiled)
         fresh = built
     builds_before = compiled.linearize_builds
     reuses_before = compiled.linearize_reuses
@@ -697,13 +823,16 @@ def _evaluate_shard(payload):
         "models": len(problems),
         "linearize_builds": compiled.linearize_builds - builds_before,
         "linearize_reuses": compiled.linearize_reuses - reuses_before,
+        "store_hit": store_hit,
+        "store_miss": store_miss,
+        "store_bytes": store_bytes,
     }
     if built:
         shard_stats["build_seconds"] = sum(compiled.build_timings)
         shard_stats["reorder_seconds"] = compiled.reorder_seconds
     return (
         skey,
-        compiled if built else None,
+        compiled if adopt and (built or store_hit) else None,
         list(zip(indices, results)),
         shard_stats,
     )

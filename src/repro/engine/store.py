@@ -1,0 +1,408 @@
+"""Persistent on-disk store for compiled decision-diagram structures.
+
+The expensive part of the pipeline — ordering, coded-ROBDD build, ROMDD
+conversion — depends only on the *structure key* (fault tree, component
+list, truncation level, ordering strategy).  The in-memory LRU of
+:class:`repro.engine.service.SweepService` already amortizes that cost
+within one process; this module extends the amortization across process
+boundaries: every compiled structure is serialized once to a versioned
+on-disk format, and any later process (a cold service start, a worker
+shard, a CLI invocation) *warm-starts* by loading the flat arrays instead
+of rebuilding the diagrams.
+
+What gets persisted is deliberately **not** the MDD node tables: since the
+vectorized column assembly landed, evaluation and differentiation consume
+only the linearized topological arrays
+(:class:`repro.engine.batch.LinearizedDiagram`) plus the
+:class:`repro.mdd.probability.LevelProfile` — a few dense integer arrays
+and a page of metadata.  A restored :class:`repro.core.method.CompiledYield`
+therefore evaluates and differentiates bit-for-bit like the freshly built
+structure while staying a fraction of its pickled size.
+
+Format (version 1), content-addressed under the store root by the SHA-256
+digest of the structure key::
+
+    <root>/<digest[:2]>/<digest>.npz    # one slots/kids array pair per layer
+    <root>/<digest[:2]>/<digest>.json   # metadata, profile, diagnostics
+
+Both files are written to temporaries and moved into place with
+``os.replace``; the JSON file is written *last* and acts as the commit
+marker, so readers never observe a half-written entry.  Hosts without
+numpy fall back to embedding the layers in the JSON file (``encoding:
+"json"``), and either side can read both encodings.  Unknown versions,
+corrupt files and digest mismatches are treated as misses, never as
+errors — the caller simply rebuilds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly on both kinds of hosts
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Identifies the file format (checked on load).
+FORMAT_NAME = "repro-structure"
+
+#: Bumped on every incompatible layout change; mismatches load as misses.
+FORMAT_VERSION = 1
+
+
+class StoreError(ValueError):
+    """Raised on invalid store operations (never on corrupt entries)."""
+
+
+@dataclass
+class StoreEntry:
+    """One persisted structure, as listed by :meth:`StructureStore.entries`."""
+
+    digest: str
+    nbytes: int
+    created: float
+    truncation: int
+    ordering_key: Tuple
+    romdd_size: int
+    node_count: int
+
+    def summary(self) -> str:
+        return "%s  M=%-3d  order=%-18s  %6d nodes  %8d bytes" % (
+            self.digest[:16],
+            self.truncation,
+            "/".join(str(part) for part in self.ordering_key),
+            self.node_count,
+            self.nbytes,
+        )
+
+
+def digest_of(skey: Tuple) -> str:
+    """Content address of a structure key (stable across processes)."""
+    return hashlib.sha256(repr(skey).encode()).hexdigest()
+
+
+class StructureStore:
+    """Content-addressed, versioned store of compiled yield structures.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries (created on the first save).
+    """
+
+    def __init__(self, root: str) -> None:
+        if not root:
+            raise StoreError("the structure store needs a directory")
+        self.root = str(root)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+
+    def _paths(self, digest: str) -> Tuple[str, str]:
+        base = os.path.join(self.root, digest[:2], digest)
+        return base + ".json", base + ".npz"
+
+    def contains(self, skey: Tuple) -> bool:
+        """Whether an entry for ``skey`` is committed (JSON marker present)."""
+        return os.path.exists(self._paths(digest_of(skey))[0])
+
+    # ------------------------------------------------------------------ #
+    # Save
+    # ------------------------------------------------------------------ #
+
+    def save(self, skey: Tuple, compiled) -> int:
+        """Persist ``compiled`` under ``skey``; return the entry's bytes.
+
+        Overwrites any existing entry atomically.  The structure must carry
+        a level profile (every structure compiled by
+        :class:`repro.core.method.YieldAnalyzer` does); its linearized
+        arrays are built on demand.
+        """
+        if compiled.level_profile is None:
+            raise StoreError("structure has no level profile; cannot persist")
+        linearized = compiled.linearized()
+        digest = digest_of(skey)
+        json_path, npz_path = self._paths(digest)
+        os.makedirs(os.path.dirname(json_path), exist_ok=True)
+
+        layers = linearized.layers
+        use_npz = _np is not None and layers
+        meta = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "digest": digest,
+            "created": time.time(),
+            "structure": {
+                "truncation": compiled.truncation,
+                "ordering_key": list(compiled.ordering.key()),
+                "component_names": list(compiled.component_names),
+                "count_variable": compiled.count_variable_name,
+                "location_variables": list(compiled.location_variable_names),
+                "variable_names": list(compiled.variable_names),
+                "binary_variables": compiled.binary_variables,
+                "level_profile": compiled.level_profile.as_json(),
+            },
+            "diagnostics": {
+                "coded_robdd_size": compiled.coded_robdd_size,
+                "robdd_peak": compiled.robdd_peak,
+                "robdd_allocated": compiled.robdd_allocated,
+                "gates_processed": compiled.gates_processed,
+                "romdd_size": compiled.romdd_size,
+                "build_timings": list(compiled.build_timings),
+                "sift_swaps": compiled.sift_swaps,
+                "reorder_seconds": compiled.reorder_seconds,
+                "reorder_triggers": compiled.reorder_triggers,
+                "mdd_allocated": compiled.mdd_allocated,
+            },
+            "linearized": {
+                "root_slot": linearized.root_slot,
+                "num_slots": linearized.num_slots,
+                "levels": [level for level, _, _ in layers],
+                "encoding": "npz" if use_npz else "json",
+            },
+        }
+
+        nbytes = 0
+        if use_npz:
+            arrays = {}
+            for index, (_, slots, kid_rows) in enumerate(layers):
+                arrays["slots_%d" % index] = _np.asarray(slots, dtype=_np.int64)
+                arrays["kids_%d" % index] = _np.asarray(kid_rows, dtype=_np.int64)
+
+            def write_npz(handle):
+                _np.savez(handle, **arrays)
+
+            self._commit(npz_path, "wb", write_npz)
+            nbytes += os.path.getsize(npz_path)
+        else:
+            meta["linearized"]["layers"] = [
+                [level, list(slots), [list(row) for row in kid_rows]]
+                for level, slots, kid_rows in layers
+            ]
+            # drop a stale npz so the entry stays self-consistent
+            try:
+                os.unlink(npz_path)
+            except OSError:
+                pass
+
+        self._commit(json_path, "w", lambda handle: json.dump(meta, handle))
+        nbytes += os.path.getsize(json_path)
+        return nbytes
+
+    @staticmethod
+    def _commit(path: str, mode: str, write) -> None:
+        """Write ``path`` atomically via a uniquely named temporary.
+
+        ``mkstemp`` keeps concurrent savers of the same digest from
+        truncating each other's half-written temporary — each writer
+        commits its own complete file and the last ``os.replace`` wins.
+        """
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=os.path.basename(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, mode) as handle:
+                write(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Load
+    # ------------------------------------------------------------------ #
+
+    def load(self, skey: Tuple):
+        """Return ``(restored CompiledYield, entry bytes)`` or ``None``.
+
+        Any corruption, version skew or digest mismatch loads as a miss.
+        """
+        return self.load_digest(digest_of(skey))
+
+    def load_digest(self, digest: str):
+        """Like :meth:`load`, addressed directly by digest."""
+        json_path, npz_path = self._paths(digest)
+        meta = self._read_meta(json_path, digest)
+        if meta is None:
+            return None
+        try:
+            layers, npz_bytes = self._read_layers(meta, npz_path)
+            structure = self._restore(meta, layers)
+            json_bytes = os.path.getsize(json_path)
+        except Exception:
+            # anything — truncated arrays, version drift inside the payload,
+            # a concurrent `cache clear` unlinking the files mid-read — is a
+            # miss; the caller rebuilds
+            return None
+        return structure, json_bytes + npz_bytes
+
+    def _read_meta(self, json_path: str, digest: str) -> Optional[Dict]:
+        try:
+            with open(json_path, "r") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(meta, dict)
+            or meta.get("format") != FORMAT_NAME
+            or meta.get("version") != FORMAT_VERSION
+            or meta.get("digest") != digest
+        ):
+            return None
+        return meta
+
+    def _read_layers(self, meta: Dict, npz_path: str):
+        linearized = meta["linearized"]
+        levels = linearized["levels"]
+        if linearized["encoding"] == "json":
+            layers = [
+                (int(level), tuple(int(s) for s in slots), tuple(
+                    tuple(int(c) for c in row) for row in kid_rows
+                ))
+                for level, slots, kid_rows in linearized["layers"]
+            ]
+            return tuple(layers), 0
+        if _np is None:
+            raise StoreError("entry uses npz arrays but numpy is unavailable")
+        layers = []
+        with _np.load(npz_path) as arrays:
+            for index, level in enumerate(levels):
+                slots = tuple(int(s) for s in arrays["slots_%d" % index])
+                kid_rows = tuple(
+                    tuple(int(c) for c in row) for row in arrays["kids_%d" % index]
+                )
+                layers.append((int(level), slots, kid_rows))
+        return tuple(layers), os.path.getsize(npz_path)
+
+    def _restore(self, meta: Dict, layers):
+        # imported lazily: core.method pulls in the DD managers, which load
+        # the engine kernel at import time (same cycle service.py avoids)
+        from ..core.method import CompiledYield
+        from ..engine.batch import LinearizedDiagram
+        from ..mdd.probability import LevelProfile
+        from ..ordering.strategies import OrderingSpec
+
+        structure = meta["structure"]
+        diagnostics = meta["diagnostics"]
+        linearized_meta = meta["linearized"]
+        linearized = LinearizedDiagram(
+            int(linearized_meta["root_slot"]),
+            int(linearized_meta["num_slots"]),
+            layers,
+        )
+        return CompiledYield(
+            gfunction=None,
+            grouped_order=None,
+            mdd_manager=None,
+            mdd_root=None,
+            truncation=int(structure["truncation"]),
+            coded_robdd_size=int(diagnostics["coded_robdd_size"]),
+            robdd_peak=int(diagnostics["robdd_peak"]),
+            robdd_allocated=int(diagnostics["robdd_allocated"]),
+            gates_processed=int(diagnostics["gates_processed"]),
+            romdd_size=int(diagnostics["romdd_size"]),
+            ordering=OrderingSpec.from_key(tuple(structure["ordering_key"])),
+            build_timings=tuple(float(t) for t in diagnostics["build_timings"]),
+            sift_swaps=int(diagnostics["sift_swaps"]),
+            reorder_seconds=float(diagnostics["reorder_seconds"]),
+            reorder_triggers=int(diagnostics["reorder_triggers"]),
+            component_names=tuple(structure["component_names"]),
+            count_variable_name=structure["count_variable"],
+            location_variable_names=tuple(structure["location_variables"]),
+            variable_names=tuple(structure["variable_names"]),
+            binary_variables=int(structure["binary_variables"]),
+            level_profile=LevelProfile.from_json(structure["level_profile"]),
+            mdd_allocated=int(diagnostics["mdd_allocated"]),
+            linearized=linearized,
+            from_store=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Inspection and maintenance (the ``repro cache`` CLI)
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> List[StoreEntry]:
+        """List every committed entry (corrupt entries are skipped)."""
+        out: List[StoreEntry] = []
+        if not os.path.isdir(self.root):
+            return out
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                digest = name[: -len(".json")]
+                json_path, npz_path = self._paths(digest)
+                meta = self._read_meta(json_path, digest)
+                if meta is None:
+                    continue
+                try:
+                    nbytes = os.path.getsize(json_path)
+                    if os.path.exists(npz_path):
+                        nbytes += os.path.getsize(npz_path)
+                except OSError:  # entry removed while listing
+                    continue
+                out.append(
+                    StoreEntry(
+                        digest=digest,
+                        nbytes=nbytes,
+                        created=float(meta.get("created", 0.0)),
+                        truncation=int(meta["structure"]["truncation"]),
+                        ordering_key=tuple(meta["structure"]["ordering_key"]),
+                        romdd_size=int(meta["diagnostics"]["romdd_size"]),
+                        node_count=int(meta["linearized"]["num_slots"]) - 2,
+                    )
+                )
+        return out
+
+    def meta_of(self, digest_prefix: str) -> Optional[Dict]:
+        """Return the raw metadata of the entry matching the digest prefix.
+
+        Raises :class:`StoreError` when the prefix is ambiguous.
+        """
+        matches = [
+            entry for entry in self.entries() if entry.digest.startswith(digest_prefix)
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise StoreError(
+                "digest prefix %r matches %d entries" % (digest_prefix, len(matches))
+            )
+        json_path, _ = self._paths(matches[0].digest)
+        return self._read_meta(json_path, matches[0].digest)
+
+    def remove(self, digest_prefix: str) -> int:
+        """Remove entries matching the digest prefix; return how many."""
+        removed = 0
+        for entry in self.entries():
+            if not entry.digest.startswith(digest_prefix):
+                continue
+            json_path, npz_path = self._paths(entry.digest)
+            for path in (json_path, npz_path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; return how many were removed."""
+        return self.remove("")
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of the committed entries."""
+        return sum(entry.nbytes for entry in self.entries())

@@ -17,7 +17,9 @@ from .dot import mdd_to_dot, write_mdd_dot
 from .from_bdd import convert_bdd_to_mdd
 from .manager import FALSE, TRUE, MDDError, MDDManager
 from .probability import (
+    LevelProfile,
     VariableDistributions,
+    columns_for_models,
     probability_of_many,
     probability_of_one,
     probability_of_one_reference,
@@ -35,6 +37,8 @@ __all__ = [
     "probability_of_many",
     "probability_of_one_reference",
     "VariableDistributions",
+    "LevelProfile",
+    "columns_for_models",
     "mdd_to_dot",
     "write_mdd_dot",
 ]

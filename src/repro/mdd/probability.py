@@ -26,10 +26,15 @@ batched kernel to it bit for bit.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..engine.batch import LinearizedDiagram
+from ..engine.batch import HAVE_NUMPY, LinearizedDiagram
 from .manager import FALSE, TRUE, MDDError, MDDManager
+
+if HAVE_NUMPY:  # pragma: no branch - resolved once at import
+    import numpy as _np
+else:  # pragma: no cover - numpy is present on the supported hosts
+    _np = None
 
 
 class VariableDistributions:
@@ -94,6 +99,152 @@ def level_columns_for(
             tuple(vector[value] for vector in vectors) for value in range(cardinality)
         )
     return columns
+
+
+class LevelProfile:
+    """The variable layout of a ROMDD, detached from its node tables.
+
+    One entry per manager level: ``(level, variable name, cardinality,
+    is_count)``.  Together with the linearized arrays this is everything the
+    probability traversal and the reverse-mode gradient pass need to know
+    about the diagram's variables — so a structure restored from the
+    persistent store (:mod:`repro.engine.store`) can evaluate and
+    differentiate without rebuilding the MDD manager.
+
+    The profile assumes the yield method's variable shapes: the count
+    variable ``w`` takes the contiguous values ``0 .. M+1`` and every
+    location variable takes ``1 .. C`` — row ``j`` of a level's probability
+    matrix is the ``j``-th domain value.  That invariant is established by
+    :class:`repro.core.gfunction.GeneralizedFaultTree` and checked here.
+    """
+
+    __slots__ = ("entries", "_level_of")
+
+    def __init__(self, entries: Sequence[Tuple[int, str, int, bool]]) -> None:
+        self.entries: Tuple[Tuple[int, str, int, bool], ...] = tuple(
+            (int(level), str(name), int(cardinality), bool(is_count))
+            for level, name, cardinality, is_count in entries
+        )
+        self._level_of = {name: level for level, name, _, _ in self.entries}
+
+    @classmethod
+    def from_manager(cls, manager: MDDManager, count_variable: str) -> "LevelProfile":
+        """Capture the level layout of ``manager`` (count variable named)."""
+        entries = []
+        for level, variable in enumerate(manager.variables):
+            is_count = variable.name == count_variable
+            expected_first = 0 if is_count else 1
+            if variable.values != tuple(
+                range(expected_first, expected_first + variable.cardinality)
+            ):
+                raise MDDError(
+                    "variable %r has non-contiguous domain %r"
+                    % (variable.name, variable.values)
+                )
+            entries.append((level, variable.name, variable.cardinality, is_count))
+        return cls(entries)
+
+    def level_of(self, name: str) -> Optional[int]:
+        """Return the level of the named variable (``None`` when absent)."""
+        return self._level_of.get(name)
+
+    def as_json(self) -> List[List[object]]:
+        """Return a JSON-serializable form (see :meth:`from_json`)."""
+        return [list(entry) for entry in self.entries]
+
+    @classmethod
+    def from_json(cls, data: Sequence[Sequence[object]]) -> "LevelProfile":
+        return cls([tuple(entry) for entry in data])  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LevelProfile) and self.entries == other.entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "LevelProfile(%d levels)" % len(self.entries)
+
+
+def columns_for_models(
+    linearized: LinearizedDiagram,
+    profile: LevelProfile,
+    count_columns: Sequence[Sequence[float]],
+    location_columns: Sequence[Sequence[float]],
+    *,
+    as_matrix: bool = True,
+) -> Dict[int, object]:
+    """Assemble the batch kernel's per-level columns in one shot.
+
+    ``count_columns`` holds one ``[Q'_0 .. Q'_M, overflow]`` column per
+    model (see :func:`repro.distributions.thinned_count_columns`) and
+    ``location_columns`` one ``[P'_1 .. P'_C]`` column per model.  Instead
+    of building K per-variable probability dicts and transposing them level
+    by level, this produces exactly **two** ``cardinality x K`` float64
+    matrices — one for the count variable, one shared by *all* location
+    levels (every ``v_l`` carries the same distribution) — and maps them
+    onto the levels the diagram actually contains.  With ``as_matrix=False``
+    the same sharing happens with tuple rows for the pure-Python kernel.
+
+    The matrix entries are the same floats the dict route produced, so the
+    kernel's child-ordered accumulation stays bit-for-bit identical.
+    """
+    need = set(linearized.levels)
+    columns: Dict[int, object] = {}
+    count_matrix: Optional[object] = None
+    location_matrix: Optional[object] = None
+    for level, name, cardinality, is_count in profile.entries:
+        if level not in need:
+            continue
+        source = count_columns if is_count else location_columns
+        if len(source) and len(source[0]) != cardinality:
+            raise MDDError(
+                "variable %r at level %d expects %d-value columns, got %d"
+                % (name, level, cardinality, len(source[0]))
+            )
+        if is_count:
+            if count_matrix is None:
+                count_matrix = _transpose_columns(source, as_matrix)
+            columns[level] = count_matrix
+        else:
+            if location_matrix is None:
+                location_matrix = _transpose_columns(source, as_matrix)
+            columns[level] = location_matrix
+    return columns
+
+
+def _transpose_columns(model_columns, as_matrix: bool):
+    """Turn K per-model columns into one ``cardinality x K`` row layout."""
+    if as_matrix:
+        if _np is None:
+            raise MDDError("numpy is not available on this interpreter")
+        # ascontiguousarray keeps row indexing (columns[j]) cache-friendly
+        return _np.ascontiguousarray(
+            _np.asarray(model_columns, dtype=_np.float64).T
+        )
+    return tuple(zip(*model_columns))
+
+
+def validate_model_columns(
+    columns: Sequence[Sequence[float]], *, what: str
+) -> None:
+    """Check per-model probability columns (non-negative, sum to 1).
+
+    Mirrors the per-variable checks of :class:`VariableDistributions` (same
+    1e-6 tolerance, plain float sum) for the vectorized assembly route,
+    which never materializes per-variable dicts to validate.
+    """
+    for index, column in enumerate(columns):
+        total = 0.0
+        for p in column:
+            if p < 0.0:
+                raise MDDError(
+                    "negative probability %r in the %s distribution of model %d"
+                    % (p, what, index)
+                )
+            total += p
+        if abs(total - 1.0) > 1e-6:
+            raise MDDError(
+                "%s distribution of model %d sums to %g, expected 1"
+                % (what, index, total)
+            )
 
 
 def probability_of_many(

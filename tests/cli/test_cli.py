@@ -187,3 +187,89 @@ class TestTable:
     def test_table_unknown_benchmark(self, capsys):
         assert main(["table", "2", "--benchmarks", "NOPE"]) == 2
         assert "unknown benchmarks" in capsys.readouterr().err
+
+
+class TestCache:
+    def test_ls_of_an_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "ls", str(tmp_path / "store")]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_warm_then_ls_info_and_clear(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["cache", "warm", store_dir, "MS2", "--max-defects", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "warmed MS2" in out and "M=2" in out
+
+        assert main(["cache", "ls", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out and "M=2" in out
+        digest = out.strip().splitlines()[-1].split()[0]
+
+        assert main(["cache", "info", store_dir, digest]) == 0
+        out = capsys.readouterr().out
+        assert '"truncation": 2' in out
+        assert '"format": "repro-structure"' in out
+
+        assert main(["cache", "clear", store_dir]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "ls", store_dir]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_info_of_an_unknown_digest(self, tmp_path, capsys):
+        assert main(["cache", "info", str(tmp_path / "store"), "ffff"]) == 2
+        assert "no entry matches" in capsys.readouterr().err
+
+    def test_warm_unknown_benchmark(self, tmp_path, capsys):
+        assert main(["cache", "warm", str(tmp_path / "store"), "NOPE"]) == 2
+        assert "NOPE" in capsys.readouterr().err
+
+    def test_sweep_warm_starts_from_a_warmed_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["cache", "warm", store_dir, "MS2", "--max-defects", "3"]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "sweep",
+                "MS2",
+                "--max-defects",
+                "3",
+                "--store-dir",
+                store_dir,
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "structures built    : 0" in out
+        assert "structure store     : 1 hits / 0 misses" in out
+
+    def test_importance_accepts_a_store_dir(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        code = main(
+            [
+                "importance",
+                "MS2",
+                "--max-defects",
+                "2",
+                "--store-dir",
+                store_dir,
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "structure store" in out
+        # the run persisted its structure: a second process warm-starts
+        code = main(
+            [
+                "importance",
+                "MS2",
+                "--max-defects",
+                "2",
+                "--store-dir",
+                store_dir,
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "structure store     : 1 hits" in capsys.readouterr().out

@@ -1,0 +1,262 @@
+"""Persistent structure store: format, round-trips, service warm-starts."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.method import YieldAnalyzer
+from repro.core.problem import YieldProblem
+from repro.distributions import ComponentDefectModel, PoissonDefectDistribution
+from repro.engine.store import FORMAT_VERSION, StoreError, StructureStore, digest_of
+from repro.engine.service import SweepPoint, SweepService, structure_key
+from repro.faulttree import FaultTreeBuilder
+from repro.ordering import OrderingSpec
+
+
+def build_tree():
+    ft = FaultTreeBuilder("store-tmr")
+    ft.set_top(ft.k_out_of_n_failed(2, ["M1", "M2", "M3"]))
+    return ft.build()
+
+
+TREE = build_tree()
+
+
+def make_problem(mean_defects):
+    model = ComponentDefectModel.uniform(["M1", "M2", "M3"], lethality=0.8)
+    distribution = PoissonDefectDistribution(mean=mean_defects)
+    return YieldProblem(TREE, model, distribution, name="store-tmr")
+
+
+MEANS = [0.4, 0.8, 1.2, 1.6, 2.0]
+ORDERING = OrderingSpec("w", "ml")
+
+
+def compile_structure(truncation=3):
+    problem = make_problem(1.0)
+    compiled = YieldAnalyzer(ORDERING).compile_for_truncation(problem, truncation)
+    skey = structure_key(problem, truncation, ORDERING)
+    return problem, compiled, skey
+
+
+class TestStoreFormat:
+    def test_save_then_load_restores_an_equivalent_structure(self, tmp_path):
+        problem, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        nbytes = store.save(skey, compiled)
+        assert nbytes > 0
+        assert store.contains(skey)
+
+        restored, loaded_bytes = store.load(skey)
+        assert loaded_bytes == nbytes
+        assert restored.from_store
+        assert restored.mdd_manager is None
+        assert restored.truncation == compiled.truncation
+        assert restored.romdd_size == compiled.romdd_size
+        assert restored.component_names == compiled.component_names
+        assert restored.variable_names == compiled.variable_names
+        assert restored.level_profile == compiled.level_profile
+        assert restored.linearized().layers == compiled.linearized().layers
+
+    def test_loading_a_missing_entry_is_a_miss(self, tmp_path):
+        store = StructureStore(str(tmp_path / "store"))
+        _, _, skey = compile_structure()
+        assert store.load(skey) is None
+        assert not store.contains(skey)
+
+    def test_corrupt_metadata_is_a_miss_not_an_error(self, tmp_path):
+        problem, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        store.save(skey, compiled)
+        json_path = store._paths(digest_of(skey))[0]
+        with open(json_path, "w") as handle:
+            handle.write("{not json")
+        assert store.load(skey) is None
+
+    def test_version_skew_is_a_miss(self, tmp_path):
+        problem, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        store.save(skey, compiled)
+        json_path = store._paths(digest_of(skey))[0]
+        with open(json_path) as handle:
+            meta = json.load(handle)
+        meta["version"] = FORMAT_VERSION + 1
+        with open(json_path, "w") as handle:
+            json.dump(meta, handle)
+        assert store.load(skey) is None
+
+    def test_missing_arrays_file_is_a_miss(self, tmp_path):
+        problem, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        store.save(skey, compiled)
+        json_path, npz_path = store._paths(digest_of(skey))
+        if os.path.exists(npz_path):
+            os.unlink(npz_path)
+            assert store.load(skey) is None
+
+    def test_json_encoded_arrays_round_trip(self, tmp_path, monkeypatch):
+        """Entries written without numpy (arrays in JSON) load everywhere."""
+        import repro.engine.store as store_module
+
+        problem, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        monkeypatch.setattr(store_module, "_np", None)
+        store.save(skey, compiled)
+        json_path, npz_path = store._paths(digest_of(skey))
+        assert not os.path.exists(npz_path)
+        monkeypatch.undo()
+
+        restored, _ = store.load(skey)
+        assert restored.linearized().layers == compiled.linearized().layers
+        fresh = compiled.evaluate_many([make_problem(m) for m in MEANS])
+        loaded = restored.evaluate_many([make_problem(m) for m in MEANS])
+        for a, b in zip(fresh, loaded):
+            assert b.yield_estimate == a.yield_estimate
+
+    def test_entries_info_remove_and_clear(self, tmp_path):
+        store = StructureStore(str(tmp_path / "store"))
+        assert store.entries() == []
+        problem, compiled, skey = compile_structure(truncation=2)
+        _, compiled3, skey3 = compile_structure(truncation=3)
+        store.save(skey, compiled)
+        store.save(skey3, compiled3)
+
+        entries = store.entries()
+        assert len(entries) == 2
+        assert {entry.truncation for entry in entries} == {2, 3}
+        assert store.total_bytes() == sum(entry.nbytes for entry in entries)
+
+        digest = digest_of(skey)
+        meta = store.meta_of(digest[:12])
+        assert meta["structure"]["truncation"] == 2
+        assert store.meta_of("ffff") is None
+
+        assert store.remove(digest[:12]) == 1
+        assert len(store.entries()) == 1
+        assert store.clear() == 1
+        assert store.entries() == []
+
+    def test_ambiguous_digest_prefix_raises(self, tmp_path):
+        store = StructureStore(str(tmp_path / "store"))
+        problem, compiled, skey = compile_structure(truncation=2)
+        _, compiled3, skey3 = compile_structure(truncation=3)
+        store.save(skey, compiled)
+        store.save(skey3, compiled3)
+        with pytest.raises(StoreError):
+            store.meta_of("")
+
+    def test_store_requires_a_directory(self):
+        with pytest.raises(StoreError):
+            StructureStore("")
+
+    def test_saving_a_profileless_structure_raises(self, tmp_path):
+        problem, compiled, skey = compile_structure()
+        compiled.level_profile = None
+        with pytest.raises(StoreError):
+            StructureStore(str(tmp_path / "store")).save(skey, compiled)
+
+
+class TestServiceWarmStart:
+    def test_second_service_warm_starts_from_the_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        cold = SweepService(ordering=ORDERING, store_dir=store_dir)
+        cold_rows = cold.density_sweep(make_problem, MEANS, max_defects=3)
+        assert cold.stats.structures_built == 1
+        assert cold.stats.store_misses == 1
+        assert cold.stats.store_bytes > 0
+
+        warm = SweepService(ordering=ORDERING, store_dir=store_dir)
+        warm_rows = warm.density_sweep(make_problem, MEANS, max_defects=3)
+        assert warm.stats.structures_built == 0
+        assert warm.stats.store_hits == 1
+        assert warm.stats.store_misses == 0
+        # warm-start results are bit-for-bit the cold-build results
+        assert warm_rows == cold_rows
+
+    def test_gradients_through_a_restored_structure(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        cold = SweepService(ordering=ORDERING, store_dir=store_dir)
+        reference = cold.gradients(make_problem(1.0), max_defects=3)
+
+        warm = SweepService(ordering=ORDERING, store_dir=store_dir)
+        restored = warm.gradients(make_problem(1.0), max_defects=3)
+        assert warm.stats.structures_built == 0
+        assert warm.stats.store_hits == 1
+        assert restored.d_yield_d_raw == reference.d_yield_d_raw
+        assert restored.sensitivity == reference.sensitivity
+        assert restored.d_failure_d_count == reference.d_failure_d_count
+
+    def test_memory_lru_is_consulted_before_the_store(self, tmp_path):
+        service = SweepService(ordering=ORDERING, store_dir=str(tmp_path / "store"))
+        service.density_sweep(make_problem, MEANS, max_defects=3)
+        hits_before = service.stats.store_hits
+        service.density_sweep(make_problem, [2.4, 2.8], max_defects=3)
+        assert service.stats.store_hits == hits_before
+        assert service.stats.structure_reuses >= 1
+
+    def test_store_survives_service_clear(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        service = SweepService(ordering=ORDERING, store_dir=store_dir)
+        service.density_sweep(make_problem, MEANS, max_defects=3)
+        service.clear()
+        service.density_sweep(make_problem, [2.4], max_defects=3)
+        assert service.stats.structures_built == 1
+        assert service.stats.store_hits == 1
+
+    def test_results_match_the_storeless_service_exactly(self, tmp_path):
+        plain = SweepService(ordering=ORDERING)
+        stored = SweepService(ordering=ORDERING, store_dir=str(tmp_path / "store"))
+        plain_rows = plain.density_sweep(make_problem, MEANS, max_defects=3)
+        stored_rows = stored.density_sweep(make_problem, MEANS, max_defects=3)
+        assert plain_rows == stored_rows
+
+
+class TestWorkerWarmStart:
+    def test_shard_payloads_shrink_when_the_store_is_enabled(self, tmp_path):
+        densities = [0.2 + 0.05 * index for index in range(48)]
+
+        plain = SweepService(ordering=ORDERING, workers=2, shard_size=8)
+        plain.density_sweep(make_problem, densities, max_defects=3)
+        plain_bytes = plain.stats.shard_payload_bytes
+        plain_shards = plain.stats.shards_dispatched
+        plain.close()
+        if plain_shards == 0:
+            pytest.skip("platform cannot spawn worker processes")
+
+        stored = SweepService(
+            ordering=ORDERING,
+            workers=2,
+            shard_size=8,
+            store_dir=str(tmp_path / "store"),
+        )
+        stored.density_sweep(make_problem, densities, max_defects=3)
+        stored_bytes = stored.stats.shard_payload_bytes
+        stored.close()
+        # same sweep, same shard count — but the structure no longer rides
+        # along with every shard, only a store reference does
+        assert stored.stats.shards_dispatched == plain_shards
+        assert stored_bytes < plain_bytes
+
+    def test_workers_warm_start_from_the_store(self, tmp_path):
+        densities = [0.2 + 0.05 * index for index in range(48)]
+        store_dir = str(tmp_path / "store")
+        # warm the store in one (serial) service ...
+        SweepService(ordering=ORDERING, store_dir=store_dir).evaluate(
+            make_problem(1.0), max_defects=3
+        )
+        # ... and fan out in another: workers resolve the structure from
+        # disk, nobody rebuilds it
+        service = SweepService(
+            ordering=ORDERING, workers=2, shard_size=8, store_dir=store_dir
+        )
+        rows = service.density_sweep(make_problem, densities, max_defects=3)
+        service.close()
+        if service.stats.shards_dispatched == 0:
+            pytest.skip("platform cannot spawn worker processes")
+        assert service.stats.structures_built == 0
+        assert service.stats.store_hits >= 1
+
+        reference = SweepService(ordering=ORDERING)
+        expected = reference.density_sweep(make_problem, densities, max_defects=3)
+        assert rows == expected
