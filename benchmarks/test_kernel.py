@@ -1,0 +1,148 @@
+"""Fused kernel and zero-copy dispatch — the acceptance bars of this PR.
+
+Two assertions on a 96-model single-group sweep (ESEN4x2, M=5):
+
+* the fused kernel runs the whole-batch evaluation pass at least **2x**
+  as fast as the layered numpy kernel (the model-uniform location levels
+  of a density sweep collapse to width-1 evaluations; measured far above
+  the bar), with bit-for-bit identical probabilities;
+* with the structure store and shared-memory dispatch enabled, the
+  pickled shard payload shrinks at least **10x** against the same sweep
+  dispatched with shared memory disabled (problems ride in the block,
+  the payload is indices plus a name) — results again identical.
+
+The measured numbers land in ``benchmarks/results/BENCH_kernel.json`` so
+CI archives a perf record per run, next to the other ``BENCH_*.json``
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.method import YieldAnalyzer
+from repro.engine.batch import HAVE_NUMPY
+from repro.engine.service import SweepService
+from repro.ordering import OrderingSpec
+from repro.soc import benchmark_problem
+
+from .conftest import RESULTS_DIR, print_table
+
+BENCHMARK = "ESEN4x2"
+MAX_DEFECTS = 5
+MODELS = 96
+DENSITIES = [0.25 + 0.025 * i for i in range(MODELS)]
+ROUNDS = 5
+
+
+def _problem(mean):
+    return benchmark_problem(BENCHMARK, mean_defects=mean)
+
+
+def _best_of(function, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="the fused kernel requires numpy")
+def test_fused_kernel_beats_layered_kernel(benchmark, tmp_path):
+    compiled = YieldAnalyzer(OrderingSpec("w", "ml")).compile_for_truncation(
+        _problem(2.0), MAX_DEFECTS
+    )
+    linearized = compiled.linearized()
+    problems = [_problem(mean) for mean in DENSITIES]
+    _, columns = compiled._model_columns(problems, linearized, as_matrix=True)
+
+    layered = linearized.evaluate(columns, MODELS, kernel="layered")
+    fused = linearized.evaluate(columns, MODELS, kernel="fused")
+    assert fused == layered  # bit-for-bit, not approx
+
+    layered_seconds = _best_of(
+        lambda: linearized.evaluate(columns, MODELS, kernel="layered")
+    )
+    fused_seconds = benchmark.pedantic(
+        lambda: _best_of(lambda: linearized.evaluate(columns, MODELS, kernel="fused")),
+        rounds=1,
+        iterations=1,
+    )
+    kernel_speedup = layered_seconds / max(fused_seconds, 1e-12)
+
+    # ---- zero-copy dispatch: pickled payload bytes, shm vs no shm ---- #
+    def run_service(store_name, use_shared_memory):
+        service = SweepService(
+            ordering=OrderingSpec("w", "ml"),
+            workers=2,
+            shard_size=16,
+            store_dir=str(tmp_path / store_name),
+            use_shared_memory=use_shared_memory,
+        )
+        rows = service.density_sweep(_problem, DENSITIES, max_defects=MAX_DEFECTS)
+        service.close()
+        return service.stats, rows
+
+    shm_stats, shm_rows = run_service("shm", True)
+    pickled_stats, pickled_rows = run_service("pickled", False)
+    assert shm_rows == pickled_rows  # bit-for-bit, not approx
+    payload_shrink = pickled_stats.shard_payload_bytes / max(
+        1, shm_stats.shard_payload_bytes
+    )
+
+    print_table(
+        "Fused kernel & zero-copy dispatch — %s, %d models, M=%d"
+        % (BENCHMARK, MODELS, MAX_DEFECTS),
+        ("route", "value", "vs baseline"),
+        [
+            ("layered kernel pass (s)", round(layered_seconds, 5), "1.0x"),
+            (
+                "fused kernel pass (s)",
+                round(fused_seconds, 5),
+                "%.1fx" % kernel_speedup,
+            ),
+            ("pickled shard payload (B)", pickled_stats.shard_payload_bytes, "1.0x"),
+            (
+                "shm shard payload (B)",
+                shm_stats.shard_payload_bytes,
+                "%.1fx smaller" % payload_shrink,
+            ),
+            ("shm block bytes", shm_stats.shm_bytes, "zero-copy"),
+        ],
+    )
+
+    record = {
+        "benchmark": BENCHMARK,
+        "models": MODELS,
+        "max_defects": MAX_DEFECTS,
+        "node_count": linearized.node_count,
+        "layered_seconds": layered_seconds,
+        "fused_seconds": fused_seconds,
+        "kernel_speedup": kernel_speedup,
+        "collapsed_layers": linearized.collapsed_layers,
+        "shm_payload_bytes": shm_stats.shard_payload_bytes,
+        "pickled_payload_bytes": pickled_stats.shard_payload_bytes,
+        "payload_shrink": payload_shrink,
+        "shm_bytes": shm_stats.shm_bytes,
+        "mmap_loads": shm_stats.mmap_loads,
+        "shm_stats": shm_stats.as_dict(),
+        "pickled_stats": pickled_stats.as_dict(),
+    }
+    try:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, "BENCH_kernel.json"), "w") as out:
+            json.dump(record, out, indent=2, sort_keys=True)
+    except OSError:  # pragma: no cover - reporting must never fail a benchmark
+        pass
+
+    # the acceptance bars of the fused-kernel PR
+    assert kernel_speedup >= 2.0
+    if shm_stats.shards_dispatched == 0:
+        pytest.skip("platform cannot spawn worker processes")
+    assert shm_stats.shm_bytes > 0
+    assert payload_shrink >= 10.0

@@ -9,10 +9,11 @@ Python:
   (optionally with a Monte-Carlo cross-check);
 * ``sweep NAME``        — evaluate a defect-density sweep through the
   engine's batch service: one diagram build per truncation level, all defect
-  models of a build evaluated in a single batched pass, optional
+  models of a build evaluated in a single fused-kernel pass, optional
   ``--workers``/``--jobs`` fan-out with intra-group point sharding
-  (``--shard-size``), a ``--cache-dir`` result cache and ``--stats`` engine
-  diagnostics;
+  (``--shard-size``, zero-copy shared-memory dispatch unless
+  ``--no-shared-memory``), a ``--cache-dir`` result cache and ``--stats``
+  engine diagnostics;
 * ``importance NAME``   — rank the components of a benchmark by yield
   sensitivity (analytic reverse-mode gradients over the linearized ROMDD,
   or ``--fd`` for the legacy central finite difference) and by hardening
@@ -138,9 +139,17 @@ def build_parser() -> argparse.ArgumentParser:
         "worker shards) warm-start from disk instead of rebuilding",
     )
     sweep.add_argument(
+        "--no-shared-memory",
+        dest="shared_memory",
+        action="store_false",
+        help="disable zero-copy shared-memory shard dispatch (results are "
+        "identical; shards fall back to pickled payloads)",
+    )
+    sweep.add_argument(
         "--stats",
         action="store_true",
-        help="print engine statistics (cache hits, linearization reuse, phase times)",
+        help="print engine statistics (cache hits, linearization reuse, "
+        "fused kernel passes, shared-memory bytes, phase times)",
     )
 
     importance = subparsers.add_parser(
@@ -428,6 +437,7 @@ def _run_sweep(args) -> int:
             shard_size=args.shard_size,
             cache_dir=args.cache_dir,
             store_dir=args.store_dir,
+            use_shared_memory=args.shared_memory,
         )
         started = time.perf_counter()
         rows = service.density_sweep(
@@ -489,12 +499,15 @@ def _report_engine_stats(stats) -> None:
         "  linearizations      : %d built, %d reused"
         % (stats.linearize_builds, stats.linearize_reuses)
     )
+    print("  fused kernel        : %d fused passes" % stats.fused_passes)
     print(
-        "  structure store     : %d hits / %d misses, %d bytes moved"
-        % (stats.store_hits, stats.store_misses, stats.store_bytes)
+        "  structure store     : %d hits / %d misses, %d bytes moved, "
+        "%d mmap loads"
+        % (stats.store_hits, stats.store_misses, stats.store_bytes, stats.mmap_loads)
     )
     print(
-        "  worker payloads     : %d bytes dispatched" % stats.shard_payload_bytes
+        "  worker payloads     : %d bytes dispatched, %d bytes via "
+        "shared memory" % (stats.shard_payload_bytes, stats.shm_bytes)
     )
     print(
         "  phase wall-clock    : build %.3fs / reorder %.3fs / "

@@ -36,6 +36,8 @@ from ..mdd.from_bdd import convert_bdd_to_mdd
 from ..mdd.probability import (
     LevelProfile,
     columns_for_models,
+    columns_from_matrices,
+    model_matrices_from_columns,
     validate_model_columns,
 )
 from ..ordering.grouped import GroupedVariableOrder
@@ -133,8 +135,10 @@ class CompiledYield:
                 )
         self.mdd_allocated = int(mdd_allocated or 0)
         self.level_profile = level_profile
-        #: Whether this structure was warm-started from the persistent store.
+        #: Whether this structure was warm-started from the persistent store,
+        #: and whether that load memory-mapped the fused arrays (store v2).
         self.from_store = from_store
+        self.store_mmapped = False
         #: Number of :meth:`evaluate` calls served by this structure.
         self.evaluations = 0
         #: Number of defect models differentiated by :meth:`gradients_many`.
@@ -207,9 +211,31 @@ class CompiledYield:
             columns, len(problems), use_numpy=use_numpy
         )
         elapsed = time.perf_counter() - t0
-        per_point = elapsed / len(problems)
-        self.evaluations += len(problems)
+        return self.package_results(
+            problems,
+            lethal_distributions,
+            probabilities_failed,
+            reused=reused,
+            per_point=elapsed / len(problems),
+        )
 
+    def package_results(
+        self,
+        problems: Sequence[YieldProblem],
+        lethal_distributions: Sequence[object],
+        probabilities_failed: Sequence[float],
+        *,
+        reused: bool = False,
+        per_point: float = 0.0,
+    ) -> List[YieldResult]:
+        """Turn raw traversal probabilities into :class:`YieldResult` records.
+
+        Split out of :meth:`evaluate_many` so dispatch routes that run the
+        kernel elsewhere (a worker shard writing probabilities into a
+        shared-memory result vector) can package the results in the parent
+        without re-running the pass.
+        """
+        self.evaluations += len(problems)
         ordering_t, build_t, conversion_t = self.build_timings
         results: List[YieldResult] = []
         for index, (problem, lethal, probability_failed) in enumerate(
@@ -254,26 +280,12 @@ class CompiledYield:
             )
         return results
 
-    def _model_columns(
-        self,
-        problems: Sequence[YieldProblem],
-        linearized: LinearizedDiagram,
-        *,
-        as_matrix: bool,
-    ):
-        """Vectorized model-column assembly for a batch of defect models.
+    def _model_column_lists(self, problems: Sequence[YieldProblem]):
+        """Validated per-model probability columns for a batch of models.
 
-        Builds the two per-level probability inputs of the linearized kernel
-        in one shot — a ``(M + 2) x K`` count matrix and a ``C x K``
-        location matrix shared by every location level — instead of one
-        probability dict per (model, variable) pair.  The floats are the
-        same values the dict route produced (plain sums, same overflow
-        clamp), so evaluation stays bit-for-bit identical; only the Python
-        dict churn around them is gone.
-
-        Returns ``(lethal_distributions, columns)`` where ``columns`` maps
-        every level of the linearized diagram to its probability rows —
-        float64 matrices when ``as_matrix``, tuple rows otherwise.
+        Returns ``(lethal_distributions, count_columns, location_columns)``
+        — one ``[Q'_0 .. Q'_M, overflow]`` column and one ``[P'_1 .. P'_C]``
+        column per model, both validated (non-negative, sum to 1).
         """
         lethal_distributions = [p.lethal_defect_distribution() for p in problems]
         location_columns: List[List[float]] = []
@@ -296,12 +308,95 @@ class CompiledYield:
         count_columns = thinned_count_columns(lethal_distributions, self.truncation)
         validate_model_columns(count_columns, what="count")
         validate_model_columns(location_columns, what="location")
+        return lethal_distributions, count_columns, location_columns
+
+    def model_matrices(
+        self,
+        problems: Sequence[YieldProblem],
+        *,
+        out_count=None,
+        out_location=None,
+    ):
+        """Assemble the two shared ``cardinality x K`` model matrices.
+
+        Returns ``(lethal_distributions, count_matrix, location_matrix)``
+        for a batch of defect models — the exact float64 inputs of the
+        linearized kernel.  ``out_count`` / ``out_location`` let callers
+        assemble directly into preallocated buffers (the sweep service
+        points them at a shared-memory block, so worker shards read the
+        matrices zero-copy instead of unpickling them).
+        """
+        lethal_distributions, count_columns, location_columns = (
+            self._model_column_lists(problems)
+        )
+        count_matrix, location_matrix = model_matrices_from_columns(
+            count_columns,
+            location_columns,
+            out_count=out_count,
+            out_location=out_location,
+        )
+        return lethal_distributions, count_matrix, location_matrix
+
+    def evaluate_probabilities(
+        self,
+        count_matrix,
+        location_matrix,
+        num_models: int,
+        *,
+        use_numpy: Optional[bool] = None,
+    ) -> List[float]:
+        """Run only the kernel pass over pre-assembled model matrices.
+
+        The shared-memory shard protocol uses this in workers: the parent
+        assembles (and validates) the matrices once for the whole group,
+        the worker maps them out of a shared-memory block, slices its model
+        range and runs the fused pass — no problems, no distributions, no
+        pickled columns.
+        """
+        linearized = self.linearized()
+        columns = columns_from_matrices(
+            linearized, self.level_profile, count_matrix, location_matrix
+        )
+        return linearized.evaluate(columns, num_models, use_numpy=use_numpy)
+
+    def _model_columns(
+        self,
+        problems: Sequence[YieldProblem],
+        linearized: LinearizedDiagram,
+        *,
+        as_matrix: bool,
+    ):
+        """Vectorized model-column assembly for a batch of defect models.
+
+        Builds the two per-level probability inputs of the linearized kernel
+        in one shot — a ``(M + 2) x K`` count matrix and a ``C x K``
+        location matrix shared by every location level — instead of one
+        probability dict per (model, variable) pair.  The floats are the
+        same values the dict route produced (plain sums, same overflow
+        clamp), so evaluation stays bit-for-bit identical; only the Python
+        dict churn around them is gone.
+
+        Returns ``(lethal_distributions, columns)`` where ``columns`` maps
+        every level of the linearized diagram to its probability rows —
+        float64 matrices when ``as_matrix``, tuple rows otherwise.
+        """
+        if as_matrix:
+            lethal_distributions, count_matrix, location_matrix = (
+                self.model_matrices(problems)
+            )
+            columns = columns_from_matrices(
+                linearized, self.level_profile, count_matrix, location_matrix
+            )
+            return lethal_distributions, columns
+        lethal_distributions, count_columns, location_columns = (
+            self._model_column_lists(problems)
+        )
         columns = columns_for_models(
             linearized,
             self.level_profile,
             count_columns,
             location_columns,
-            as_matrix=as_matrix,
+            as_matrix=False,
         )
         return lethal_distributions, columns
 

@@ -14,20 +14,30 @@ reusable analysis engine — out of :mod:`repro.bdd` and :mod:`repro.mdd`:
   pipeline;
 * :mod:`repro.engine.batch` — the batched probability engine: linearize a
   ROMDD once into flat topological arrays and evaluate every defect model
-  of a sweep in a single bottom-up pass (pure Python, with an optional
-  numpy fast path that stays bit-for-bit identical);
+  of a sweep in a single bottom-up pass.  Three bit-for-bit identical
+  kernels: pure Python, the layered numpy oracle, and the fused CSR
+  kernel (blocked workspace accumulation plus model-uniform level
+  collapse) that production passes run on;
 * :mod:`repro.engine.service` — the batch evaluation service: build a
   decision diagram once per (structure, truncation, ordering), evaluate all
   of its defect models in one batched pass, shard the points of large
-  groups across an optional ``multiprocessing`` fan-out, and keep keyed
-  result caches;
+  groups across an optional ``multiprocessing`` fan-out (store-backed
+  shards move their column matrices and result vectors through zero-copy
+  ``multiprocessing.shared_memory`` blocks), and keep keyed result caches;
 * :mod:`repro.engine.store` — the persistent structure store: compiled
   structures serialized to a versioned on-disk format (content-addressed
-  npz arrays plus JSON metadata) so cold processes and worker shards
-  warm-start from disk instead of rebuilding the diagrams.
+  per-array ``.npy`` files plus JSON metadata, memory-mappable; v1 npz
+  entries stay readable) so cold processes and worker shards warm-start
+  from disk instead of rebuilding the diagrams.
 """
 
-from .batch import HAVE_NUMPY, BatchEvalError, LinearizedDiagram
+from .batch import (
+    HAVE_NUMPY,
+    KERNELS,
+    BatchEvalError,
+    FusedSchedule,
+    LinearizedDiagram,
+)
 from .kernel import (
     BoundedComputedTable,
     CacheStats,
@@ -44,7 +54,9 @@ __all__ = [
     "BoundedComputedTable",
     "CacheStats",
     "DDKernel",
+    "FusedSchedule",
     "HAVE_NUMPY",
+    "KERNELS",
     "KernelStats",
     "LinearizedDiagram",
     "ReorderStats",

@@ -16,22 +16,37 @@ This module removes all three costs:
   topological schedule, with no recursion and no per-node dict lookups.
 * :meth:`LinearizedDiagram.evaluate` runs that pass for **all K defect
   models at once**: every slot holds a length-K value row and every level
-  contributes a ``cardinality x K`` probability matrix.  The pure-Python
-  kernel accumulates the rows child by child; the optional numpy fast path
-  performs the same child-ordered accumulation vectorized over (nodes at a
-  level) x (models), which keeps the float operations — and therefore the
-  results — bit-for-bit identical to the scalar traversal.
+  contributes a ``cardinality x K`` probability matrix.
 * :meth:`LinearizedDiagram.backward` adds reverse-mode differentiation on
   the same arrays: the root probability is **multilinear** in the per-level
   value probabilities (every root-to-terminal path crosses a level at most
   once), so one bottom-up value pass followed by one top-down adjoint pass
   yields the *exact* gradient ``d P(root = 1) / d p(level, value)`` for
-  every level, every value and every one of the K models — one extra linear
-  pass instead of one perturbed re-evaluation per probability entry.
+  every level, every value and every one of the K models.
 
-The arrays depend only on the diagram structure, so one linearization
-serves every sweep point of a structure group (see
-:meth:`repro.core.method.CompiledYield.linearized`).
+Three kernels execute the pass, all **bit-for-bit identical** (they perform
+the same IEEE operations in the same child order per node):
+
+* ``python`` — the pure-Python row loop (no numpy required);
+* ``layered`` — the per-layer vectorized kernel (one numpy gather/multiply
+  per child position per layer); survives as the vectorized oracle;
+* ``fused`` — the production kernel.  The diagram is compiled once into a
+  :class:`FusedSchedule` (one concatenated child-slot index array in
+  evaluation order, one CSR segment-offset array, a per-slot level mapping
+  and a layer boundary table), and the pass walks precomputed array views:
+  cache-blocked accumulation into a reused workspace (no per-step
+  temporaries) and — the big win — **model-uniform level collapse**: a
+  level whose probability columns are bitwise identical across all K
+  models (every location level of a density sweep) is evaluated at width
+  1 and broadcast, instead of recomputing the same floats K times.
+
+The kernel choice is made **once per pass** from the whole-diagram cell
+count (``num_models * node_count``); a pass can never mix kernels
+mid-traversal.  The arrays depend only on the diagram structure, so one
+linearization serves every sweep point of a structure group (see
+:meth:`repro.core.method.CompiledYield.linearized`), and the fused arrays
+are exactly what :mod:`repro.engine.store` persists (format v2) and what
+worker shards consume zero-copy through ``mmap``.
 """
 
 from __future__ import annotations
@@ -48,11 +63,208 @@ HAVE_NUMPY = _np is not None
 
 #: Auto mode uses numpy once a pass covers at least this many (node, model)
 #: cells — below it the array conversion overhead beats the vector win.
+#: The decision is made once per pass from the whole-diagram cell count.
 _NUMPY_AUTO_CELLS = 2048
+
+#: Node-block size of the fused kernel, in (node, model) cells: blocks are
+#: sized so the gather workspace stays cache-resident across the child loop.
+_FUSED_BLOCK_CELLS = 49152
+
+#: The kernels a pass can run on (``None`` / ``"auto"`` resolve to one of
+#: these before the pass starts).
+KERNELS = ("python", "layered", "fused")
 
 
 class BatchEvalError(ValueError):
     """Raised on invalid batched-evaluation requests."""
+
+
+class FusedSchedule:
+    """The fused CSR form of one linearized diagram.
+
+    Everything the fused kernel walks, precomputed once per structure:
+
+    ``kids``
+        One concatenated child-slot index array covering every edge of the
+        diagram, layer by layer (deepest first).  Within a layer the edges
+        are stored in **evaluation order** — child-position major: all the
+        nodes' 0th children, then all their 1st children, and so on — so
+        each accumulation step of the kernel is one contiguous view.
+    ``seg``
+        The CSR segment-offset array: ``seg[i]`` is the offset of slot
+        ``i + 2``'s children in the *node-major* edge ordering
+        (``seg[i + 1] - seg[i]`` is its branching factor).  The node-major
+        view of a layer is a transpose view of its ``kids`` span, so both
+        orderings share the same backing array.
+    ``slot_levels``
+        Per-slot level mapping: ``slot_levels[i]`` is the level of slot
+        ``i + 2`` (terminals excluded).  Together with the per-layer value
+        row index (the child position), this maps every edge to its
+        probability entry ``p(level, value)``.
+    ``bounds``
+        The layer boundary table: one ``(level, slot_start, slot_stop,
+        edge_start, edge_stop, cardinality)`` row per layer, deepest level
+        first.  Slot ranges are contiguous and partition ``2 .. num_slots``;
+        edge ranges partition ``kids``.
+
+    The arrays are plain ``int64``/``intp`` ndarrays — or memory-mapped
+    views straight out of a store v2 entry (:mod:`repro.engine.store`),
+    which the kernel consumes without copying.
+    """
+
+    __slots__ = ("kids", "seg", "slot_levels", "bounds", "_walk")
+
+    def __init__(self, kids, seg, slot_levels, bounds) -> None:
+        self.kids = kids
+        self.seg = seg
+        self.slot_levels = slot_levels
+        self.bounds = tuple(
+            (int(lv), int(s0), int(s1), int(e0), int(e1), int(card))
+            for lv, s0, s1, e0, e1, card in bounds
+        )
+        self._walk = None
+
+    @classmethod
+    def from_layers(cls, layers) -> "FusedSchedule":
+        """Compile ``(level, slots, kid_rows)`` layers into the fused form.
+
+        Requires each layer's slots to be one contiguous ascending range
+        (which :meth:`LinearizedDiagram.from_mdd` guarantees); raises
+        :class:`BatchEvalError` otherwise.
+        """
+        if _np is None:
+            raise BatchEvalError("the fused schedule requires numpy")
+        parts = []
+        bounds = []
+        slot_levels = []
+        counts = [0]
+        edge = 0
+        expected = 2
+        for level, slots, kid_rows in layers:
+            n = len(slots)
+            card = len(kid_rows[0])
+            if tuple(slots) != tuple(range(expected, expected + n)):
+                raise BatchEvalError(
+                    "layer at level %d has non-contiguous slots" % level
+                )
+            # child-position-major: kids[j * n + i] = j-th child of node i
+            jm = _np.ascontiguousarray(_np.asarray(kid_rows, dtype=_np.intp).T)
+            parts.append(jm.reshape(-1))
+            bounds.append((level, expected, expected + n, edge, edge + n * card, card))
+            slot_levels.extend([level] * n)
+            counts.extend([card] * n)
+            edge += n * card
+            expected += n
+        kids = (
+            _np.concatenate(parts) if parts else _np.empty(0, dtype=_np.intp)
+        )
+        seg = _np.cumsum(_np.asarray(counts, dtype=_np.int64))
+        return cls(kids, seg, _np.asarray(slot_levels, dtype=_np.int64), bounds)
+
+    def validate(self, num_slots: int) -> None:
+        """Check every structural invariant (store loads call this).
+
+        A corrupt or bit-rotted entry must load as a **miss**, never as a
+        structure that evaluates to garbage — so beyond the boundary-table
+        checks this verifies ``seg`` and ``slot_levels`` against the
+        bounds layer by layer and scans ``kids`` for out-of-range children
+        (each layer's children must point strictly deeper: ``0 <= kid <
+        slot_start``).  The edge scan reads the (possibly memory-mapped)
+        array once — the same pages the first evaluation pass would fault
+        in anyway.
+        """
+        expected_slot = 2
+        expected_edge = 0
+        last_level = None
+        for level, s0, s1, e0, e1, card in self.bounds:
+            if s0 != expected_slot or s1 <= s0:
+                raise BatchEvalError("fused bounds have a slot gap at %d" % s0)
+            if e0 != expected_edge or e1 - e0 != (s1 - s0) * card or card < 1:
+                raise BatchEvalError("fused bounds have an edge gap at %d" % e0)
+            if last_level is not None and level >= last_level:
+                raise BatchEvalError("fused layers are not deepest-first")
+            last_level = level
+            expected_slot = s1
+            expected_edge = e1
+        if expected_slot != num_slots:
+            raise BatchEvalError(
+                "fused bounds cover %d slots, diagram has %d"
+                % (expected_slot, num_slots)
+            )
+        if len(self.kids) != expected_edge:
+            raise BatchEvalError(
+                "fused edge array has %d entries, bounds describe %d"
+                % (len(self.kids), expected_edge)
+            )
+        if len(self.slot_levels) != num_slots - 2:
+            raise BatchEvalError("per-slot level mapping has the wrong length")
+        if len(self.seg) != num_slots - 1 or int(self.seg[0]) != 0:
+            raise BatchEvalError("CSR segment offsets are inconsistent")
+        node_offset = 0
+        for level, s0, s1, e0, e1, card in self.bounds:
+            n = s1 - s0
+            span = self.kids[e0:e1]
+            if len(span) and (int(span.min()) < 0 or int(span.max()) >= s0):
+                raise BatchEvalError(
+                    "fused edges at level %d point outside the deeper slots"
+                    % level
+                )
+            seg_slice = self.seg[node_offset : node_offset + n + 1]
+            # node-major edge offsets coincide with the layer edge starts
+            # (layers are contiguous), so seg[first node of layer] == e0
+            if int(seg_slice[0]) != e0:
+                raise BatchEvalError(
+                    "CSR segment offsets disagree with the bounds at level %d"
+                    % level
+                )
+            widths = _np.diff(seg_slice)
+            if not bool((widths == card).all()):
+                raise BatchEvalError(
+                    "CSR segment widths at level %d disagree with the bounds"
+                    % level
+                )
+            levels_slice = self.slot_levels[node_offset : node_offset + n]
+            if not bool((_np.asarray(levels_slice) == level).all()):
+                raise BatchEvalError(
+                    "per-slot level mapping disagrees with the bounds at "
+                    "level %d" % level
+                )
+            node_offset += n
+        if int(self.seg[-1]) != expected_edge:
+            raise BatchEvalError("CSR segment offsets are inconsistent")
+
+    @property
+    def walk(self):
+        """Per-layer ``(level, s0, s1, kid_views, card)`` tuples.
+
+        ``kid_views[j]`` is the contiguous view of the layer's ``j``-th
+        child column inside :attr:`kids` — the exact index array each
+        accumulation step of the fused kernel gathers with.
+        """
+        if self._walk is None:
+            walk = []
+            for level, s0, s1, e0, e1, card in self.bounds:
+                n = s1 - s0
+                span = self.kids[e0:e1]
+                views = tuple(span[j * n : (j + 1) * n] for j in range(card))
+                walk.append((level, s0, s1, views, card))
+            self._walk = tuple(walk)
+        return self._walk
+
+    def layers(self):
+        """Materialize the classic ``(level, slots, kid_rows)`` layers."""
+        out = []
+        for level, s0, s1, e0, e1, card in self.bounds:
+            n = s1 - s0
+            node_major = self.kids[e0:e1].reshape(card, n).T
+            out.append(
+                (
+                    level,
+                    tuple(range(s0, s1)),
+                    tuple(tuple(int(c) for c in row) for row in node_major),
+                )
+            )
+        return tuple(out)
 
 
 class LinearizedDiagram:
@@ -67,7 +279,11 @@ class LinearizedDiagram:
 
     Instances are immutable snapshots: rebuilding after a manager-side
     reordering or GC is the caller's responsibility (compiled structures
-    never mutate their diagram, so they linearize exactly once).
+    never mutate their diagram, so they linearize exactly once).  A
+    diagram can be constructed either from the layer tuples
+    (:meth:`from_mdd`, store format v1) or directly from the fused arrays
+    (:meth:`from_fused_arrays`, store format v2 — possibly memory-mapped);
+    each representation derives the other lazily.
     """
 
     __slots__ = (
@@ -76,8 +292,11 @@ class LinearizedDiagram:
         "node_count",
         "_layers",
         "_np_layers",
+        "_fused",
         "python_passes",
         "numpy_passes",
+        "fused_passes",
+        "collapsed_layers",
         "models_evaluated",
         "gradient_passes",
         "models_differentiated",
@@ -94,9 +313,12 @@ class LinearizedDiagram:
         self.node_count = num_slots - 2
         self._layers = tuple(layers)
         self._np_layers = None
+        self._fused: Optional[FusedSchedule] = None
         #: Monotone counters describing how this linearization was used.
         self.python_passes = 0
         self.numpy_passes = 0
+        self.fused_passes = 0
+        self.collapsed_layers = 0
         self.models_evaluated = 0
         self.gradient_passes = 0
         self.models_differentiated = 0
@@ -144,6 +366,30 @@ class LinearizedDiagram:
             layers.append((level, slots, kid_rows))
         return cls(slot_of[root], next_slot, layers)
 
+    @classmethod
+    def from_fused_arrays(
+        cls, root_slot: int, num_slots: int, kids, seg, slot_levels, bounds
+    ) -> "LinearizedDiagram":
+        """Build a diagram directly from fused arrays (store format v2).
+
+        The arrays may be memory-mapped; they are validated structurally
+        (:meth:`FusedSchedule.validate`) and consumed without copying.  The
+        classic layer tuples are derived lazily when a caller (the python
+        kernel, a v1-style save) asks for them.
+        """
+        schedule = FusedSchedule(kids, seg, slot_levels, bounds)
+        schedule.validate(num_slots)
+        diagram = cls(root_slot, num_slots, ())
+        diagram._layers = None
+        diagram._fused = schedule
+        return diagram
+
+    def fused(self) -> FusedSchedule:
+        """Return the fused CSR schedule, compiling it at most once."""
+        if self._fused is None:
+            self._fused = FusedSchedule.from_layers(self._layers)
+        return self._fused
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -151,18 +397,35 @@ class LinearizedDiagram:
     @property
     def levels(self) -> Tuple[int, ...]:
         """The levels present in the diagram, deepest first."""
+        if self._layers is None:
+            return tuple(lv for lv, _, _, _, _, _ in self._fused.bounds)
         return tuple(level for level, _, _ in self._layers)
 
     @property
     def layers(self) -> Tuple[Tuple[int, Tuple[int, ...], Tuple[Tuple[int, ...], ...]], ...]:
-        """The raw ``(level, slots, kid_rows)`` layers (persisted by the store)."""
+        """The raw ``(level, slots, kid_rows)`` layers (persisted by the store).
+
+        Derived (and cached) from the fused arrays when the diagram was
+        restored from a v2 store entry.
+        """
+        if self._layers is None:
+            self._layers = self._fused.layers()
         return self._layers
+
+    def _layer_shapes(self):
+        """Yield ``(level, cardinality)`` without materializing layers."""
+        if self._layers is None:
+            for level, _, _, _, _, card in self._fused.bounds:
+                yield level, card
+        else:
+            for level, _, kid_rows in self._layers:
+                yield level, len(kid_rows[0])
 
     def cardinality_at(self, level: int) -> int:
         """Return the branching factor of the nodes at ``level``."""
-        for lv, _, kid_rows in self._layers:
+        for lv, card in self._layer_shapes():
             if lv == level:
-                return len(kid_rows[0])
+                return card
         raise BatchEvalError("level %d does not occur in the diagram" % level)
 
     # ------------------------------------------------------------------ #
@@ -175,6 +438,7 @@ class LinearizedDiagram:
         num_models: int,
         *,
         use_numpy: Optional[bool] = None,
+        kernel: Optional[str] = None,
     ) -> List[float]:
         """Evaluate all ``num_models`` models in one bottom-up pass.
 
@@ -186,26 +450,39 @@ class LinearizedDiagram:
             of that value's probability under each model.
         num_models:
             The number of models ``K`` (every probability vector must have
-            exactly this length).
+            exactly this length).  ``K = 0`` short-circuits to an empty
+            result on every kernel.
         use_numpy:
-            Force (``True``) or forbid (``False``) the numpy fast path;
-            ``None`` picks automatically.  Both paths accumulate children in
-            the same order, so the results are bit-for-bit identical.
+            Force (``True``) or forbid (``False``) the numpy route;
+            ``None`` picks automatically.  Consulted only when ``kernel``
+            is not given.
+        kernel:
+            ``"python"``, ``"layered"``, ``"fused"``, or ``None``/
+            ``"auto"`` (the default: fused when the numpy route is chosen,
+            python otherwise).  All kernels accumulate children in the same
+            order, so the results are bit-for-bit identical.  The choice is
+            made here, once per pass — never per layer.
 
         Returns
         -------
         list of float
             ``P(function == 1)`` under each model, in model order.
         """
-        if num_models < 1:
-            raise BatchEvalError("at least one model is required")
+        if num_models < 0:
+            raise BatchEvalError("the number of models cannot be negative")
+        if num_models == 0:
+            return []
         if self.root_slot <= 1:
             value = float(self.root_slot)
             return [value] * num_models
         self._check_columns(level_columns)
-        use_numpy = self._resolve_numpy(use_numpy, num_models)
+        kernel = self._resolve_with_fallback(kernel, use_numpy, num_models)
         self.models_evaluated += num_models
-        if use_numpy:
+        if kernel == "fused":
+            self.numpy_passes += 1
+            self.fused_passes += 1
+            return self._evaluate_fused(level_columns, num_models)
+        if kernel == "layered":
             self.numpy_passes += 1
             return self._evaluate_numpy(level_columns, num_models)
         self.python_passes += 1
@@ -219,6 +496,7 @@ class LinearizedDiagram:
         num_models: int,
         *,
         use_numpy: Optional[bool] = None,
+        kernel: Optional[str] = None,
     ) -> Tuple[List[float], Dict[int, Tuple[Tuple[float, ...], ...]]]:
         """One forward plus one reverse pass: probabilities *and* gradients.
 
@@ -235,7 +513,8 @@ class LinearizedDiagram:
         for **all** ``num_models`` models in the same pass.  Parents always
         sit on strictly shallower levels than their children, so walking the
         layers shallowest level first is a valid reverse topological
-        schedule.
+        schedule.  The ``kernel`` choice matches :meth:`evaluate` and is
+        likewise made once per pass.
 
         Returns
         -------
@@ -246,36 +525,48 @@ class LinearizedDiagram:
             derivative of model ``k``'s root probability with respect to the
             probability of value ``j`` at ``level``.  Levels the diagram
             skips do not appear (their gradients are identically zero).
+            ``K = 0`` short-circuits to ``([], {})`` on every kernel.
         """
-        if num_models < 1:
-            raise BatchEvalError("at least one model is required")
+        if num_models < 0:
+            raise BatchEvalError("the number of models cannot be negative")
+        if num_models == 0:
+            return [], {}
         if self.root_slot <= 1:
             value = float(self.root_slot)
             return [value] * num_models, {}
         self._check_columns(level_columns)
-        use_numpy = self._resolve_numpy(use_numpy, num_models)
+        kernel = self._resolve_with_fallback(kernel, use_numpy, num_models)
         self.gradient_passes += 1
         self.models_differentiated += num_models
-        if use_numpy:
+        if kernel == "fused":
+            self.numpy_passes += 1
+            self.fused_passes += 1
+            return self._backward_fused(level_columns, num_models)
+        if kernel == "layered":
+            self.numpy_passes += 1
             return self._backward_numpy(level_columns, num_models)
+        self.python_passes += 1
         return self._backward_python(level_columns, num_models)
 
     def _check_columns(self, level_columns) -> None:
-        for level, _, kid_rows in self._layers:
+        for level, card in self._layer_shapes():
             columns = level_columns.get(level)
             if columns is None:
                 raise BatchEvalError("missing probabilities for level %d" % level)
-            if len(columns) != len(kid_rows[0]):
+            if len(columns) != card:
                 raise BatchEvalError(
                     "level %d expects %d value columns, got %d"
-                    % (level, len(kid_rows[0]), len(columns))
+                    % (level, card, len(columns))
                 )
 
     def resolve_numpy(self, use_numpy: Optional[bool], num_models: int) -> bool:
         """Decide whether a ``num_models``-wide pass takes the numpy route.
 
-        Exposed so callers that *assemble* the per-level columns (the
-        vectorized model-column assembly of
+        The automatic decision looks at the **whole-diagram** cell count
+        (``num_models * node_count``), so one pass commits to one kernel
+        family before it starts — it can never flip between the python and
+        numpy kernels mid-traversal.  Exposed so callers that *assemble*
+        the per-level columns (the vectorized model-column assembly of
         :meth:`repro.core.method.CompiledYield.evaluate_many`) can build
         float64 matrices exactly when the kernel will consume them, and
         plain tuple rows for the pure-Python kernel otherwise.
@@ -288,9 +579,48 @@ class LinearizedDiagram:
 
     _resolve_numpy = resolve_numpy
 
+    def resolve_kernel(
+        self, kernel: Optional[str], use_numpy: Optional[bool], num_models: int
+    ) -> str:
+        """Resolve the kernel a pass will run on — one decision per pass."""
+        if kernel is None or kernel == "auto":
+            return "fused" if self.resolve_numpy(use_numpy, num_models) else "python"
+        if kernel not in KERNELS:
+            raise BatchEvalError(
+                "unknown kernel %r (expected one of %s)" % (kernel, ", ".join(KERNELS))
+            )
+        if kernel in ("layered", "fused") and not HAVE_NUMPY:
+            raise BatchEvalError("numpy is not available on this interpreter")
+        return kernel
+
+    def _resolve_with_fallback(
+        self, kernel: Optional[str], use_numpy: Optional[bool], num_models: int
+    ) -> str:
+        """Resolve the pass kernel; auto-picked fused falls back to layered.
+
+        Hand-constructed diagrams whose layer slots are not one contiguous
+        range cannot be compiled into the fused schedule — the automatic
+        choice quietly degrades to the layered kernel for them, while an
+        explicit ``kernel="fused"`` request surfaces the error.
+        """
+        explicit = kernel not in (None, "auto")
+        kernel = self.resolve_kernel(kernel, use_numpy, num_models)
+        if kernel == "fused":
+            try:
+                self.fused()  # compile (or fail) before any counters move
+            except BatchEvalError:
+                if explicit:
+                    raise
+                kernel = "layered"
+        return kernel
+
+    # ------------------------------------------------------------------ #
+    # Pure-python kernel
+    # ------------------------------------------------------------------ #
+
     def _evaluate_scalar(self, level_columns) -> float:
         values: List[float] = [0.0, 1.0] + [0.0] * self.node_count
-        for level, slots, kid_rows in self._layers:
+        for level, slots, kid_rows in self.layers:
             columns = level_columns[level]
             probs = [column[0] for column in columns]
             for slot, kids in zip(slots, kid_rows):
@@ -306,7 +636,7 @@ class LinearizedDiagram:
         values: List[Optional[List[float]]] = [None] * self.num_slots
         values[0] = [0.0] * num_models
         values[1] = [1.0] * num_models
-        for level, slots, kid_rows in self._layers:
+        for level, slots, kid_rows in self.layers:
             columns = level_columns[level]
             for slot, kids in zip(slots, kid_rows):
                 first = columns[0]
@@ -323,6 +653,10 @@ class LinearizedDiagram:
     def _evaluate_python(self, level_columns, num_models: int) -> List[float]:
         values = self._forward_python(level_columns, num_models)
         return list(values[self.root_slot])
+
+    # ------------------------------------------------------------------ #
+    # Layered numpy kernel (the vectorized oracle)
+    # ------------------------------------------------------------------ #
 
     def _forward_numpy(self, level_columns, num_models: int):
         """Bottom-up value pass; returns the per-slot value matrix and the
@@ -353,13 +687,145 @@ class LinearizedDiagram:
         values, _ = self._forward_numpy(level_columns, num_models)
         return values[self.root_slot].tolist()
 
+    # ------------------------------------------------------------------ #
+    # Fused kernel
+    # ------------------------------------------------------------------ #
+
+    def _fused_columns(self, level_columns) -> Dict[int, "object"]:
+        """Normalize every level's columns to float64 matrices, up front.
+
+        One conversion point per pass: the kernel's inner loop only ever
+        sees float64 ndarrays, so no per-layer type decisions remain.
+        """
+        normalized = {}
+        for level, _ in self._layer_shapes():
+            columns = level_columns[level]
+            if not (
+                isinstance(columns, _np.ndarray) and columns.dtype == _np.float64
+            ):
+                columns = _np.asarray(columns, dtype=_np.float64)
+            normalized[level] = columns
+        return normalized
+
+    def _forward_fused(self, columns_by_level, num_models: int):
+        """The fused bottom-up pass over the precompiled schedule.
+
+        Two mechanisms on top of the layered kernel, both bit-for-bit
+        neutral (the per-node child-ordered IEEE accumulation is
+        unchanged):
+
+        * **model-uniform level collapse** — a layer whose probability
+          columns are identical across all K models *and* whose children
+          all carry model-uniform values is evaluated once at width 1 and
+          broadcast into the value table.  In a density sweep every
+          location level qualifies (the conditional hit vector does not
+          depend on the defect density), which collapses almost the whole
+          diagram to a single-model pass.
+        * **blocked accumulation** — wide layers accumulate through a
+          reused, cache-sized workspace (``np.take(..., out=...)``)
+          instead of allocating per-step temporaries.
+        """
+        schedule = self.fused()
+        walk = schedule.walk
+        values = _np.empty((self.num_slots, num_models), dtype=_np.float64)
+        values[0] = 0.0
+        values[1] = 1.0
+        # width-1 companion table + per-slot uniformity map for the collapse
+        narrow_values = _np.empty(self.num_slots, dtype=_np.float64)
+        narrow_values[0] = 0.0
+        narrow_values[1] = 1.0
+        narrow = _np.zeros(self.num_slots, dtype=bool)
+        narrow[0] = narrow[1] = True
+        block = max(64, _FUSED_BLOCK_CELLS // num_models)
+        ws = None
+        ws1 = None
+        for level, s0, s1, kid_views, card in walk:
+            columns = columns_by_level[level]
+            n = s1 - s0
+            uniform = num_models == 1 or bool(
+                (columns[:, 1:] == columns[:, :1]).all()
+            )
+            if uniform and all(narrow[kv].all() for kv in kid_views):
+                # width-1 evaluation: all K models see identical inputs,
+                # so one pass produces every model's (identical) floats
+                if ws1 is None:
+                    ws1 = _np.empty(
+                        max(b[2] - b[1] for b in schedule.bounds),
+                        dtype=_np.float64,
+                    )
+                row = ws1[:n]
+                _np.take(narrow_values, kid_views[0], out=row)
+                row *= columns[0, 0]
+                for j in range(1, card):
+                    g = _np.take(narrow_values, kid_views[j])
+                    g *= columns[j, 0]
+                    row += g
+                narrow_values[s0:s1] = row
+                values[s0:s1] = row[:, None]
+                narrow[s0:s1] = True
+                self.collapsed_layers += 1
+                continue
+            if ws is None:
+                ws = _np.empty((block, num_models), dtype=_np.float64)
+            for b0 in range(0, n, block):
+                b1 = min(b0 + block, n)
+                g = ws[: b1 - b0]
+                out = values[s0 + b0 : s0 + b1]
+                _np.take(values, kid_views[0][b0:b1], axis=0, out=g)
+                g *= columns[0]
+                out[:] = g
+                for j in range(1, card):
+                    _np.take(values, kid_views[j][b0:b1], axis=0, out=g)
+                    g *= columns[j]
+                    out += g
+        return values
+
+    def _evaluate_fused(self, level_columns, num_models: int) -> List[float]:
+        columns_by_level = self._fused_columns(level_columns)
+        values = self._forward_fused(columns_by_level, num_models)
+        return values[self.root_slot].tolist()
+
+    def _backward_fused(self, level_columns, num_models: int):
+        """Fused forward pass plus the adjoint sweep over the schedule.
+
+        The adjoint accumulation cannot collapse (the count level injects
+        per-model adjoints above the uniform levels), so the reverse sweep
+        performs exactly the layered kernel's operations — same gathers,
+        same ``np.add.at`` scatter order, same contiguous-array reductions
+        — over the schedule's precomputed index views.
+        """
+        columns_by_level = self._fused_columns(level_columns)
+        values = self._forward_fused(columns_by_level, num_models)
+        walk = self.fused().walk
+        adjoint = _np.zeros((self.num_slots, num_models), dtype=_np.float64)
+        adjoint[self.root_slot] = 1.0
+        gradients: Dict[int, Tuple[Tuple[float, ...], ...]] = {}
+        for level, s0, s1, kid_views, card in reversed(walk):
+            columns = columns_by_level[level]
+            # nodes of a layer never parent each other (children sit
+            # strictly deeper), so the scatters below never touch this view
+            a = adjoint[s0:s1]
+            grad_rows = []
+            for j in range(card):
+                kid_view = kid_views[j]
+                _np.add.at(adjoint, kid_view, columns[j] * a)
+                grad_rows.append(
+                    tuple((values[kid_view] * a).sum(axis=0).tolist())
+                )
+            gradients[level] = tuple(grad_rows)
+        return values[self.root_slot].tolist(), gradients
+
+    # ------------------------------------------------------------------ #
+    # Layered backward kernels
+    # ------------------------------------------------------------------ #
+
     def _backward_python(self, level_columns, num_models: int):
         k_range = range(num_models)
         values = self._forward_python(level_columns, num_models)
         adjoint: List[List[float]] = [[0.0] * num_models for _ in range(self.num_slots)]
         adjoint[self.root_slot] = [1.0] * num_models
         gradients: Dict[int, Tuple[Tuple[float, ...], ...]] = {}
-        for level, slots, kid_rows in reversed(self._layers):
+        for level, slots, kid_rows in reversed(self.layers):
             columns = level_columns[level]
             grad_rows = [[0.0] * num_models for _ in range(len(kid_rows[0]))]
             for slot, kids in zip(slots, kid_rows):
@@ -399,7 +865,7 @@ class LinearizedDiagram:
     def _numpy_layers(self):
         if self._np_layers is None:
             converted = []
-            for level, slots, kid_rows in self._layers:
+            for level, slots, kid_rows in self.layers:
                 slots_arr = _np.asarray(slots, dtype=_np.intp)
                 kid_matrix = _np.asarray(kid_rows, dtype=_np.intp)
                 # one index column per child position: kid_columns[j][n] is
@@ -417,9 +883,11 @@ class LinearizedDiagram:
         return {
             "root_slot": self.root_slot,
             "num_slots": self.num_slots,
-            "layers": self._layers,
+            "layers": self.layers,
             "python_passes": self.python_passes,
             "numpy_passes": self.numpy_passes,
+            "fused_passes": self.fused_passes,
+            "collapsed_layers": self.collapsed_layers,
             "models_evaluated": self.models_evaluated,
             "gradient_passes": self.gradient_passes,
             "models_differentiated": self.models_differentiated,
@@ -431,8 +899,11 @@ class LinearizedDiagram:
         self.node_count = state["num_slots"] - 2
         self._layers = state["layers"]
         self._np_layers = None
+        self._fused = None
         self.python_passes = state["python_passes"]
         self.numpy_passes = state["numpy_passes"]
+        self.fused_passes = state.get("fused_passes", 0)
+        self.collapsed_layers = state.get("collapsed_layers", 0)
         self.models_evaluated = state["models_evaluated"]
         self.gradient_passes = state.get("gradient_passes", 0)
         self.models_differentiated = state.get("models_differentiated", 0)
@@ -440,5 +911,5 @@ class LinearizedDiagram:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "LinearizedDiagram(nodes=%d, levels=%d)" % (
             self.node_count,
-            len(self._layers),
+            len(self.layers),
         )

@@ -29,11 +29,20 @@ needs **one** diagram build, not one per point.
   and each worker warm-starts the structure from disk — slimming the
   dispatch from megabytes to a key.  Shards that land in the same worker
   process additionally share a small per-process LRU of structures;
+* store-backed shards go one step further and become **zero-copy**: the
+  parent assembles the group's two ``cardinality x K`` model-column
+  matrices directly into a ``multiprocessing.shared_memory`` block (plus
+  a result vector), each shard's pickled payload shrinks to a model span
+  and the block name, and workers write their probabilities straight back
+  into the block (``shm_bytes`` counts the block traffic; platforms
+  without shared memory fall back to the pickled protocol transparently);
 * with ``store_dir`` set, compiled structures also survive process
-  restarts: :mod:`repro.engine.store` persists the linearized arrays and
-  the level profile in a versioned on-disk format, and the service resolves
-  structures memory-LRU → disk store → build (``store_hits`` /
-  ``store_misses`` / ``store_bytes`` count the traffic);
+  restarts: :mod:`repro.engine.store` persists the fused linearized
+  arrays and the level profile in a versioned on-disk format that loaders
+  memory-map (``mmap_mode="r"`` — no copies, page cache shared across
+  forked workers), and the service resolves structures memory-LRU → disk
+  store → build (``store_hits`` / ``store_misses`` / ``store_bytes`` /
+  ``mmap_loads`` count the traffic);
 * :meth:`SweepService.gradient_batch` serves *importance* queries the same
   way: per structure group, one forward-plus-reverse linearized pass
   differentiates all of the group's defect models analytically
@@ -55,7 +64,56 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .batch import HAVE_NUMPY
+
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def _attach_shared_block(name: str):
+    """Attach to an existing shared-memory block without tracker churn.
+
+    Python 3.13 grew ``track=False``; on older interpreters attaching
+    registers the segment with the (fork-shared) resource tracker, which
+    would later try to unlink a block the parent already unlinked — so the
+    registration is undone immediately.  Workers only ever *attach*; the
+    parent owns creation and unlinking.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        block = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(block._name, "shared_memory")
+        except Exception:
+            pass
+        return block
+
+
+def _release_shared_block(block, *, unlink: bool) -> None:
+    """Close (and optionally unlink) a shared-memory block, best effort."""
+    try:
+        block.close()
+    except Exception:  # pragma: no cover - exported views may pin the buffer
+        pass
+    if unlink:
+        try:
+            block.unlink()
+        except Exception:  # pragma: no cover - already removed
+            pass
+
+
+def _fused_passes_of(compiled) -> int:
+    """Current fused-pass count of a structure's linearization (0 if none).
+
+    Shared by the parent service and the worker entry points so the
+    parent/worker split of the ``fused_passes`` counter cannot drift.
+    """
+    linearized = getattr(compiled, "_linearized", None)
+    return linearized.fused_passes if linearized is not None else 0
 
 
 @dataclass(frozen=True)
@@ -107,8 +165,16 @@ class SweepServiceStats:
     store_bytes: int = 0
     #: Pickled bytes of the payloads dispatched to the worker pool.  With
     #: the store enabled, shard payloads carry a store reference instead of
-    #: the compiled structure, so this shrinks by orders of magnitude.
+    #: the compiled structure, so this shrinks by orders of magnitude; with
+    #: shared-memory dispatch the payload is just indices plus a block name.
     shard_payload_bytes: int = 0
+    #: Fused-kernel passes executed (parent and worker processes) and the
+    #: store loads that memory-mapped the fused arrays instead of copying.
+    fused_passes: int = 0
+    mmap_loads: int = 0
+    #: Bytes placed in shared-memory blocks for shard dispatch (model
+    #: column matrices plus result vectors); moved zero-copy, not pickled.
+    shm_bytes: int = 0
     #: Per-phase wall-clock seconds (parent process only).
     build_seconds: float = 0.0
     reorder_seconds: float = 0.0
@@ -207,6 +273,14 @@ class SweepService:
         service starts skip the ordering/ROBDD/ROMDD build entirely, and
         worker shards receive a store reference instead of a multi-MB
         pickled structure.  Corrupt or incompatible entries are rebuilt.
+    use_shared_memory:
+        Dispatch the model-column matrices and result vectors of
+        store-backed intra-group shards through
+        ``multiprocessing.shared_memory`` blocks instead of pickling the
+        problems into every shard payload (default on; requires numpy and
+        a store).  Platforms or situations where a block cannot be created
+        fall back to the pickled protocol transparently — results are
+        identical either way.
     max_structures:
         How many compiled structures to keep in memory (LRU).
     max_results:
@@ -226,6 +300,7 @@ class SweepService:
         shard_size: int = 16,
         cache_dir: Optional[str] = None,
         store_dir: Optional[str] = None,
+        use_shared_memory: bool = True,
         max_structures: int = 8,
         max_results: int = 65536,
         **analyzer_options,
@@ -250,6 +325,7 @@ class SweepService:
             self._store: Optional["StructureStore"] = StructureStore(store_dir)
         else:
             self._store = None
+        self.use_shared_memory = bool(use_shared_memory)
         self.max_structures = int(max_structures)
         self.max_results = int(max_results)
         self.analyzer_options = analyzer_options
@@ -353,6 +429,7 @@ class SweepService:
             )
             builds_before = compiled.linearize_builds
             reuses_before = compiled.linearize_reuses
+            fused_before = _fused_passes_of(compiled)
             started = time.perf_counter()
             gradients = compiled.gradients_many(
                 [points[idx].problem for idx in indices]
@@ -362,6 +439,7 @@ class SweepService:
             self.stats.points_differentiated += len(indices)
             self.stats.linearize_builds += compiled.linearize_builds - builds_before
             self.stats.linearize_reuses += compiled.linearize_reuses - reuses_before
+            self.stats.fused_passes += _fused_passes_of(compiled) - fused_before
             for idx, gradient in zip(indices, gradients):
                 results[idx] = gradient
         return results  # type: ignore[return-value]
@@ -468,11 +546,13 @@ class SweepService:
             self.stats.structure_reuses += 1
             return compiled, True
         if self._store is not None:
-            loaded = self._store.load(skey)
+            loaded = self._store.load(skey, mmap=True)
             if loaded is not None:
                 compiled, nbytes = loaded
                 self.stats.store_hits += 1
                 self.stats.store_bytes += nbytes
+                if getattr(compiled, "store_mmapped", False):
+                    self.stats.mmap_loads += 1
                 self._store_structure(skey, compiled)
                 return compiled, True
             self.stats.store_misses += 1
@@ -500,12 +580,14 @@ class SweepService:
         """One batched pass over a group's defect models, with bookkeeping."""
         builds_before = compiled.linearize_builds
         reuses_before = compiled.linearize_reuses
+        fused_before = _fused_passes_of(compiled)
         started = time.perf_counter()
         results = compiled.evaluate_many(problems, reused=reused)
         self.stats.evaluate_seconds += time.perf_counter() - started
         self.stats.batched_passes += 1
         self.stats.linearize_builds += compiled.linearize_builds - builds_before
         self.stats.linearize_reuses += compiled.linearize_reuses - reuses_before
+        self.stats.fused_passes += _fused_passes_of(compiled) - fused_before
         return results
 
     def _store_structure(self, skey: Tuple, compiled) -> None:
@@ -539,6 +621,109 @@ class SweepService:
             return 1
         return min(self.workers, max(1, num_points // self.shard_size))
 
+    def _prepare_shm_group(self, compiled, indices, points, fresh):
+        """Stage one sharded group's matrices in a shared-memory block.
+
+        Layout: the ``(M + 2) x K`` count matrix, the ``C x K`` location
+        matrix and the length-``K`` result vector, back to back.  The
+        parent assembles (and validates) the matrices **directly into the
+        block**; workers map their model-column slice and write the
+        computed probabilities into the result span — the pickled payload
+        per shard shrinks to indices plus the block name.  Returns ``None``
+        when a block cannot be created (the caller falls back to the
+        pickled protocol).
+        """
+        try:
+            from multiprocessing import shared_memory
+
+            import numpy
+        except ImportError:  # pragma: no cover - numpy checked by caller
+            return None
+        problems = [points[idx].problem for idx in indices]
+        k = len(problems)
+        count_rows = compiled.truncation + 2
+        location_rows = len(compiled.component_names)
+        nbytes = (count_rows * k + location_rows * k + k) * 8
+        try:
+            block = shared_memory.SharedMemory(create=True, size=nbytes)
+        except Exception:  # platform without (writable) /dev/shm
+            return None
+        try:
+            count = numpy.ndarray(
+                (count_rows, k), dtype=numpy.float64, buffer=block.buf
+            )
+            location = numpy.ndarray(
+                (location_rows, k),
+                dtype=numpy.float64,
+                buffer=block.buf,
+                offset=count_rows * k * 8,
+            )
+            lethal_distributions, _, _ = compiled.model_matrices(
+                problems, out_count=count, out_location=location
+            )
+        except Exception:
+            _release_shared_block(block, unlink=True)
+            return None
+        finally:
+            count = location = None
+        self.stats.shm_bytes += nbytes
+        return {
+            "block": block,
+            "compiled": compiled,
+            "problems": problems,
+            "lethal": lethal_distributions,
+            "indices": list(indices),
+            "fresh": fresh,
+            "count_rows": count_rows,
+            "location_rows": location_rows,
+            "models": k,
+            "failed_spans": [],
+            "evaluate_seconds": 0.0,
+        }
+
+    def _collect_shm_group(self, group, evaluated) -> None:
+        """Read one group's result vector out of shared memory and package it."""
+        import numpy
+
+        block = group["block"]
+        k = group["models"]
+        offset = (group["count_rows"] + group["location_rows"]) * k * 8
+        try:
+            vector = numpy.ndarray(
+                (k,), dtype=numpy.float64, buffer=block.buf, offset=offset
+            )
+            probabilities = vector.tolist()
+        finally:
+            vector = None
+            _release_shared_block(block, unlink=True)
+        failed = set()
+        for a, b in group["failed_spans"]:
+            failed.update(range(a, b))
+        ok = [m for m in range(k) if m not in failed]
+        compiled = group["compiled"]
+        if ok:
+            results = compiled.package_results(
+                [group["problems"][m] for m in ok],
+                [group["lethal"][m] for m in ok],
+                [probabilities[m] for m in ok],
+                reused=not (group["fresh"] and ok[0] == 0),
+                per_point=group["evaluate_seconds"] / max(1, k),
+            )
+            evaluated.extend(
+                (group["indices"][m], result) for m, result in zip(ok, results)
+            )
+        if failed:
+            # a worker could not resolve the structure from the store (for
+            # example a concurrent `cache clear`): evaluate the orphaned
+            # models in-process — the parent still holds the structure
+            retry = sorted(failed)
+            results = self._evaluate_group_locally(
+                compiled, [group["problems"][m] for m in retry], reused=True
+            )
+            evaluated.extend(
+                (group["indices"][m], result) for m, result in zip(retry, results)
+            )
+
     def _run_parallel(self, groups, points, truncations):
         # settle pool availability before any stats-mutating shard prep, so
         # a platform that cannot spawn workers falls back to the serial
@@ -548,6 +733,7 @@ class SweepService:
         store_root = self.store_dir if self._store is not None else None
         payloads = []
         local_groups = []
+        shm_groups: Dict[Tuple, Dict] = {}
         sharded_points = 0
         sharded_payloads = 0
         for skey, indices in groups:
@@ -591,7 +777,29 @@ class SweepService:
                     self._persist_structure(skey, compiled)
                 if self._store.contains(skey):
                     ship = None  # workers load the slim on-disk form instead
+            shm_group = None
+            if ship is None and self.use_shared_memory and HAVE_NUMPY:
+                # zero-copy dispatch: columns and results move through one
+                # shared-memory block, the payload shrinks to a span + name
+                shm_group = self._prepare_shm_group(compiled, indices, points, fresh)
             sharded_points += len(indices)
+            if shm_group is not None:
+                shm_groups[skey] = shm_group
+                for chunk in _chunked(list(range(len(indices))), shards):
+                    payloads.append(
+                        {
+                            "kind": "columns",
+                            "skey": skey,
+                            "shm": shm_group["block"].name,
+                            "span": (chunk[0], chunk[-1] + 1),
+                            "count_rows": shm_group["count_rows"],
+                            "location_rows": shm_group["location_rows"],
+                            "models": shm_group["models"],
+                            "store_root": store_root,
+                        }
+                    )
+                    sharded_payloads += 1
+                continue
             for shard_index, chunk in enumerate(_chunked(indices, shards)):
                 payloads.append(
                     self._payload(
@@ -607,75 +815,107 @@ class SweepService:
                 )
                 sharded_payloads += 1
 
-        if len(payloads) <= 1:
-            # at most one whole-group build pending: a pool cannot help, so
-            # run the whole batch in-process (structures the parent already
-            # holds are simply reused by the serial route)
-            return self._run_serial(groups, points, truncations)
+        try:
+            if len(payloads) <= 1:
+                # at most one whole-group build pending: a pool cannot help,
+                # so run the whole batch in-process (structures the parent
+                # already holds are simply reused by the serial route)
+                for group in shm_groups.values():
+                    _release_shared_block(group["block"], unlink=True)
+                shm_groups = {}
+                return self._run_serial(groups, points, truncations)
 
-        evaluated = []
-        local_keys = {skey for skey, _ in local_groups}
-        pool = self.ensure_workers()
-        if pool is None:  # pragma: no cover - pool died between the checks
-            fallback = [g for g in groups if g[0] not in local_keys]
-            evaluated = self._run_serial(fallback, points, truncations)
-        else:
-            try:
-                # the parent pickles the payloads itself (the pool then moves
-                # opaque bytes), so the dispatch cost is paid once and the
-                # exact payload size lands in ``shard_payload_bytes``
-                blobs = [
-                    pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
-                    for payload in payloads
-                ]
-                self.stats.shard_payload_bytes += sum(len(blob) for blob in blobs)
-                started = time.perf_counter()
-                worker_build_seconds = 0.0
-                for skey, compiled, chunk, shard_stats in pool.map(
-                    _evaluate_shard, blobs
-                ):
-                    # keep the worker-resolved structure for later batches
-                    if compiled is not None:
-                        self._store_structure(skey, compiled)
-                        if shard_stats.get("built"):
-                            if self._store is not None and not self._store.contains(
-                                skey
-                            ):
-                                self._persist_structure(skey, compiled)
-                    if shard_stats.get("built"):
-                        self.stats.structures_built += 1
-                        self.stats.build_seconds += shard_stats.get("build_seconds", 0.0)
-                        self.stats.reorder_seconds += shard_stats.get(
-                            "reorder_seconds", 0.0
-                        )
-                        worker_build_seconds += shard_stats.get("build_seconds", 0.0)
-                    if shard_stats.get("store_hit"):
-                        self.stats.store_hits += 1
-                        self.stats.store_bytes += shard_stats.get("store_bytes", 0)
-                    if shard_stats.get("store_miss"):
-                        self.stats.store_misses += 1
-                    self.stats.batched_passes += 1
-                    self.stats.linearize_builds += shard_stats.get("linearize_builds", 0)
-                    self.stats.linearize_reuses += shard_stats.get("linearize_reuses", 0)
-                    evaluated.extend(chunk)
-                # the pool wall clock minus the build time workers reported is
-                # the evaluation (plus transfer) share of the phase breakdown
-                elapsed = time.perf_counter() - started
-                self.stats.evaluate_seconds += max(0.0, elapsed - worker_build_seconds)
-                self.stats.parallel_batches += 1
-                self.stats.shards_dispatched += sharded_payloads
-                self.stats.points_sharded += sharded_points
-            except Exception:
-                # pickling or pool trouble: drop the (possibly wedged) pool and
-                # fall back to in-process work; the next batch may retry with a
-                # fresh pool — one bad payload must not disable parallelism
-                # for the rest of the service's lifetime
-                self.close()
+            evaluated = []
+            local_keys = {skey for skey, _ in local_groups}
+            pool = self.ensure_workers()
+            if pool is None:  # pragma: no cover - pool died between the checks
                 fallback = [g for g in groups if g[0] not in local_keys]
                 evaluated = self._run_serial(fallback, points, truncations)
-        if local_groups:
-            evaluated.extend(self._run_serial(local_groups, points, truncations))
-        return evaluated
+            else:
+                try:
+                    # the parent pickles the payloads itself (the pool then
+                    # moves opaque bytes), so the dispatch cost is paid once
+                    # and the exact payload size lands in shard_payload_bytes
+                    blobs = [
+                        pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+                        for payload in payloads
+                    ]
+                    self.stats.shard_payload_bytes += sum(len(blob) for blob in blobs)
+                    started = time.perf_counter()
+                    worker_build_seconds = 0.0
+                    for skey, compiled, chunk, shard_stats in pool.map(
+                        _evaluate_shard, blobs
+                    ):
+                        # keep the worker-resolved structure for later batches
+                        if compiled is not None:
+                            self._store_structure(skey, compiled)
+                            if shard_stats.get("built"):
+                                if self._store is not None and not self._store.contains(
+                                    skey
+                                ):
+                                    self._persist_structure(skey, compiled)
+                        if shard_stats.get("built"):
+                            self.stats.structures_built += 1
+                            self.stats.build_seconds += shard_stats.get(
+                                "build_seconds", 0.0
+                            )
+                            self.stats.reorder_seconds += shard_stats.get(
+                                "reorder_seconds", 0.0
+                            )
+                            worker_build_seconds += shard_stats.get("build_seconds", 0.0)
+                        if shard_stats.get("store_hit"):
+                            self.stats.store_hits += 1
+                            self.stats.store_bytes += shard_stats.get("store_bytes", 0)
+                        if shard_stats.get("mmap_load"):
+                            self.stats.mmap_loads += 1
+                        if shard_stats.get("store_miss"):
+                            self.stats.store_misses += 1
+                        self.stats.linearize_builds += shard_stats.get(
+                            "linearize_builds", 0
+                        )
+                        self.stats.linearize_reuses += shard_stats.get(
+                            "linearize_reuses", 0
+                        )
+                        self.stats.fused_passes += shard_stats.get("fused_passes", 0)
+                        if shard_stats.get("kind") == "columns":
+                            group = shm_groups[skey]
+                            span = shard_stats["span"]
+                            if shard_stats.get("ok"):
+                                self.stats.batched_passes += 1
+                                group["evaluate_seconds"] += shard_stats.get(
+                                    "evaluate_seconds", 0.0
+                                )
+                            else:
+                                group["failed_spans"].append(span)
+                            continue
+                        self.stats.batched_passes += 1
+                        evaluated.extend(chunk)
+                    for group in shm_groups.values():
+                        self._collect_shm_group(group, evaluated)
+                    shm_groups = {}
+                    # the pool wall clock minus the build time workers
+                    # reported is the evaluation (plus transfer) share
+                    elapsed = time.perf_counter() - started
+                    self.stats.evaluate_seconds += max(
+                        0.0, elapsed - worker_build_seconds
+                    )
+                    self.stats.parallel_batches += 1
+                    self.stats.shards_dispatched += sharded_payloads
+                    self.stats.points_sharded += sharded_points
+                except Exception:
+                    # pickling or pool trouble: drop the (possibly wedged)
+                    # pool and fall back to in-process work; the next batch
+                    # may retry with a fresh pool — one bad payload must not
+                    # disable parallelism for the service's lifetime
+                    self.close()
+                    fallback = [g for g in groups if g[0] not in local_keys]
+                    evaluated = self._run_serial(fallback, points, truncations)
+            if local_groups:
+                evaluated.extend(self._run_serial(local_groups, points, truncations))
+            return evaluated
+        finally:
+            for group in shm_groups.values():
+                _release_shared_block(group["block"], unlink=True)
 
     def _payload(
         self, skey, indices, points, truncations, compiled, fresh, store_root, adopt
@@ -767,15 +1007,19 @@ def _evaluate_shard(payload):
     """Worker entry point: evaluate one shard of a structure group.
 
     The payload arrives as parent-pickled bytes (the parent accounts the
-    exact dispatch size that way).  The worker resolves the shard's
-    structure in warmth order — shipped with the payload, the per-process
-    LRU, the persistent store, a fresh build — and evaluates all of the
-    shard's defect models in one batched pass.  A structure the parent did
-    not already hold (``adopt``) is returned so the parent's LRU serves
-    later batches without re-resolving.
+    exact dispatch size that way).  Tuple payloads are the pickled
+    protocol: the worker resolves the shard's structure in warmth order —
+    shipped with the payload, the per-process LRU, the persistent store
+    (memory-mapped), a fresh build — and evaluates all of the shard's
+    defect models in one batched pass.  A structure the parent did not
+    already hold (``adopt``) is returned so the parent's LRU serves later
+    batches without re-resolving.  Dict payloads are the zero-copy
+    shared-memory protocol (:func:`_evaluate_shard_columns`).
     """
     if isinstance(payload, (bytes, bytearray)):
         payload = pickle.loads(payload)
+    if isinstance(payload, dict):
+        return _evaluate_shard_columns(payload)
     (
         skey,
         ordering_key,
@@ -793,16 +1037,18 @@ def _evaluate_shard(payload):
     store_hit = False
     store_miss = False
     store_bytes = 0
+    mmap_load = False
     if compiled is None:
         compiled = _worker_structure_get(skey)
         if compiled is None:
             if store_root is not None:
                 from .store import StructureStore
 
-                loaded = StructureStore(store_root).load(skey)
+                loaded = StructureStore(store_root).load(skey, mmap=True)
                 if loaded is not None:
                     compiled, store_bytes = loaded
                     store_hit = True
+                    mmap_load = getattr(compiled, "store_mmapped", False)
                 else:
                     store_miss = True
             if compiled is None:
@@ -817,15 +1063,18 @@ def _evaluate_shard(payload):
         fresh = built
     builds_before = compiled.linearize_builds
     reuses_before = compiled.linearize_reuses
+    fused_before = _fused_passes_of(compiled)
     results = compiled.evaluate_many(problems, reused=not fresh)
     shard_stats = {
         "built": built,
         "models": len(problems),
         "linearize_builds": compiled.linearize_builds - builds_before,
         "linearize_reuses": compiled.linearize_reuses - reuses_before,
+        "fused_passes": _fused_passes_of(compiled) - fused_before,
         "store_hit": store_hit,
         "store_miss": store_miss,
         "store_bytes": store_bytes,
+        "mmap_load": mmap_load,
     }
     if built:
         shard_stats["build_seconds"] = sum(compiled.build_timings)
@@ -836,3 +1085,84 @@ def _evaluate_shard(payload):
         list(zip(indices, results)),
         shard_stats,
     )
+
+
+def _evaluate_shard_columns(payload):
+    """Worker entry point of the zero-copy shared-memory shard protocol.
+
+    The payload carries no problems and no columns — only the structure
+    key, a store reference and the location of this shard's model span
+    inside the group's shared-memory block.  The worker resolves the
+    structure (per-process LRU → memory-mapped store load), maps the
+    column matrices out of the block, runs the kernel over its span's
+    slice and writes the probabilities into the block's result vector.
+    A worker that cannot resolve the structure reports ``ok: False`` and
+    the parent re-evaluates the span in-process.
+    """
+    skey = payload["skey"]
+    a, b = payload["span"]
+    shard_stats = {
+        "kind": "columns",
+        "span": (a, b),
+        "ok": False,
+        "models": b - a,
+        "store_hit": False,
+        "store_miss": False,
+        "store_bytes": 0,
+        "mmap_load": False,
+        "linearize_builds": 0,
+        "linearize_reuses": 0,
+        "fused_passes": 0,
+    }
+    compiled = _worker_structure_get(skey)
+    if compiled is None:
+        from .store import StructureStore
+
+        loaded = StructureStore(payload["store_root"]).load(skey, mmap=True)
+        if loaded is None:
+            shard_stats["store_miss"] = True
+            return skey, None, None, shard_stats
+        compiled, store_bytes = loaded
+        shard_stats["store_hit"] = True
+        shard_stats["store_bytes"] = store_bytes
+        shard_stats["mmap_load"] = getattr(compiled, "store_mmapped", False)
+        _worker_structure_put(skey, compiled)
+
+    import numpy
+
+    k = payload["models"]
+    count_rows = payload["count_rows"]
+    location_rows = payload["location_rows"]
+    block = _attach_shared_block(payload["shm"])
+    try:
+        count = numpy.ndarray(
+            (count_rows, k), dtype=numpy.float64, buffer=block.buf
+        )
+        location = numpy.ndarray(
+            (location_rows, k),
+            dtype=numpy.float64,
+            buffer=block.buf,
+            offset=count_rows * k * 8,
+        )
+        vector = numpy.ndarray(
+            (k,),
+            dtype=numpy.float64,
+            buffer=block.buf,
+            offset=(count_rows + location_rows) * k * 8,
+        )
+        builds_before = compiled.linearize_builds
+        reuses_before = compiled.linearize_reuses
+        fused_before = _fused_passes_of(compiled)
+        started = time.perf_counter()
+        vector[a:b] = compiled.evaluate_probabilities(
+            count[:, a:b], location[:, a:b], b - a
+        )
+        shard_stats["evaluate_seconds"] = time.perf_counter() - started
+        shard_stats["linearize_builds"] = compiled.linearize_builds - builds_before
+        shard_stats["linearize_reuses"] = compiled.linearize_reuses - reuses_before
+        shard_stats["fused_passes"] = _fused_passes_of(compiled) - fused_before
+        shard_stats["ok"] = True
+    finally:
+        count = location = vector = None
+        _release_shared_block(block, unlink=False)
+    return skey, None, None, shard_stats

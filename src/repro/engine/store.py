@@ -19,17 +19,27 @@ and a page of metadata.  A restored :class:`repro.core.method.CompiledYield`
 therefore evaluates and differentiates bit-for-bit like the freshly built
 structure while staying a fraction of its pickled size.
 
-Format (version 1), content-addressed under the store root by the SHA-256
+Format (version 2), content-addressed under the store root by the SHA-256
 digest of the structure key::
 
-    <root>/<digest[:2]>/<digest>.npz    # one slots/kids array pair per layer
-    <root>/<digest[:2]>/<digest>.json   # metadata, profile, diagnostics
+    <root>/<digest[:2]>/<digest>.json         # metadata + commit marker
+    <root>/<digest[:2]>/<digest>.kids.npy     # fused edge array (j-major)
+    <root>/<digest[:2]>/<digest>.seg.npy      # CSR segment offsets
+    <root>/<digest[:2]>/<digest>.levels.npy   # per-slot level mapping
+    <root>/<digest[:2]>/<digest>.bounds.npy   # layer boundary table
 
-Both files are written to temporaries and moved into place with
+The arrays are the fused CSR schedule of :class:`repro.engine.batch` —
+written **uncompressed**, one plain ``.npy`` file per array, so loaders
+open them with ``numpy.load(..., mmap_mode="r")``: no decompression, no
+copy, and on fork-capable platforms every worker process shares the same
+page-cache pages.  Version 1 entries (per-layer arrays inside one
+compressed ``.npz``) remain fully readable; new saves always write v2.
+Hosts without numpy embed the layers in the JSON file (``encoding:
+"json"``), and either side can read both encodings.
+
+Every file is written to a temporary and moved into place with
 ``os.replace``; the JSON file is written *last* and acts as the commit
-marker, so readers never observe a half-written entry.  Hosts without
-numpy fall back to embedding the layers in the JSON file (``encoding:
-"json"``), and either side can read both encodings.  Unknown versions,
+marker, so readers never observe a half-written entry.  Unknown versions,
 corrupt files and digest mismatches are treated as misses, never as
 errors — the caller simply rebuilds.
 """
@@ -52,8 +62,19 @@ except ImportError:  # pragma: no cover
 #: Identifies the file format (checked on load).
 FORMAT_NAME = "repro-structure"
 
-#: Bumped on every incompatible layout change; mismatches load as misses.
-FORMAT_VERSION = 1
+#: The version new entries are written with.
+FORMAT_VERSION = 2
+
+#: Versions :meth:`StructureStore.load` can read.  v1 (npz layer arrays)
+#: stays readable so existing stores keep warm-starting after an upgrade;
+#: anything else loads as a miss.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Sidecar suffixes an entry may own next to its ``.json`` marker.
+_SIDECAR_SUFFIXES = (".npz", ".kids.npy", ".seg.npy", ".levels.npy", ".bounds.npy")
+
+#: The v2 array names, in the order they are written.
+_V2_ARRAYS = ("kids", "seg", "levels", "bounds")
 
 
 class StoreError(ValueError):
@@ -105,13 +126,18 @@ class StructureStore:
     # Paths
     # ------------------------------------------------------------------ #
 
-    def _paths(self, digest: str) -> Tuple[str, str]:
-        base = os.path.join(self.root, digest[:2], digest)
-        return base + ".json", base + ".npz"
+    def _base(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest)
+
+    def _json_path(self, digest: str) -> str:
+        return self._base(digest) + ".json"
+
+    def _sidecar(self, digest: str, suffix: str) -> str:
+        return self._base(digest) + suffix
 
     def contains(self, skey: Tuple) -> bool:
         """Whether an entry for ``skey`` is committed (JSON marker present)."""
-        return os.path.exists(self._paths(digest_of(skey))[0])
+        return os.path.exists(self._json_path(digest_of(skey)))
 
     # ------------------------------------------------------------------ #
     # Save
@@ -129,11 +155,10 @@ class StructureStore:
             raise StoreError("structure has no level profile; cannot persist")
         linearized = compiled.linearized()
         digest = digest_of(skey)
-        json_path, npz_path = self._paths(digest)
+        json_path = self._json_path(digest)
         os.makedirs(os.path.dirname(json_path), exist_ok=True)
 
-        layers = linearized.layers
-        use_npz = _np is not None and layers
+        use_npy = _np is not None and linearized.node_count > 0
         meta = {
             "format": FORMAT_NAME,
             "version": FORMAT_VERSION,
@@ -164,31 +189,45 @@ class StructureStore:
             "linearized": {
                 "root_slot": linearized.root_slot,
                 "num_slots": linearized.num_slots,
-                "levels": [level for level, _, _ in layers],
-                "encoding": "npz" if use_npz else "json",
+                "levels": list(linearized.levels),
+                "encoding": "npy" if use_npy else "json",
             },
         }
 
         nbytes = 0
-        if use_npz:
-            arrays = {}
-            for index, (_, slots, kid_rows) in enumerate(layers):
-                arrays["slots_%d" % index] = _np.asarray(slots, dtype=_np.int64)
-                arrays["kids_%d" % index] = _np.asarray(kid_rows, dtype=_np.int64)
+        stale = list(_SIDECAR_SUFFIXES)
+        if use_npy:
+            schedule = linearized.fused()
+            arrays = {
+                "kids": _np.asarray(schedule.kids, dtype=_np.int64),
+                "seg": _np.asarray(schedule.seg, dtype=_np.int64),
+                "levels": _np.asarray(schedule.slot_levels, dtype=_np.int64),
+                "bounds": _np.asarray(schedule.bounds, dtype=_np.int64).reshape(
+                    len(schedule.bounds), 6
+                ),
+            }
+            for name in _V2_ARRAYS:
+                suffix = ".%s.npy" % name
+                path = self._sidecar(digest, suffix)
+                array = arrays[name]
 
-            def write_npz(handle):
-                _np.savez(handle, **arrays)
+                def write_npy(handle, array=array):
+                    # plain uncompressed .npy so loaders can mmap it
+                    _np.save(handle, array, allow_pickle=False)
 
-            self._commit(npz_path, "wb", write_npz)
-            nbytes += os.path.getsize(npz_path)
+                self._commit(path, "wb", write_npy)
+                nbytes += os.path.getsize(path)
+                stale.remove(suffix)
         else:
             meta["linearized"]["layers"] = [
                 [level, list(slots), [list(row) for row in kid_rows]]
-                for level, slots, kid_rows in layers
+                for level, slots, kid_rows in linearized.layers
             ]
-            # drop a stale npz so the entry stays self-consistent
+        # drop sidecars of any previous encoding/version of this entry so
+        # the committed entry stays self-consistent
+        for suffix in stale:
             try:
-                os.unlink(npz_path)
+                os.unlink(self._sidecar(digest, suffix))
             except OSError:
                 pass
 
@@ -222,29 +261,37 @@ class StructureStore:
     # Load
     # ------------------------------------------------------------------ #
 
-    def load(self, skey: Tuple):
+    def load(self, skey: Tuple, *, mmap: bool = False):
         """Return ``(restored CompiledYield, entry bytes)`` or ``None``.
 
-        Any corruption, version skew or digest mismatch loads as a miss.
+        With ``mmap=True`` (what :class:`repro.engine.service.SweepService`
+        and its worker shards pass) the v2 fused arrays are opened with
+        ``mmap_mode="r"`` — no copies, and the OS page cache is shared
+        across every process mapping the same entry.  Any corruption,
+        version skew or digest mismatch loads as a miss (the structural
+        validation includes an edge-range scan of the kids array).
         """
-        return self.load_digest(digest_of(skey))
+        return self.load_digest(digest_of(skey), mmap=mmap)
 
-    def load_digest(self, digest: str):
+    def load_digest(self, digest: str, *, mmap: bool = False):
         """Like :meth:`load`, addressed directly by digest."""
-        json_path, npz_path = self._paths(digest)
+        json_path = self._json_path(digest)
         meta = self._read_meta(json_path, digest)
         if meta is None:
             return None
         try:
-            layers, npz_bytes = self._read_layers(meta, npz_path)
-            structure = self._restore(meta, layers)
+            linearized, payload_bytes, mmapped = self._read_linearized(
+                meta, digest, mmap
+            )
+            structure = self._restore(meta, linearized)
+            structure.store_mmapped = mmapped
             json_bytes = os.path.getsize(json_path)
         except Exception:
             # anything — truncated arrays, version drift inside the payload,
             # a concurrent `cache clear` unlinking the files mid-read — is a
             # miss; the caller rebuilds
             return None
-        return structure, json_bytes + npz_bytes
+        return structure, json_bytes + payload_bytes
 
     def _read_meta(self, json_path: str, digest: str) -> Optional[Dict]:
         try:
@@ -255,51 +302,86 @@ class StructureStore:
         if (
             not isinstance(meta, dict)
             or meta.get("format") != FORMAT_NAME
-            or meta.get("version") != FORMAT_VERSION
+            or meta.get("version") not in SUPPORTED_VERSIONS
             or meta.get("digest") != digest
         ):
             return None
         return meta
 
-    def _read_layers(self, meta: Dict, npz_path: str):
-        linearized = meta["linearized"]
-        levels = linearized["levels"]
-        if linearized["encoding"] == "json":
-            layers = [
+    def _read_linearized(self, meta: Dict, digest: str, mmap: bool):
+        """Build the :class:`LinearizedDiagram` of a committed entry.
+
+        Returns ``(diagram, payload bytes, used mmap)``.  Dispatches on the
+        entry's version and encoding; raises on any inconsistency (the
+        caller turns that into a miss).
+        """
+        from ..engine.batch import LinearizedDiagram
+
+        linearized_meta = meta["linearized"]
+        root_slot = int(linearized_meta["root_slot"])
+        num_slots = int(linearized_meta["num_slots"])
+        encoding = linearized_meta["encoding"]
+        if encoding == "json":
+            layers = tuple(
                 (int(level), tuple(int(s) for s in slots), tuple(
                     tuple(int(c) for c in row) for row in kid_rows
                 ))
-                for level, slots, kid_rows in linearized["layers"]
-            ]
-            return tuple(layers), 0
+                for level, slots, kid_rows in linearized_meta["layers"]
+            )
+            return LinearizedDiagram(root_slot, num_slots, layers), 0, False
         if _np is None:
-            raise StoreError("entry uses npz arrays but numpy is unavailable")
+            raise StoreError("entry uses binary arrays but numpy is unavailable")
+        if meta["version"] == 1:
+            return self._read_v1(linearized_meta, digest, root_slot, num_slots)
+        return self._read_v2(digest, root_slot, num_slots, mmap)
+
+    def _read_v1(self, linearized_meta: Dict, digest: str, root_slot, num_slots):
+        """Version 1: one ``slots_i``/``kids_i`` array pair per layer (npz)."""
+        from ..engine.batch import LinearizedDiagram
+
+        npz_path = self._sidecar(digest, ".npz")
         layers = []
         with _np.load(npz_path) as arrays:
-            for index, level in enumerate(levels):
+            for index, level in enumerate(linearized_meta["levels"]):
                 slots = tuple(int(s) for s in arrays["slots_%d" % index])
                 kid_rows = tuple(
                     tuple(int(c) for c in row) for row in arrays["kids_%d" % index]
                 )
                 layers.append((int(level), slots, kid_rows))
-        return tuple(layers), os.path.getsize(npz_path)
+        diagram = LinearizedDiagram(root_slot, num_slots, tuple(layers))
+        return diagram, os.path.getsize(npz_path), False
 
-    def _restore(self, meta: Dict, layers):
+    def _read_v2(self, digest: str, root_slot, num_slots, mmap: bool):
+        """Version 2: the fused CSR arrays, one plain ``.npy`` file each."""
+        from ..engine.batch import LinearizedDiagram
+
+        mmap_mode = "r" if mmap else None
+        arrays = {}
+        payload_bytes = 0
+        for name in _V2_ARRAYS:
+            path = self._sidecar(digest, ".%s.npy" % name)
+            arrays[name] = _np.load(path, mmap_mode=mmap_mode, allow_pickle=False)
+            payload_bytes += os.path.getsize(path)
+        bounds = [tuple(int(v) for v in row) for row in arrays["bounds"].reshape(-1, 6)]
+        diagram = LinearizedDiagram.from_fused_arrays(
+            root_slot,
+            num_slots,
+            arrays["kids"],
+            arrays["seg"],
+            arrays["levels"],
+            bounds,
+        )
+        return diagram, payload_bytes, bool(mmap)
+
+    def _restore(self, meta: Dict, linearized):
         # imported lazily: core.method pulls in the DD managers, which load
         # the engine kernel at import time (same cycle service.py avoids)
         from ..core.method import CompiledYield
-        from ..engine.batch import LinearizedDiagram
         from ..mdd.probability import LevelProfile
         from ..ordering.strategies import OrderingSpec
 
         structure = meta["structure"]
         diagnostics = meta["diagnostics"]
-        linearized_meta = meta["linearized"]
-        linearized = LinearizedDiagram(
-            int(linearized_meta["root_slot"]),
-            int(linearized_meta["num_slots"]),
-            layers,
-        )
         return CompiledYield(
             gfunction=None,
             grouped_order=None,
@@ -331,6 +413,14 @@ class StructureStore:
     # Inspection and maintenance (the ``repro cache`` CLI)
     # ------------------------------------------------------------------ #
 
+    def _entry_bytes(self, digest: str) -> int:
+        nbytes = os.path.getsize(self._json_path(digest))
+        for suffix in _SIDECAR_SUFFIXES:
+            path = self._sidecar(digest, suffix)
+            if os.path.exists(path):
+                nbytes += os.path.getsize(path)
+        return nbytes
+
     def entries(self) -> List[StoreEntry]:
         """List every committed entry (corrupt entries are skipped)."""
         out: List[StoreEntry] = []
@@ -344,14 +434,11 @@ class StructureStore:
                 if not name.endswith(".json"):
                     continue
                 digest = name[: -len(".json")]
-                json_path, npz_path = self._paths(digest)
-                meta = self._read_meta(json_path, digest)
+                meta = self._read_meta(self._json_path(digest), digest)
                 if meta is None:
                     continue
                 try:
-                    nbytes = os.path.getsize(json_path)
-                    if os.path.exists(npz_path):
-                        nbytes += os.path.getsize(npz_path)
+                    nbytes = self._entry_bytes(digest)
                 except OSError:  # entry removed while listing
                     continue
                 out.append(
@@ -381,8 +468,7 @@ class StructureStore:
             raise StoreError(
                 "digest prefix %r matches %d entries" % (digest_prefix, len(matches))
             )
-        json_path, _ = self._paths(matches[0].digest)
-        return self._read_meta(json_path, matches[0].digest)
+        return self._read_meta(self._json_path(matches[0].digest), matches[0].digest)
 
     def remove(self, digest_prefix: str) -> int:
         """Remove entries matching the digest prefix; return how many."""
@@ -390,8 +476,10 @@ class StructureStore:
         for entry in self.entries():
             if not entry.digest.startswith(digest_prefix):
                 continue
-            json_path, npz_path = self._paths(entry.digest)
-            for path in (json_path, npz_path):
+            paths = [self._json_path(entry.digest)] + [
+                self._sidecar(entry.digest, suffix) for suffix in _SIDECAR_SUFFIXES
+            ]
+            for path in paths:
                 try:
                     os.unlink(path)
                 except OSError:

@@ -186,10 +186,17 @@ def columns_for_models(
     The matrix entries are the same floats the dict route produced, so the
     kernel's child-ordered accumulation stays bit-for-bit identical.
     """
+    if as_matrix:
+        count_matrix, location_matrix = model_matrices_from_columns(
+            count_columns, location_columns
+        )
+        return columns_from_matrices(
+            linearized, profile, count_matrix, location_matrix
+        )
     need = set(linearized.levels)
     columns: Dict[int, object] = {}
-    count_matrix: Optional[object] = None
-    location_matrix: Optional[object] = None
+    count_rows: Optional[object] = None
+    location_rows: Optional[object] = None
     for level, name, cardinality, is_count in profile.entries:
         if level not in need:
             continue
@@ -200,26 +207,80 @@ def columns_for_models(
                 % (name, level, cardinality, len(source[0]))
             )
         if is_count:
-            if count_matrix is None:
-                count_matrix = _transpose_columns(source, as_matrix)
-            columns[level] = count_matrix
+            if count_rows is None:
+                count_rows = tuple(zip(*source))
+            columns[level] = count_rows
         else:
-            if location_matrix is None:
-                location_matrix = _transpose_columns(source, as_matrix)
-            columns[level] = location_matrix
+            if location_rows is None:
+                location_rows = tuple(zip(*source))
+            columns[level] = location_rows
     return columns
 
 
-def _transpose_columns(model_columns, as_matrix: bool):
-    """Turn K per-model columns into one ``cardinality x K`` row layout."""
-    if as_matrix:
-        if _np is None:
-            raise MDDError("numpy is not available on this interpreter")
+def model_matrices_from_columns(
+    count_columns: Sequence[Sequence[float]],
+    location_columns: Sequence[Sequence[float]],
+    *,
+    out_count=None,
+    out_location=None,
+):
+    """Transpose per-model columns into the two shared float64 matrices.
+
+    Returns ``(count_matrix, location_matrix)`` of shapes ``(M + 2) x K``
+    and ``C x K``.  ``out_count`` / ``out_location`` are optional
+    preallocated float64 destinations (matching shapes) — the sweep
+    service points them into a ``multiprocessing.shared_memory`` block so
+    worker shards map the matrices instead of receiving pickled copies.
+    The floats are byte-identical either way.
+    """
+    return (
+        _transpose_into(count_columns, out_count),
+        _transpose_into(location_columns, out_location),
+    )
+
+
+def _transpose_into(model_columns, out):
+    if _np is None:
+        raise MDDError("numpy is not available on this interpreter")
+    transposed = _np.asarray(model_columns, dtype=_np.float64).T
+    if out is None:
         # ascontiguousarray keeps row indexing (columns[j]) cache-friendly
-        return _np.ascontiguousarray(
-            _np.asarray(model_columns, dtype=_np.float64).T
+        return _np.ascontiguousarray(transposed)
+    if out.shape != transposed.shape:
+        raise MDDError(
+            "column buffer has shape %r, expected %r"
+            % (out.shape, transposed.shape)
         )
-    return tuple(zip(*model_columns))
+    out[...] = transposed
+    return out
+
+
+def columns_from_matrices(
+    linearized: LinearizedDiagram,
+    profile: LevelProfile,
+    count_matrix,
+    location_matrix,
+) -> Dict[int, object]:
+    """Map the two shared model matrices onto the diagram's levels.
+
+    No copies: every count level points at ``count_matrix`` and every
+    location level at ``location_matrix`` (the matrices may be slices of a
+    shared-memory block or any other float64 view).  Cardinalities are
+    checked against the level profile.
+    """
+    need = set(linearized.levels)
+    columns: Dict[int, object] = {}
+    for level, name, cardinality, is_count in profile.entries:
+        if level not in need:
+            continue
+        matrix = count_matrix if is_count else location_matrix
+        if len(matrix) != cardinality:
+            raise MDDError(
+                "variable %r at level %d expects %d value rows, got %d"
+                % (name, level, cardinality, len(matrix))
+            )
+        columns[level] = matrix
+    return columns
 
 
 def validate_model_columns(

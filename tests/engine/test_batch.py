@@ -71,11 +71,22 @@ class TestLinearizedDiagram:
         with pytest.raises(BatchEvalError):
             linearized.evaluate({0: ((1.0,), (0.0,), (0.0,))}, 1)
 
-    def test_zero_models_rejected(self):
+    def test_zero_models_short_circuit(self):
         manager, root = small_manager()
         linearized = LinearizedDiagram.from_mdd(manager, root)
+        # K = 0 batches short-circuit identically on every kernel — no
+        # columns are read, no pass counters move
+        kernels = ["python"]
+        if HAVE_NUMPY:
+            kernels += ["layered", "fused"]
+        for kernel in kernels:
+            assert linearized.evaluate({}, 0, kernel=kernel) == []
+            assert linearized.backward({}, 0, kernel=kernel) == ([], {})
+        assert linearized.python_passes == 0
+        assert linearized.numpy_passes == 0
+        assert linearized.models_evaluated == 0
         with pytest.raises(BatchEvalError):
-            linearized.evaluate({}, 0)
+            linearized.evaluate({}, -1)
 
     def test_pass_counters(self):
         manager, root = small_manager()
@@ -90,6 +101,155 @@ class TestLinearizedDiagram:
         if HAVE_NUMPY:
             linearized.evaluate(columns, 1, use_numpy=True)
             assert linearized.numpy_passes == 1
+
+
+COLUMNS_1 = {0: ((0.5,), (0.3,), (0.2,)), 1: ((0.4,), (0.6,))}
+ALL_KERNELS = ["python"] + (["layered", "fused"] if HAVE_NUMPY else [])
+
+
+class TestKernelDecision:
+    """The kernel is chosen once per pass, from whole-diagram cell counts."""
+
+    def test_exactly_one_kernel_family_per_pass(self):
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        for kernel in ALL_KERNELS:
+            python_before = linearized.python_passes
+            numpy_before = linearized.numpy_passes
+            linearized.evaluate(COLUMNS_1, 1, kernel=kernel)
+            moved = (linearized.python_passes - python_before) + (
+                linearized.numpy_passes - numpy_before
+            )
+            assert moved == 1  # one pass, one kernel — never a mix
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_auto_threshold_uses_whole_diagram_cells(self):
+        from repro.engine.batch import _NUMPY_AUTO_CELLS
+
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        # just below the cell threshold: python; at/above: numpy (fused),
+        # even though every individual layer is tiny
+        below = (_NUMPY_AUTO_CELLS - 1) // linearized.node_count
+        above = -(-_NUMPY_AUTO_CELLS // linearized.node_count)
+        assert linearized.resolve_kernel(None, None, below) == "python"
+        assert linearized.resolve_kernel(None, None, above) == "fused"
+
+    def test_unknown_kernel_rejected(self):
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        with pytest.raises(BatchEvalError):
+            linearized.evaluate(COLUMNS_1, 1, kernel="simd")
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_auto_fused_falls_back_on_non_contiguous_slots(self):
+        # hand-built layers with a slot gap cannot be fused; auto quietly
+        # uses the layered kernel, an explicit request surfaces the error
+        layers = ((0, (3,), ((0, 1, 1),)),)
+        linearized = LinearizedDiagram(3, 4, layers)
+        columns = {0: ((0.5,), (0.3,), (0.2,))}
+        with pytest.raises(BatchEvalError):
+            linearized.evaluate(columns, 1, kernel="fused")
+        assert linearized.evaluate(columns, 1, use_numpy=True) == [0.3 + 0.2]
+        assert linearized.numpy_passes == 1
+        assert linearized.fused_passes == 0
+
+
+class TestDegenerateInputs:
+    """Terminal-only and single-layer diagrams short-circuit identically."""
+
+    def test_terminal_only_diagrams_on_every_kernel(self):
+        manager, _ = small_manager()
+        for terminal, value in ((FALSE, 0.0), (TRUE, 1.0)):
+            linearized = LinearizedDiagram.from_mdd(manager, terminal)
+            assert linearized.root_slot <= 1
+            for kernel in ALL_KERNELS:
+                assert linearized.evaluate({}, 3, kernel=kernel) == [value] * 3
+                probabilities, gradients = linearized.backward({}, 3, kernel=kernel)
+                assert probabilities == [value] * 3
+                assert gradients == {}
+            assert linearized.python_passes == 0  # short-circuits, no pass
+            assert linearized.numpy_passes == 0
+
+    def test_single_layer_diagram_on_every_kernel(self):
+        variables = [MultiValuedVariable("w", (0, 1, 2))]
+        manager = MDDManager(variables)
+        root = manager.mk(0, [FALSE, TRUE, TRUE])
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        assert len(linearized.layers) == 1
+        columns = {0: ((0.5, 0.1), (0.3, 0.2), (0.2, 0.7))}
+        expected = [0.3 + 0.2, 0.2 + 0.7]
+        reference = None
+        for kernel in ALL_KERNELS:
+            probabilities = linearized.evaluate(columns, 2, kernel=kernel)
+            assert probabilities == pytest.approx(expected)
+            backward_probabilities, gradients = linearized.backward(
+                columns, 2, kernel=kernel
+            )
+            assert backward_probabilities == probabilities
+            assert gradients[0] == ((0.0, 0.0), (1.0, 1.0), (1.0, 1.0))
+            if reference is None:
+                reference = probabilities
+            assert probabilities == reference  # bit-for-bit across kernels
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestFusedSchedule:
+    def test_csr_arrays_are_consistent(self):
+        import numpy as np
+
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        schedule = linearized.fused()
+        total_edges = sum(
+            (s1 - s0) * card for _, s0, s1, _, _, card in schedule.bounds
+        )
+        assert len(schedule.kids) == total_edges
+        assert len(schedule.seg) == linearized.num_slots - 1
+        assert int(schedule.seg[-1]) == total_edges
+        assert len(schedule.slot_levels) == linearized.node_count
+        # seg describes the node-major ordering: per-slot branching factors
+        widths = np.diff(schedule.seg)
+        for level, s0, s1, _, _, card in schedule.bounds:
+            assert (widths[s0 - 2 : s1 - 2] == card).all()
+            assert (schedule.slot_levels[s0 - 2 : s1 - 2] == level).all()
+
+    def test_layers_round_trip_through_fused_arrays(self):
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        schedule = linearized.fused()
+        rebuilt = LinearizedDiagram.from_fused_arrays(
+            linearized.root_slot,
+            linearized.num_slots,
+            schedule.kids,
+            schedule.seg,
+            schedule.slot_levels,
+            schedule.bounds,
+        )
+        assert rebuilt.layers == linearized.layers
+        assert rebuilt.levels == linearized.levels
+
+    def test_corrupt_bounds_are_rejected(self):
+        manager, root = small_manager()
+        schedule = LinearizedDiagram.from_mdd(manager, root).fused()
+        bad = list(schedule.bounds)
+        bad[0] = (bad[0][0], bad[0][1] + 1) + bad[0][2:]
+        with pytest.raises(BatchEvalError):
+            LinearizedDiagram.from_fused_arrays(
+                2, 4, schedule.kids, schedule.seg, schedule.slot_levels, bad
+            )
+
+    def test_model_collapse_engages_on_uniform_columns(self):
+        manager, root = small_manager()
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        varying = {
+            0: ((0.5, 0.4), (0.3, 0.4), (0.2, 0.2)),
+            1: ((0.4, 0.4), (0.6, 0.6)),  # uniform across the two models
+        }
+        expected = linearized.evaluate(varying, 2, kernel="layered")
+        collapsed_before = linearized.collapsed_layers
+        assert linearized.evaluate(varying, 2, kernel="fused") == expected
+        assert linearized.collapsed_layers == collapsed_before + 1  # level 1 only
 
 
 def build_tree():

@@ -127,6 +127,51 @@ class TestResultCaching:
         assert len(service._results) == 3
 
 
+class TestSharedMemoryDispatch:
+    DENSITIES = [0.2 + 0.05 * index for index in range(48)]
+
+    def run_sweep(self, tmp_path, name, **kwargs):
+        service = SweepService(
+            workers=2, shard_size=8, store_dir=str(tmp_path / name), **kwargs
+        )
+        rows = service.density_sweep(make_problem, self.DENSITIES, max_defects=3)
+        service.close()
+        return service.stats, rows
+
+    def test_shm_dispatch_matches_pickled_dispatch_exactly(self, tmp_path):
+        reference = SweepService().density_sweep(
+            make_problem, self.DENSITIES, max_defects=3
+        )
+        shm_stats, shm_rows = self.run_sweep(tmp_path, "shm")
+        pickled_stats, pickled_rows = self.run_sweep(
+            tmp_path, "pickled", use_shared_memory=False
+        )
+        assert shm_rows == reference  # bit-for-bit on every route
+        assert pickled_rows == reference
+        if shm_stats.shards_dispatched == 0:
+            pytest.skip("platform cannot spawn worker processes")
+        assert pickled_stats.shm_bytes == 0
+
+    def test_shm_shrinks_the_pickled_payload(self, tmp_path):
+        shm_stats, _ = self.run_sweep(tmp_path, "shm")
+        pickled_stats, _ = self.run_sweep(
+            tmp_path, "pickled", use_shared_memory=False
+        )
+        if shm_stats.shards_dispatched == 0:
+            pytest.skip("platform cannot spawn worker processes")
+        assert shm_stats.shm_bytes > 0
+        # the problems no longer ride along with every shard: the payload
+        # shrinks to indices plus a shared-memory block name
+        assert shm_stats.shard_payload_bytes * 10 <= pickled_stats.shard_payload_bytes
+
+    def test_workers_mmap_the_store_on_shm_dispatch(self, tmp_path):
+        stats, _ = self.run_sweep(tmp_path, "shm")
+        if stats.shards_dispatched == 0:
+            pytest.skip("platform cannot spawn worker processes")
+        assert stats.mmap_loads >= 1  # each worker maps the fused arrays
+        assert stats.batched_passes >= stats.shards_dispatched
+
+
 class TestParallelFanOut:
     def test_worker_fan_out_matches_serial_results(self):
         serial = SweepService()

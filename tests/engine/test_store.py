@@ -59,6 +59,29 @@ class TestStoreFormat:
         assert restored.level_profile == compiled.level_profile
         assert restored.linearized().layers == compiled.linearized().layers
 
+    def test_v2_layout_and_mmap_load(self, tmp_path):
+        """New saves write uncompressed per-array .npy files (format v2)."""
+        problem, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        store.save(skey, compiled)
+        digest = digest_of(skey)
+        with open(store._json_path(digest)) as handle:
+            meta = json.load(handle)
+        assert meta["version"] == FORMAT_VERSION == 2
+        assert meta["linearized"]["encoding"] == "npy"
+        for suffix in (".kids.npy", ".seg.npy", ".levels.npy", ".bounds.npy"):
+            assert os.path.exists(store._sidecar(digest, suffix))
+        assert not os.path.exists(store._sidecar(digest, ".npz"))
+
+        plain, _ = store.load(skey)
+        assert plain.from_store and not plain.store_mmapped
+        mmapped, _ = store.load(skey, mmap=True)
+        assert mmapped.from_store and mmapped.store_mmapped
+        problems = [make_problem(m) for m in MEANS]
+        fresh = [r.yield_estimate for r in compiled.evaluate_many(problems)]
+        assert [r.yield_estimate for r in plain.evaluate_many(problems)] == fresh
+        assert [r.yield_estimate for r in mmapped.evaluate_many(problems)] == fresh
+
     def test_loading_a_missing_entry_is_a_miss(self, tmp_path):
         store = StructureStore(str(tmp_path / "store"))
         _, _, skey = compile_structure()
@@ -69,7 +92,7 @@ class TestStoreFormat:
         problem, compiled, skey = compile_structure()
         store = StructureStore(str(tmp_path / "store"))
         store.save(skey, compiled)
-        json_path = store._paths(digest_of(skey))[0]
+        json_path = store._json_path(digest_of(skey))
         with open(json_path, "w") as handle:
             handle.write("{not json")
         assert store.load(skey) is None
@@ -78,7 +101,7 @@ class TestStoreFormat:
         problem, compiled, skey = compile_structure()
         store = StructureStore(str(tmp_path / "store"))
         store.save(skey, compiled)
-        json_path = store._paths(digest_of(skey))[0]
+        json_path = store._json_path(digest_of(skey))
         with open(json_path) as handle:
             meta = json.load(handle)
         meta["version"] = FORMAT_VERSION + 1
@@ -90,9 +113,9 @@ class TestStoreFormat:
         problem, compiled, skey = compile_structure()
         store = StructureStore(str(tmp_path / "store"))
         store.save(skey, compiled)
-        json_path, npz_path = store._paths(digest_of(skey))
-        if os.path.exists(npz_path):
-            os.unlink(npz_path)
+        kids_path = store._sidecar(digest_of(skey), ".kids.npy")
+        if os.path.exists(kids_path):
+            os.unlink(kids_path)
             assert store.load(skey) is None
 
     def test_json_encoded_arrays_round_trip(self, tmp_path, monkeypatch):
@@ -103,8 +126,9 @@ class TestStoreFormat:
         store = StructureStore(str(tmp_path / "store"))
         monkeypatch.setattr(store_module, "_np", None)
         store.save(skey, compiled)
-        json_path, npz_path = store._paths(digest_of(skey))
-        assert not os.path.exists(npz_path)
+        digest = digest_of(skey)
+        for suffix in (".npz", ".kids.npy", ".seg.npy", ".levels.npy", ".bounds.npy"):
+            assert not os.path.exists(store._sidecar(digest, suffix))
         monkeypatch.undo()
 
         restored, _ = store.load(skey)

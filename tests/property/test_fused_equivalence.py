@@ -1,0 +1,367 @@
+"""Property tests: the fused kernel IS the layered kernel IS the reference.
+
+The fused CSR schedule (blocked workspace accumulation plus model-uniform
+level collapse) must not change a single bit of any result: for every
+diagram shape the engine produces — pipeline ROMDDs compiled through the
+full method, sifted multi-valued layouts, chains far deeper than the
+recursion limit, degenerate 0/1 probability columns — the fused kernel's
+``evaluate`` *and* ``backward`` outputs are compared ``==`` (never approx)
+against the layered numpy kernel, the pure-Python kernel and the original
+recursive traversal.  The store round-trip leg additionally pins format
+v2 (and the v1 compatibility reader) to the same bit-for-bit bar.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.method import YieldAnalyzer
+from repro.core.problem import YieldProblem
+from repro.distributions import (
+    ComponentDefectModel,
+    NegativeBinomialDefectDistribution,
+    PoissonDefectDistribution,
+)
+from repro.engine.batch import HAVE_NUMPY, LinearizedDiagram
+from repro.engine.service import structure_key
+from repro.engine.store import StructureStore, digest_of
+from repro.faulttree import FaultTreeBuilder
+from repro.faulttree.multivalued import MultiValuedVariable
+from repro.mdd.manager import FALSE, TRUE, MDDManager
+from repro.mdd.probability import (
+    VariableDistributions,
+    level_columns_for,
+    probability_of_one_reference,
+)
+from repro.ordering import OrderingSpec
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the fused kernel requires numpy"
+)
+
+COMPONENTS = ["C0", "C1", "C2", "C3", "C4"]
+
+
+def structure_expressions():
+    leaves = st.sampled_from(COMPONENTS)
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("k2"), children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=7)
+
+
+def build_problem(expr, weights, mean, clustering):
+    ft = FaultTreeBuilder("random")
+
+    def build(node):
+        if isinstance(node, str):
+            return ft.failed(node)
+        if node[0] == "and":
+            return ft.and_(build(node[1]), build(node[2]))
+        if node[0] == "or":
+            return ft.or_(build(node[1]), build(node[2]))
+        return ft.at_least(2, [build(node[1]), build(node[2]), build(node[3])])
+
+    ft.set_top(build(expr))
+    circuit = ft.build()
+    model = ComponentDefectModel.from_relative_weights(
+        dict(zip(COMPONENTS, weights)), lethality=0.5
+    )
+    distribution = NegativeBinomialDefectDistribution(mean=mean, clustering=clustering)
+    return YieldProblem(circuit, model, distribution, name="random")
+
+
+def model_columns(compiled, problems):
+    """Tuple-row columns consumable by every kernel."""
+    lethal = [p.lethal_defect_distribution() for p in problems]
+    distributions = [
+        compiled.gfunction.variable_distributions(
+            dist, p.lethal_component_probabilities()
+        )
+        for dist, p in zip(lethal, problems)
+    ]
+    linearized = compiled.linearized()
+    validated = [
+        VariableDistributions(compiled.mdd_manager, d) for d in distributions
+    ]
+    return linearized, level_columns_for(linearized, validated), distributions
+
+
+def assert_kernels_agree(linearized, columns, num_models, expected=None):
+    """Evaluate + backward on all three kernels, compared ``==``.
+
+    Probabilities are bit-for-bit identical across every kernel (and the
+    recursive reference, when given).  Gradients are bit-for-bit identical
+    between the fused and layered kernels — the guarantee the fused
+    rework must uphold; the pure-Python backward accumulates shared-child
+    adjoints in node order rather than child-position order, so its
+    gradients agree to the last ulp only, as before this PR.
+    """
+    results = {}
+    for kernel in ("python", "layered", "fused"):
+        probabilities = linearized.evaluate(columns, num_models, kernel=kernel)
+        grad_probabilities, gradients = linearized.backward(
+            columns, num_models, kernel=kernel
+        )
+        assert grad_probabilities == probabilities  # forward == backward forward
+        results[kernel] = (probabilities, gradients)
+    python = results["python"]
+    assert results["layered"][0] == python[0]  # bit-for-bit, not approx
+    assert results["fused"] == results["layered"]  # bit-for-bit, not approx
+    for level, python_rows in python[1].items():
+        layered_rows = results["layered"][1][level]
+        for python_row, layered_row in zip(python_rows, layered_rows):
+            for a, b in zip(python_row, layered_row):
+                assert b == pytest.approx(a, rel=1e-12, abs=1e-300)
+    if expected is not None:
+        assert python[0] == expected
+    return results["fused"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    structure_expressions(),
+    st.lists(st.floats(min_value=0.1, max_value=3.0), min_size=5, max_size=5),
+    st.lists(st.floats(min_value=0.2, max_value=3.0), min_size=2, max_size=5),
+    st.floats(min_value=0.5, max_value=8.0),
+    st.integers(min_value=1, max_value=4),
+)
+def test_fused_matches_reference_on_pipeline_romdds(
+    expr, weights, means, clustering, truncation
+):
+    problems = [build_problem(expr, weights, mean, clustering) for mean in means]
+    compiled = YieldAnalyzer(OrderingSpec("w", "ml")).compile(
+        problems[0], max_defects=truncation
+    )
+    linearized, columns, distributions = model_columns(compiled, problems)
+    expected = [
+        probability_of_one_reference(compiled.mdd_manager, compiled.mdd_root, d)
+        for d in distributions
+    ]
+    assert_kernels_agree(linearized, columns, len(problems), expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    structure_expressions(),
+    st.lists(st.floats(min_value=0.1, max_value=3.0), min_size=5, max_size=5),
+    st.floats(min_value=0.2, max_value=3.0),
+    st.integers(min_value=1, max_value=3),
+)
+def test_fused_matches_reference_on_sifted_layouts(expr, weights, mean, truncation):
+    """Sifting permutes the multi-valued layout; the kernels must not care."""
+    problem = build_problem(expr, weights, mean, 4.0)
+    compiled = YieldAnalyzer(
+        OrderingSpec("w", "ml", sift_converge=True)
+    ).compile(problem, max_defects=truncation)
+    # a small density batch over the sifted structure: uniform location
+    # columns, so the fused kernel's model collapse engages
+    problems = [
+        build_problem(expr, weights, m, 4.0) for m in (mean, mean + 0.3, mean + 0.7)
+    ]
+    linearized, columns, distributions = model_columns(compiled, problems)
+    expected = [
+        probability_of_one_reference(compiled.mdd_manager, compiled.mdd_root, d)
+        for d in distributions
+    ]
+    fused_before = linearized.fused_passes
+    collapsed_before = linearized.collapsed_layers
+    assert_kernels_agree(linearized, columns, len(problems), expected)
+    assert linearized.fused_passes - fused_before == 2  # evaluate + backward
+    # the deepest layer's children are terminals, so when its columns are
+    # model-uniform (every location level of this density-style batch) the
+    # fused passes must have collapsed it to a width-1 evaluation
+    deepest = tuple(zip(*columns[linearized.levels[0]]))
+    if all(model_column == deepest[0] for model_column in deepest):
+        assert linearized.collapsed_layers > collapsed_before
+
+
+class TestDeepChains:
+    DEPTH = 1500
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        variables = [
+            MultiValuedVariable("x%d" % i, range(2)) for i in range(self.DEPTH)
+        ]
+        manager = MDDManager(variables)
+        node = TRUE
+        for level in reversed(range(self.DEPTH)):
+            node = manager.mk(level, (FALSE, node))
+        return manager, node
+
+    def test_fused_kernel_on_1500_deep_chain(self, chain):
+        manager, root = chain
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        models = [0.999, 0.9995, 0.5, 1.0]
+        columns = {
+            level: tuple(
+                zip(*[[1.0 - p, p] for p in models])
+            )
+            for level in range(self.DEPTH)
+        }
+        probabilities = assert_kernels_agree(linearized, columns, len(models))[0]
+        assert probabilities[0] == pytest.approx(0.999 ** self.DEPTH, rel=1e-9)
+        assert probabilities[3] == 1.0  # exact: every level contributes 1.0
+
+    def test_chain_through_store_v2_round_trip(self, chain, tmp_path):
+        """Fused arrays of a deep chain survive the v2 store bit-for-bit."""
+        manager, root = chain
+        linearized = LinearizedDiagram.from_mdd(manager, root)
+        schedule = linearized.fused()
+        restored = LinearizedDiagram.from_fused_arrays(
+            linearized.root_slot,
+            linearized.num_slots,
+            schedule.kids,
+            schedule.seg,
+            schedule.slot_levels,
+            schedule.bounds,
+        )
+        assert restored.layers == linearized.layers
+        columns = {
+            level: ((0.001, 0.3), (0.999, 0.7)) for level in range(self.DEPTH)
+        }
+        assert restored.evaluate(columns, 2, kernel="fused") == linearized.evaluate(
+            columns, 2, kernel="python"
+        )
+
+
+class TestDegenerateColumns:
+    """Exact 0/1 probabilities must flow through every kernel unchanged."""
+
+    def build(self):
+        ft = FaultTreeBuilder("degenerate")
+        ft.set_top(ft.k_out_of_n_failed(2, ["M1", "M2", "M3"]))
+        model = ComponentDefectModel.uniform(["M1", "M2", "M3"], lethality=0.8)
+        # extreme Poisson means underflow the pmf to exact 0/1 columns
+        problems = [
+            YieldProblem(ft.build(), model, PoissonDefectDistribution(mean=mean))
+            for mean in (1e5, 1e-18, 1.0)
+        ]
+        return problems
+
+    def test_kernels_agree_on_underflowed_columns(self):
+        problems = self.build()
+        compiled = YieldAnalyzer().compile(problems[0], max_defects=3)
+        linearized, columns, distributions = model_columns(compiled, problems)
+        expected = [
+            probability_of_one_reference(compiled.mdd_manager, compiled.mdd_root, d)
+            for d in distributions
+        ]
+        probabilities = assert_kernels_agree(
+            linearized, columns, len(problems), expected
+        )[0]
+        assert probabilities[0] == 1.0  # certain failure at mean 1e5
+
+
+class TestStoreMigration:
+    """v1 entries stay readable; v2 round-trips are bit-for-bit."""
+
+    def compile_one(self):
+        ft = FaultTreeBuilder("migrate")
+        ft.set_top(ft.k_out_of_n_failed(2, ["M1", "M2", "M3"]))
+        tree = ft.build()
+        model = ComponentDefectModel.uniform(["M1", "M2", "M3"], lethality=0.8)
+
+        def make(mean):
+            return YieldProblem(
+                tree, model, PoissonDefectDistribution(mean=mean), name="migrate"
+            )
+
+        problem = make(1.0)
+        ordering = OrderingSpec("w", "ml")
+        compiled = YieldAnalyzer(ordering).compile_for_truncation(problem, 3)
+        skey = structure_key(problem, 3, ordering)
+        return make, compiled, skey
+
+    def write_v1_entry(self, store, skey, compiled):
+        """Write an entry in the legacy v1 layout (npz layer arrays)."""
+        import numpy as np
+
+        digest = digest_of(skey)
+        store.save(skey, compiled)  # v2 files + correct metadata to start from
+        json_path = store._json_path(digest)
+        with open(json_path) as handle:
+            meta = json.load(handle)
+        linearized = compiled.linearized()
+        arrays = {}
+        for index, (_, slots, kid_rows) in enumerate(linearized.layers):
+            arrays["slots_%d" % index] = np.asarray(slots, dtype=np.int64)
+            arrays["kids_%d" % index] = np.asarray(kid_rows, dtype=np.int64)
+        np.savez(store._sidecar(digest, ".npz"), **arrays)
+        for suffix in (".kids.npy", ".seg.npy", ".levels.npy", ".bounds.npy"):
+            os.unlink(store._sidecar(digest, suffix))
+        meta["version"] = 1
+        meta["linearized"]["encoding"] = "npz"
+        with open(json_path, "w") as handle:
+            json.dump(meta, handle)
+
+    def test_v1_entry_loads_and_matches_v2(self, tmp_path):
+        make, compiled, skey = self.compile_one()
+        problems = [make(m) for m in (0.5, 1.0, 1.5, 2.0)]
+        fresh = [r.yield_estimate for r in compiled.evaluate_many(problems)]
+
+        v1_store = StructureStore(str(tmp_path / "v1"))
+        self.write_v1_entry(v1_store, skey, compiled)
+        restored_v1, _ = v1_store.load(skey, mmap=True)
+        assert restored_v1.from_store and not restored_v1.store_mmapped
+        v1_rows = [r.yield_estimate for r in restored_v1.evaluate_many(problems)]
+        assert v1_rows == fresh  # bit-for-bit
+
+        v2_store = StructureStore(str(tmp_path / "v2"))
+        v2_store.save(skey, compiled)
+        restored_v2, _ = v2_store.load(skey, mmap=True)
+        assert restored_v2.from_store and restored_v2.store_mmapped
+        v2_rows = [r.yield_estimate for r in restored_v2.evaluate_many(problems)]
+        assert v2_rows == fresh  # bit-for-bit
+        assert restored_v2.linearized().layers == compiled.linearized().layers
+
+    def test_v1_entry_migrates_to_v2_on_save(self, tmp_path):
+        """Re-saving over a v1 entry leaves a clean v2 entry, nothing stale."""
+        make, compiled, skey = self.compile_one()
+        store = StructureStore(str(tmp_path / "store"))
+        self.write_v1_entry(store, skey, compiled)
+        digest = digest_of(skey)
+        assert os.path.exists(store._sidecar(digest, ".npz"))
+
+        store.save(skey, compiled)
+        assert not os.path.exists(store._sidecar(digest, ".npz"))
+        for suffix in (".kids.npy", ".seg.npy", ".levels.npy", ".bounds.npy"):
+            assert os.path.exists(store._sidecar(digest, suffix))
+        restored, _ = store.load(skey, mmap=True)
+        problems = [make(m) for m in (0.7, 1.3)]
+        assert [r.yield_estimate for r in restored.evaluate_many(problems)] == [
+            r.yield_estimate for r in compiled.evaluate_many(problems)
+        ]
+
+    def test_truncated_v2_array_is_a_miss(self, tmp_path):
+        make, compiled, skey = self.compile_one()
+        store = StructureStore(str(tmp_path / "store"))
+        store.save(skey, compiled)
+        digest = digest_of(skey)
+        bounds_path = store._sidecar(digest, ".bounds.npy")
+        with open(bounds_path, "r+b") as handle:
+            handle.truncate(16)
+        assert store.load(skey, mmap=True) is None
+
+    def test_bit_rotted_kids_array_is_a_miss(self, tmp_path):
+        """Out-of-range children must never load as a silently-wrong hit."""
+        import numpy as np
+
+        make, compiled, skey = self.compile_one()
+        store = StructureStore(str(tmp_path / "store"))
+        digest = digest_of(skey)
+        kids_path = store._sidecar(digest, ".kids.npy")
+        for rotten in (-1, 10 ** 6):
+            store.save(skey, compiled)
+            kids = np.load(kids_path)
+            kids[len(kids) // 2] = rotten
+            np.save(kids_path, kids)
+            assert store.load(skey, mmap=True) is None

@@ -261,10 +261,11 @@ class TestBackwardEdgeCases:
         assert probabilities == [1.0, 1.0, 1.0]
         assert gradients == {}
 
-    def test_rejects_zero_models(self):
+    def test_zero_models_short_circuit(self):
         linearized = LinearizedDiagram(TRUE, 2, ())
+        assert linearized.backward({}, 0) == ([], {})
         with pytest.raises(BatchEvalError):
-            linearized.backward({}, 0)
+            linearized.backward({}, -1)
 
     def test_missing_level_columns_raise(self):
         variables = [MultiValuedVariable("x", range(2))]
