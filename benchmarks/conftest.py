@@ -68,6 +68,23 @@ def paper_epsilon() -> float:
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def span_breakdown(function):
+    """Run ``function`` under a fresh tracer; return ``(result, aggregate)``.
+
+    The aggregate is ``{span_name: {"count": n, "seconds": s}}`` — the
+    per-phase breakdown archived into the ``BENCH_*.json`` records so the
+    CI trend step can attribute a regression to a phase, not just a total.
+    """
+    from repro.obs import trace as obs_trace
+
+    tracer = obs_trace.start()
+    try:
+        result = function()
+    finally:
+        obs_trace.stop()
+    return result, tracer.aggregate()
+
+
 def print_table(title: str, headers, rows) -> None:
     """Print a formatted table and append it to ``benchmarks/results/tables.txt``."""
     from repro.analysis import format_table

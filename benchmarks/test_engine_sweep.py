@@ -34,7 +34,7 @@ from repro.mdd.probability import probability_of_one_reference
 from repro.ordering import OrderingSpec
 from repro.soc import benchmark_problem
 
-from .conftest import PAPER_EPSILON, RESULTS_DIR, print_table
+from .conftest import PAPER_EPSILON, RESULTS_DIR, print_table, span_breakdown
 
 #: Mean manufacturing defect counts of the sweep (lambda' = mean * 0.5).
 DENSITIES = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
@@ -169,11 +169,17 @@ def test_batched_engine_with_sharding_beats_per_point_traversal(benchmark):
         ],
     )
 
+    # span breakdown of one traced re-run (result cache dropped so the
+    # sweep actually evaluates); the timed run above stayed untraced
+    service._results.clear()
+    _, sweep_spans = span_breakdown(run_sweep)
+
     record = {
         "benchmark": name,
         "points": len(MULTI_MODEL_DENSITIES),
         "max_defects": truncation,
         "romdd_nodes": compiled.romdd_size,
+        "spans": sweep_spans,
         "per_point_seconds": per_point_seconds,
         "batched_seconds": batched_seconds,
         "speedup": speedup,

@@ -30,7 +30,7 @@ from repro.engine.service import SweepService, structure_key
 from repro.faulttree import FaultTreeBuilder
 from repro.ordering import OrderingSpec
 
-from .conftest import PAPER_EPSILON, RESULTS_DIR, print_table
+from .conftest import PAPER_EPSILON, RESULTS_DIR, print_table, span_breakdown
 
 #: 24 redundant pairs -> 48 components -> a 96-model finite-difference group.
 NUM_PAIRS = 24
@@ -127,10 +127,14 @@ def test_analytic_importance_beats_finite_differences(benchmark):
         ],
     )
 
+    # span breakdown of one traced analytic query (untimed re-run)
+    _, analytic_spans = span_breakdown(run_analytic)
+
     record = {
         "benchmark": problem.name,
         "components": problem.num_components,
         "fd_models": fd_models,
+        "spans": analytic_spans,
         "max_defects": MAX_DEFECTS,
         "romdd_nodes": compiled.romdd_size,
         "fd_seconds": fd_seconds,

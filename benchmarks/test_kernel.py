@@ -30,7 +30,7 @@ from repro.engine.service import SweepService
 from repro.ordering import OrderingSpec
 from repro.soc import benchmark_problem
 
-from .conftest import RESULTS_DIR, print_table
+from .conftest import RESULTS_DIR, print_table, span_breakdown
 
 BENCHMARK = "ESEN4x2"
 MAX_DEFECTS = 5
@@ -116,11 +116,18 @@ def test_fused_kernel_beats_layered_kernel(benchmark, tmp_path):
         ],
     )
 
+    # span breakdown of one (untimed) traced fused pass — the timed passes
+    # above ran with telemetry disabled, so the record's timings are clean
+    _, fused_spans = span_breakdown(
+        lambda: linearized.evaluate(columns, MODELS, kernel="fused")
+    )
+
     record = {
         "benchmark": BENCHMARK,
         "models": MODELS,
         "max_defects": MAX_DEFECTS,
         "node_count": linearized.node_count,
+        "spans": fused_spans,
         "layered_seconds": layered_seconds,
         "fused_seconds": fused_seconds,
         "kernel_speedup": kernel_speedup,

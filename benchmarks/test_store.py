@@ -21,7 +21,7 @@ from repro.engine.store import StructureStore
 from repro.ordering import OrderingSpec
 from repro.soc import benchmark_problem
 
-from .conftest import PAPER_EPSILON, RESULTS_DIR, print_table
+from .conftest import PAPER_EPSILON, RESULTS_DIR, print_table, span_breakdown
 
 #: Single-structure multi-model group: the batched-engine benchmark circuit.
 BENCHMARK = "ESEN4x2"
@@ -79,10 +79,15 @@ def test_store_warm_start_beats_cold_build(benchmark, tmp_path):
         ],
     )
 
+    # span breakdown of one traced warm start (untimed re-run): the store
+    # load and the batched evaluation show up as separate phases
+    _, warm_spans = span_breakdown(run_warm)
+
     record = {
         "benchmark": BENCHMARK,
         "points": len(DENSITIES),
         "max_defects": MAX_DEFECTS,
+        "spans": warm_spans,
         "cold_seconds": cold_seconds,
         "warm_seconds": warm_seconds,
         "speedup": speedup,

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Print a per-benchmark summary of the archived ``BENCH_*.json`` records.
+
+Usage::
+
+    python ci/print_benchmark_summary.py RESULTS_DIR [BASELINE_DIR]
+
+Reads every ``BENCH_*.json`` in ``RESULTS_DIR`` and prints its headline
+numbers plus the span breakdown the telemetry subsystem attached to the
+record.  When ``BASELINE_DIR`` holds records of the same names (for
+example the ``BENCH-records`` artifact of an earlier run), a delta column
+shows how each numeric headline moved against the baseline.
+
+The step is a trend report, not a gate: the script always exits 0, even
+on missing directories or malformed records.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+#: Headline keys never worth a delta line (identities, not measurements).
+_SKIP_KEYS = {"benchmark", "numpy_path_available"}
+
+
+def _load_records(directory):
+    records = {}
+    if not directory:
+        return records
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_") : -len(".json")]
+        try:
+            with open(path) as handle:
+                records[name] = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print("  ! cannot read %s: %s" % (path, exc))
+    return records
+
+
+def _numeric_items(record):
+    for key in sorted(record):
+        value = record[key]
+        if key in _SKIP_KEYS or isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            yield key, value
+
+
+def _format_number(value):
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)
+
+
+def _delta(value, base):
+    if base in (None, 0):
+        return ""
+    try:
+        change = (value - base) / abs(base)
+    except TypeError:
+        return ""
+    if abs(change) < 0.005:
+        return "  (=)"
+    return "  (%+.1f%% vs baseline)" % (100.0 * change)
+
+
+def print_record(name, record, baseline):
+    print("%s" % name)
+    base = baseline or {}
+    for key, value in _numeric_items(record):
+        print(
+            "  %-26s %12s%s"
+            % (key, _format_number(value), _delta(value, base.get(key)))
+        )
+    spans = record.get("spans") or {}
+    if spans:
+        base_spans = base.get("spans") or {}
+        print("  span breakdown:")
+        ordered = sorted(
+            spans.items(), key=lambda item: item[1].get("seconds", 0.0), reverse=True
+        )
+        for span_name, entry in ordered:
+            base_entry = base_spans.get(span_name) or {}
+            print(
+                "    %-28s %4dx %10.4fs%s"
+                % (
+                    span_name,
+                    entry.get("count", 0),
+                    entry.get("seconds", 0.0),
+                    _delta(entry.get("seconds", 0.0), base_entry.get("seconds")),
+                )
+            )
+    print()
+
+
+def main(argv):
+    results_dir = argv[1] if len(argv) > 1 else "benchmarks/results"
+    baseline_dir = argv[2] if len(argv) > 2 else None
+    records = _load_records(results_dir)
+    if not records:
+        print("no BENCH_*.json records under %s" % results_dir)
+        return 0
+    baselines = _load_records(baseline_dir)
+    title = "Benchmark summary (%d records)" % len(records)
+    if baselines:
+        title += " vs baseline %s" % baseline_dir
+    print(title)
+    print("=" * len(title))
+    for name in sorted(records):
+        print_record(name, records[name], baselines.get(name))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -23,6 +23,8 @@ Python:
   (``ls``/``info``/``warm``/``clear``): compiled decision-diagram
   structures serialized under ``--store-dir`` so later processes (and
   worker shards) warm-start from disk instead of rebuilding;
+* ``trace FILE``        — summarize a Chrome trace-event file exported with
+  ``sweep/importance --trace`` as an indented span tree;
 * ``table {1,2,3,4}``   — regenerate one of the paper's tables on the small
   benchmark set;
 * ``list``              — list the available benchmark names.
@@ -39,6 +41,7 @@ exit code on user errors (unknown benchmark, malformed file...).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -151,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print engine statistics (cache hits, linearization reuse, "
         "fused kernel passes, shared-memory bytes, phase times)",
     )
+    _add_telemetry_options(sweep)
 
     importance = subparsers.add_parser(
         "importance",
@@ -218,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print engine statistics (gradient passes, batched passes, "
         "cache hits, phase times)",
     )
+    _add_telemetry_options(importance)
 
     cache = subparsers.add_parser(
         "cache",
@@ -279,8 +284,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table.add_argument("--max-defects", type=int, default=None, help="truncation override")
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarize a Chrome trace file exported with --trace as a span tree",
+    )
+    trace.add_argument("file", help="Chrome trace-event JSON file (from --trace)")
+    trace.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="hide spans shorter than MS milliseconds (default: show all)",
+    )
+
     subparsers.add_parser("list", help="list the available benchmark names")
     return parser
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="export a hierarchical span trace (including worker-process "
+        "spans) as Chrome trace-event JSON to FILE; inspect with "
+        "chrome://tracing, Perfetto, or `repro trace FILE`",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the engine's metrics registry to FILE in Prometheus "
+        "text exposition format",
+    )
 
 
 def _add_defect_options(parser: argparse.ArgumentParser, include_lethality: bool = True) -> None:
@@ -418,6 +454,7 @@ def _run_sweep(args) -> int:
     import time
 
     from .engine.service import SweepService
+    from .obs import trace as obs_trace
 
     try:
         probe = benchmark_problem(
@@ -429,6 +466,7 @@ def _run_sweep(args) -> int:
     except (DistributionError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    tracer = obs_trace.start() if args.trace else None
     try:
         service = SweepService(
             ordering=_ordering_from(args),
@@ -440,17 +478,23 @@ def _run_sweep(args) -> int:
             use_shared_memory=args.shared_memory,
         )
         started = time.perf_counter()
-        rows = service.density_sweep(
-            lambda mean: benchmark_problem(
-                args.name, mean_defects=mean, clustering=args.clustering
-            ),
-            args.densities,
-            max_defects=args.max_defects,
-        )
+        with obs_trace.span(
+            "cli.sweep", benchmark=args.name, points=len(args.densities)
+        ):
+            rows = service.density_sweep(
+                lambda mean: benchmark_problem(
+                    args.name, mean_defects=mean, clustering=args.clustering
+                ),
+                args.densities,
+                max_defects=args.max_defects,
+            )
         elapsed = time.perf_counter() - started
     except (OrderingError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            obs_trace.stop()
     print("Defect-density sweep for %s (%d points)" % (probe.name, len(rows)))
     print(
         format_table(
@@ -468,57 +512,50 @@ def _run_sweep(args) -> int:
         )
     )
     print("  time (s)            : %.2f" % elapsed)
+    _write_telemetry(args, service, tracer)
     if args.stats:
-        _report_engine_stats(stats)
+        _report_engine_stats(service)
     return 0
 
 
-def _report_engine_stats(stats) -> None:
-    """Print the engine diagnostics behind ``repro sweep/importance --stats``."""
-    cache_misses = stats.points_evaluated
-    cache_hits = stats.result_cache_hits + stats.disk_cache_hits
+def _write_telemetry(args, service, tracer) -> None:
+    """Write the ``--trace`` / ``--metrics`` files requested on the CLI."""
+    if tracer is not None:
+        spans = tracer.write_chrome(args.trace)
+        print("  trace               : %d spans -> %s" % (spans, args.trace))
+    if getattr(args, "metrics", None):
+        with open(args.metrics, "w") as handle:
+            handle.write(service.registry.expose_text())
+        print("  metrics             : %s" % args.metrics)
+
+
+def _format_metric_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return "%g" % value
+    return "%d" % value
+
+
+def _report_engine_stats(service) -> None:
+    """Print the engine diagnostics behind ``repro sweep/importance --stats``.
+
+    Every line is generated from the metrics registry, so the labels are
+    the namespaced metric names — the same names used by the Prometheus
+    exposition (``--metrics``) and by the worker-aggregated snapshots.
+    """
+    snapshot = service.registry.snapshot()
     print("Engine statistics")
-    print(
-        "  result cache        : %d hits / %d misses (%d from disk)"
-        % (cache_hits, cache_misses, stats.disk_cache_hits)
-    )
-    print(
-        "  batched passes      : %d (%d points, %d sharded over %d shards)"
-        % (
-            stats.batched_passes,
-            stats.points_evaluated,
-            stats.points_sharded,
-            stats.shards_dispatched,
+    for name in sorted(snapshot["counters"]):
+        print("  %-34s %s" % (name, _format_metric_value(snapshot["counters"][name])))
+    for name in sorted(snapshot["gauges"]):
+        print("  %-34s %s" % (name, snapshot["gauges"][name]))
+    for name in sorted(snapshot["histograms"]):
+        hist = snapshot["histograms"][name]
+        count = hist["count"]
+        mean = hist["sum"] / count if count else 0.0
+        print(
+            "  %-34s count=%d sum=%.3fs mean=%.3fs"
+            % (name, count, hist["sum"], mean)
         )
-    )
-    print(
-        "  gradient passes     : %d (%d points differentiated)"
-        % (stats.gradient_passes, stats.points_differentiated)
-    )
-    print(
-        "  linearizations      : %d built, %d reused"
-        % (stats.linearize_builds, stats.linearize_reuses)
-    )
-    print("  fused kernel        : %d fused passes" % stats.fused_passes)
-    print(
-        "  structure store     : %d hits / %d misses, %d bytes moved, "
-        "%d mmap loads"
-        % (stats.store_hits, stats.store_misses, stats.store_bytes, stats.mmap_loads)
-    )
-    print(
-        "  worker payloads     : %d bytes dispatched, %d bytes via "
-        "shared memory" % (stats.shard_payload_bytes, stats.shm_bytes)
-    )
-    print(
-        "  phase wall-clock    : build %.3fs / reorder %.3fs / "
-        "evaluate %.3fs / gradients %.3fs"
-        % (
-            stats.build_seconds - stats.reorder_seconds,
-            stats.reorder_seconds,
-            stats.evaluate_seconds,
-            stats.gradient_seconds,
-        )
-    )
 
 
 def _run_importance(args) -> int:
@@ -526,6 +563,7 @@ def _run_importance(args) -> int:
 
     from .analysis.importance import hardening_potential, yield_sensitivity
     from .engine.service import SweepService
+    from .obs import trace as obs_trace
 
     try:
         problem = benchmark_problem(
@@ -535,6 +573,7 @@ def _run_importance(args) -> int:
         print("error: %s" % exc.args[0], file=sys.stderr)
         return 2
     service = None
+    tracer = obs_trace.start() if args.trace else None
     try:
         service = SweepService(
             ordering=_ordering_from(args),
@@ -544,43 +583,46 @@ def _run_importance(args) -> int:
         )
         started = time.perf_counter()
         rows = []
-        if args.measure in ("sensitivity", "both"):
-            sensitivity = yield_sensitivity(
-                problem,
-                components=args.components,
-                relative_step=args.relative_step,
-                max_defects=args.max_defects,
-                epsilon=args.epsilon,
-                method="fd" if args.fd else "analytic",
-                service=service,
-            )
-            route = (
-                "central finite differences, h=%g" % args.relative_step
-                if args.fd
-                else "analytic reverse-mode gradients"
-            )
-            rows.append(
-                (
-                    "Yield sensitivity (%s)" % route,
-                    ("component", "dY / d(rel. P_i)"),
-                    [(name, "%+.3e" % value) for name, value in sensitivity],
+        with obs_trace.span(
+            "cli.importance", benchmark=args.name, measure=args.measure
+        ):
+            if args.measure in ("sensitivity", "both"):
+                sensitivity = yield_sensitivity(
+                    problem,
+                    components=args.components,
+                    relative_step=args.relative_step,
+                    max_defects=args.max_defects,
+                    epsilon=args.epsilon,
+                    method="fd" if args.fd else "analytic",
+                    service=service,
                 )
-            )
-        if args.measure in ("hardening", "both"):
-            hardening = hardening_potential(
-                problem,
-                components=args.components,
-                max_defects=args.max_defects,
-                epsilon=args.epsilon,
-                service=service,
-            )
-            rows.append(
-                (
-                    "Hardening potential (immune-component perturbation, batched)",
-                    ("component", "yield gain"),
-                    [(name, "%+.3e" % value) for name, value in hardening],
+                route = (
+                    "central finite differences, h=%g" % args.relative_step
+                    if args.fd
+                    else "analytic reverse-mode gradients"
                 )
-            )
+                rows.append(
+                    (
+                        "Yield sensitivity (%s)" % route,
+                        ("component", "dY / d(rel. P_i)"),
+                        [(name, "%+.3e" % value) for name, value in sensitivity],
+                    )
+                )
+            if args.measure in ("hardening", "both"):
+                hardening = hardening_potential(
+                    problem,
+                    components=args.components,
+                    max_defects=args.max_defects,
+                    epsilon=args.epsilon,
+                    service=service,
+                )
+                rows.append(
+                    (
+                        "Hardening potential (immune-component perturbation, batched)",
+                        ("component", "yield gain"),
+                        [(name, "%+.3e" % value) for name, value in hardening],
+                    )
+                )
         elapsed = time.perf_counter() - started
     except KeyError as exc:
         # importance-layer KeyErrors already carry "unknown component ..."
@@ -590,6 +632,8 @@ def _run_importance(args) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     finally:
+        if tracer is not None:
+            obs_trace.stop()
         if service is not None:
             service.close()
     print(
@@ -602,8 +646,31 @@ def _run_importance(args) -> int:
         print(format_table(headers, table_rows))
     print()
     print("  time (s)            : %.2f" % elapsed)
+    _write_telemetry(args, service, tracer)
     if args.stats:
-        _report_engine_stats(service.stats)
+        _report_engine_stats(service)
+    return 0
+
+
+def _run_trace(args) -> int:
+    import json
+
+    from .obs.trace import tree_from_chrome
+
+    try:
+        with open(args.file, "r") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("error: cannot read trace %s: %s" % (args.file, exc), file=sys.stderr)
+        return 2
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        print("error: %s is not a Chrome trace-event file" % args.file, file=sys.stderr)
+        return 2
+    rendered = tree_from_chrome(trace, min_us=args.min_ms * 1000.0)
+    if not rendered:
+        print("trace %s contains no complete spans" % args.file)
+        return 0
+    print(rendered)
     return 0
 
 
@@ -707,6 +774,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except BrokenPipeError:  # pragma: no cover - needs a real closed pipe
+        # the reader (head, a pager...) went away mid-report; silence the
+        # interpreter's shutdown flush and exit the way a SIGPIPE'd tool does
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 141
+
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "evaluate":
         return _run_evaluate(args)
     if args.command == "benchmark":
@@ -719,6 +799,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_cache(args)
     if args.command == "table":
         return _run_table(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "list":
         for name in BENCHMARK_NAMES:
             print(name)

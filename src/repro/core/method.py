@@ -26,7 +26,7 @@ densities re-run only step 7; the batch front-end for that reuse is
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bdd.builder import CircuitBDDBuilder
 from ..bdd.manager import BDDManager
@@ -40,6 +40,7 @@ from ..mdd.probability import (
     model_matrices_from_columns,
     validate_model_columns,
 )
+from ..obs import trace as obs_trace
 from ..ordering.grouped import GroupedVariableOrder
 from ..ordering.strategies import OrderingSpec, compute_grouped_order
 from .gfunction import GeneralizedFaultTree, GFunctionError
@@ -92,6 +93,7 @@ class CompiledYield:
         mdd_allocated: Optional[int] = None,
         linearized: Optional[LinearizedDiagram] = None,
         from_store: bool = False,
+        kernel_cache_stats: Optional[Dict[str, Dict[str, int]]] = None,
     ) -> None:
         self.gfunction = gfunction
         self.grouped_order = grouped_order
@@ -135,6 +137,9 @@ class CompiledYield:
                 )
         self.mdd_allocated = int(mdd_allocated or 0)
         self.level_profile = level_profile
+        #: Per-manager computed-table totals captured right after the build
+        #: (``{"bdd": {...}, "mdd": {...}}``); not persisted by the store.
+        self.kernel_cache_stats = kernel_cache_stats
         #: Whether this structure was warm-started from the persistent store,
         #: and whether that load memory-mapped the fused arrays (store v2).
         self.from_store = from_store
@@ -161,9 +166,10 @@ class CompiledYield:
                 raise RuntimeError(
                     "structure has neither an MDD manager nor linearized arrays"
                 )
-            self._linearized = LinearizedDiagram.from_mdd(
-                self.mdd_manager, self.mdd_root
-            )
+            with obs_trace.span("kernel.linearize", nodes=self.romdd_size):
+                self._linearized = LinearizedDiagram.from_mdd(
+                    self.mdd_manager, self.mdd_root
+                )
             self.linearize_builds += 1
         else:
             self.linearize_reuses += 1
@@ -615,29 +621,36 @@ class YieldAnalyzer:
         )
 
         t0 = time.perf_counter()
-        grouped_order = self._grouped_order(gfunction)
+        with obs_trace.span("compile.ordering", strategy=self.ordering.key()):
+            grouped_order = self._grouped_order(gfunction)
         t1 = time.perf_counter()
 
-        bdd_manager, bdd_root, build_stats, grouped_order, trigger_state = (
-            self._build_coded_robdd(gfunction, grouped_order)
-        )
-        sift_swaps = trigger_state["swaps"]
-        reorder_seconds = trigger_state["seconds"]
-        if self.ordering.sift:
-            t_sift = time.perf_counter()
-            grouped_order, pass_swaps = self._sift(bdd_manager, bdd_root, grouped_order)
-            reorder_seconds += time.perf_counter() - t_sift
-            sift_swaps += pass_swaps
-            build_stats.final_size = bdd_manager.size(bdd_root)
-            if build_stats.final_size > build_stats.peak_live_nodes:
-                build_stats.peak_live_nodes = build_stats.final_size
+        with obs_trace.span("compile.robdd", truncation=int(truncation)) as robdd_span:
+            bdd_manager, bdd_root, build_stats, grouped_order, trigger_state = (
+                self._build_coded_robdd(gfunction, grouped_order)
+            )
+            sift_swaps = trigger_state["swaps"]
+            reorder_seconds = trigger_state["seconds"]
+            if self.ordering.sift:
+                t_sift = time.perf_counter()
+                grouped_order, pass_swaps = self._sift(
+                    bdd_manager, bdd_root, grouped_order
+                )
+                reorder_seconds += time.perf_counter() - t_sift
+                sift_swaps += pass_swaps
+                build_stats.final_size = bdd_manager.size(bdd_root)
+                if build_stats.final_size > build_stats.peak_live_nodes:
+                    build_stats.peak_live_nodes = build_stats.final_size
+            robdd_span.set(nodes=build_stats.final_size, sift_swaps=sift_swaps)
         t2 = time.perf_counter()
 
-        mdd_manager, mdd_root = convert_bdd_to_mdd(
-            bdd_manager, bdd_root, grouped_order.groups
-        )
-        mdd_manager.ref(mdd_root)
-        romdd_size = mdd_manager.size(mdd_root)
+        with obs_trace.span("compile.romdd") as romdd_span:
+            mdd_manager, mdd_root = convert_bdd_to_mdd(
+                bdd_manager, bdd_root, grouped_order.groups
+            )
+            mdd_manager.ref(mdd_root)
+            romdd_size = mdd_manager.size(mdd_root)
+            romdd_span.set(nodes=romdd_size)
         t3 = time.perf_counter()
 
         return CompiledYield(
@@ -656,6 +669,10 @@ class YieldAnalyzer:
             sift_swaps=sift_swaps,
             reorder_seconds=reorder_seconds,
             reorder_triggers=trigger_state["triggers"],
+            kernel_cache_stats={
+                "bdd": bdd_manager.cache_totals(),
+                "mdd": mdd_manager.cache_totals(),
+            },
         )
 
     # ------------------------------------------------------------------ #

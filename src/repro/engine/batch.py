@@ -51,7 +51,11 @@ worker shards consume zero-copy through ``mmap``.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..obs import profile as _obs_profile
+from ..obs import trace as _obs_trace
 
 try:  # pragma: no cover - exercised implicitly on both kinds of hosts
     import numpy as _np
@@ -481,14 +485,23 @@ class LinearizedDiagram:
         if kernel == "fused":
             self.numpy_passes += 1
             self.fused_passes += 1
-            return self._evaluate_fused(level_columns, num_models)
-        if kernel == "layered":
+            runner = lambda log=None: self._evaluate_fused(
+                level_columns, num_models, layer_log=log
+            )
+        elif kernel == "layered":
             self.numpy_passes += 1
-            return self._evaluate_numpy(level_columns, num_models)
-        self.python_passes += 1
-        if num_models == 1:
-            return [self._evaluate_scalar(level_columns)]
-        return self._evaluate_python(level_columns, num_models)
+            runner = lambda log=None: self._evaluate_numpy(
+                level_columns, num_models
+            )
+        elif num_models == 1:
+            self.python_passes += 1
+            runner = lambda log=None: [self._evaluate_scalar(level_columns)]
+        else:
+            self.python_passes += 1
+            runner = lambda log=None: self._evaluate_python(
+                level_columns, num_models
+            )
+        return self._run_pass("evaluate", kernel, num_models, runner)
 
     def backward(
         self,
@@ -541,12 +554,50 @@ class LinearizedDiagram:
         if kernel == "fused":
             self.numpy_passes += 1
             self.fused_passes += 1
-            return self._backward_fused(level_columns, num_models)
-        if kernel == "layered":
+            runner = lambda log=None: self._backward_fused(
+                level_columns, num_models, layer_log=log
+            )
+        elif kernel == "layered":
             self.numpy_passes += 1
-            return self._backward_numpy(level_columns, num_models)
-        self.python_passes += 1
-        return self._backward_python(level_columns, num_models)
+            runner = lambda log=None: self._backward_numpy(
+                level_columns, num_models
+            )
+        else:
+            self.python_passes += 1
+            runner = lambda log=None: self._backward_python(
+                level_columns, num_models
+            )
+        return self._run_pass("backward", kernel, num_models, runner)
+
+    def _run_pass(self, op, kernel, num_models, runner):
+        """Execute one pass, with telemetry only when telemetry is on.
+
+        The disabled path costs two module-attribute reads; the per-layer
+        ``layer_log`` accounting inside the fused kernel only happens while
+        a profiler is installed.
+        """
+        profiler = _obs_profile.active()
+        if profiler is None and _obs_trace.active() is None:
+            return runner()
+        with _obs_trace.span(
+            "kernel." + op, kernel=kernel, models=num_models, nodes=self.node_count
+        ):
+            if profiler is None:
+                return runner()
+            layer_log = []  # type: List[dict]
+            collapsed_before = self.collapsed_layers
+            started = _time.perf_counter()
+            result = runner(layer_log)
+            profiler.record_pass(
+                op=op,
+                kernel=kernel,
+                models=num_models,
+                nodes=self.node_count,
+                seconds=_time.perf_counter() - started,
+                collapsed_layers=self.collapsed_layers - collapsed_before,
+                layers=tuple(layer_log),
+            )
+            return result
 
     def _check_columns(self, level_columns) -> None:
         for level, card in self._layer_shapes():
@@ -707,7 +758,7 @@ class LinearizedDiagram:
             normalized[level] = columns
         return normalized
 
-    def _forward_fused(self, columns_by_level, num_models: int):
+    def _forward_fused(self, columns_by_level, num_models: int, layer_log=None):
         """The fused bottom-up pass over the precompiled schedule.
 
         Two mechanisms on top of the layered kernel, both bit-for-bit
@@ -742,6 +793,8 @@ class LinearizedDiagram:
         for level, s0, s1, kid_views, card in walk:
             columns = columns_by_level[level]
             n = s1 - s0
+            if layer_log is not None:
+                layer_started = _time.perf_counter()
             uniform = num_models == 1 or bool(
                 (columns[:, 1:] == columns[:, :1]).all()
             )
@@ -764,6 +817,17 @@ class LinearizedDiagram:
                 values[s0:s1] = row[:, None]
                 narrow[s0:s1] = True
                 self.collapsed_layers += 1
+                if layer_log is not None:
+                    layer_log.append(
+                        {
+                            "level": level,
+                            "nodes": n,
+                            "cardinality": card,
+                            "collapsed": True,
+                            "blocks": 0,
+                            "seconds": _time.perf_counter() - layer_started,
+                        }
+                    )
                 continue
             if ws is None:
                 ws = _np.empty((block, num_models), dtype=_np.float64)
@@ -778,14 +842,25 @@ class LinearizedDiagram:
                     _np.take(values, kid_views[j][b0:b1], axis=0, out=g)
                     g *= columns[j]
                     out += g
+            if layer_log is not None:
+                layer_log.append(
+                    {
+                        "level": level,
+                        "nodes": n,
+                        "cardinality": card,
+                        "collapsed": False,
+                        "blocks": -(-n // block),
+                        "seconds": _time.perf_counter() - layer_started,
+                    }
+                )
         return values
 
-    def _evaluate_fused(self, level_columns, num_models: int) -> List[float]:
+    def _evaluate_fused(self, level_columns, num_models: int, layer_log=None) -> List[float]:
         columns_by_level = self._fused_columns(level_columns)
-        values = self._forward_fused(columns_by_level, num_models)
+        values = self._forward_fused(columns_by_level, num_models, layer_log)
         return values[self.root_slot].tolist()
 
-    def _backward_fused(self, level_columns, num_models: int):
+    def _backward_fused(self, level_columns, num_models: int, layer_log=None):
         """Fused forward pass plus the adjoint sweep over the schedule.
 
         The adjoint accumulation cannot collapse (the count level injects
@@ -795,7 +870,7 @@ class LinearizedDiagram:
         — over the schedule's precomputed index views.
         """
         columns_by_level = self._fused_columns(level_columns)
-        values = self._forward_fused(columns_by_level, num_models)
+        values = self._forward_fused(columns_by_level, num_models, layer_log)
         walk = self.fused().walk
         adjoint = _np.zeros((self.num_slots, num_models), dtype=_np.float64)
         adjoint[self.root_slot] = 1.0

@@ -448,6 +448,22 @@ class DDKernel:
             if level[h] != FREE_LEVEL:
                 yield h
 
+    def cache_totals(self) -> Dict[str, int]:
+        """Computed-table traffic summed over every cache (ITE, apply, ...).
+
+        The telemetry registry publishes these as
+        ``kernel.cache.<manager>.<event>`` counters; summing keeps the
+        metric set stable while managers create operation caches lazily.
+        """
+        totals = {"hits": 0, "misses": 0, "insertions": 0, "evictions": 0}
+        for table in self._computed_tables.values():
+            stats = table.stats
+            totals["hits"] += stats.hits
+            totals["misses"] += stats.misses
+            totals["insertions"] += stats.insertions
+            totals["evictions"] += stats.evictions
+        return totals
+
     def kernel_stats(self) -> KernelStats:
         """Return a :class:`KernelStats` snapshot of the counters."""
         return KernelStats(

@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs import trace as _obs_trace
+
 
 @dataclass(frozen=True)
 class ReorderStats:
@@ -209,6 +211,8 @@ def sift_to_convergence(
     owns_session = not manager.in_reorder
     if owns_session:
         manager.begin_reorder()
+    span = _obs_trace.span("reorder.sift_to_convergence")
+    span.__enter__()
     try:
         initial: Optional[int] = None
         swaps = 0
@@ -227,6 +231,7 @@ def sift_to_convergence(
                 initial = stats.initial_size
             if stats.final_size >= stats.initial_size:
                 break
+        span.set(swaps=swaps, passes=passes, final=manager.num_live_nodes)
         return ReorderStats(
             initial_size=initial if initial is not None else manager.num_live_nodes,
             final_size=manager.num_live_nodes,
@@ -234,6 +239,7 @@ def sift_to_convergence(
             passes=passes,
         )
     finally:
+        span.__exit__(None, None, None)
         if owns_session:
             manager.end_reorder()
 
@@ -418,6 +424,10 @@ def sift_grouped(
     owns_session = not manager.in_reorder
     if owns_session:
         manager.begin_reorder()
+    # manual enter/exit: the span must close inside the existing finally,
+    # after the reorder session state has been read for the stats
+    span = _obs_trace.span("reorder.sift_grouped", groups=len(groups))
+    span.__enter__()
     try:
         initial = manager.num_live_nodes
         counter = _SwapCounter(manager)
@@ -470,7 +480,14 @@ def sift_grouped(
             swaps=counter.count,
             passes=passes,
         )
+        span.set(
+            swaps=stats.swaps,
+            initial=stats.initial_size,
+            final=stats.final_size,
+            passes=stats.passes,
+        )
         return new_groups, stats
     finally:
+        span.__exit__(None, None, None)
         if owns_session:
             manager.end_reorder()

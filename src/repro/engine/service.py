@@ -65,6 +65,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .batch import HAVE_NUMPY
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -116,6 +118,24 @@ def _fused_passes_of(compiled) -> int:
     return linearized.fused_passes if linearized is not None else 0
 
 
+def _publish_kernel_caches(registry, compiled) -> None:
+    """Fold a fresh build's DD-kernel cache totals into the registry.
+
+    ``compile_for_truncation`` snapshots the ITE/apply computed-table
+    stats of both managers onto the compiled structure; published as
+    ``kernel.cache.<manager>.<event>`` counters they aggregate across
+    builds — worker builds included, since workers publish into their own
+    registry and ship the snapshot home.
+    """
+    caches = getattr(compiled, "kernel_cache_stats", None)
+    if not caches:
+        return
+    for manager, totals in caches.items():
+        for event, value in totals.items():
+            if value:
+                registry.inc("kernel.cache.%s.%s" % (manager, event), value)
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One evaluation request: a problem plus its truncation policy.
@@ -131,57 +151,108 @@ class SweepPoint:
     epsilon: Optional[float] = None
 
 
-@dataclass
-class SweepServiceStats:
-    """Monotone counters describing what a service instance did so far."""
+#: Counter attribute -> registry metric name.  Every legacy
+#: ``SweepServiceStats`` field keeps working (``stats.store_hits += 1``)
+#: but the value now lives in the service's :class:`MetricsRegistry`
+#: under a namespaced metric, where worker deltas merge into the same
+#: names.
+_COUNTER_METRICS = {
+    "points_requested": "service.points.requested",
+    "points_evaluated": "service.points.evaluated",
+    "structures_built": "service.structures.built",
+    "structure_reuses": "service.structures.reused",
+    "result_cache_hits": "service.cache.result_hits",
+    "disk_cache_hits": "service.cache.disk_hits",
+    "parallel_batches": "service.batches.parallel",
+    # Batched multi-model passes executed (one per group dispatch).
+    "batched_passes": "service.passes.batched",
+    # Points evaluated through intra-group shards on workers, and the
+    # shard payloads dispatched to the worker pool.
+    "points_sharded": "service.points.sharded",
+    "shards_dispatched": "service.shards.dispatched",
+    # Linearized-array builds / reuses across the compiled structures.
+    "linearize_builds": "service.linearize.builds",
+    "linearize_reuses": "service.linearize.reuses",
+    # Reverse-mode gradient passes (one per structure group) and the
+    # defect models they covered.
+    "gradient_passes": "service.passes.gradient",
+    "points_differentiated": "service.points.differentiated",
+    # Persistent-store traffic: warm starts served from disk (parent and
+    # worker processes), rebuilds the store could not prevent, bytes moved
+    # to/from the store, and loads that memory-mapped the fused arrays.
+    "store_hits": "store.hits",
+    "store_misses": "store.misses",
+    "store_bytes": "store.bytes",
+    "mmap_loads": "store.mmap_loads",
+    # Pickled payload bytes and shared-memory block bytes of the worker
+    # dispatch (the latter move zero-copy, not pickled).
+    "shard_payload_bytes": "dispatch.payload_bytes",
+    "shm_bytes": "dispatch.shm_bytes",
+    # Fused-kernel passes executed (parent and worker processes).
+    "fused_passes": "kernel.fused_passes",
+}
 
-    points_requested: int = 0
-    points_evaluated: int = 0
-    structures_built: int = 0
-    structure_reuses: int = 0
-    result_cache_hits: int = 0
-    disk_cache_hits: int = 0
-    parallel_batches: int = 0
-    #: Batched multi-model passes executed (one per group dispatch).
-    batched_passes: int = 0
-    #: Points evaluated through intra-group shards on workers.
-    points_sharded: int = 0
-    #: Intra-group shard payloads dispatched to the worker pool (whole-group
-    #: worker payloads are not counted — see ``parallel_batches``).
-    shards_dispatched: int = 0
-    #: Linearized-array builds / reuses across the compiled structures.
-    linearize_builds: int = 0
-    linearize_reuses: int = 0
-    #: Reverse-mode gradient passes (one per structure group differentiated)
-    #: and the defect models they covered.
-    gradient_passes: int = 0
-    points_differentiated: int = 0
-    gradient_seconds: float = 0.0
-    #: Persistent-store traffic: warm starts served from disk (parent and
-    #: worker processes), rebuilds the store could not prevent, and the
-    #: bytes moved to/from the store (saves plus loads).
-    store_hits: int = 0
-    store_misses: int = 0
-    store_bytes: int = 0
-    #: Pickled bytes of the payloads dispatched to the worker pool.  With
-    #: the store enabled, shard payloads carry a store reference instead of
-    #: the compiled structure, so this shrinks by orders of magnitude; with
-    #: shared-memory dispatch the payload is just indices plus a block name.
-    shard_payload_bytes: int = 0
-    #: Fused-kernel passes executed (parent and worker processes) and the
-    #: store loads that memory-mapped the fused arrays instead of copying.
-    fused_passes: int = 0
-    mmap_loads: int = 0
-    #: Bytes placed in shared-memory blocks for shard dispatch (model
-    #: column matrices plus result vectors); moved zero-copy, not pickled.
-    shm_bytes: int = 0
-    #: Per-phase wall-clock seconds (parent process only).
-    build_seconds: float = 0.0
-    reorder_seconds: float = 0.0
-    evaluate_seconds: float = 0.0
+#: Timing attribute -> registry histogram.  One naming scheme for every
+#: phase: ``stats.build_seconds += dt`` records one histogram sample.
+_TIMER_METRICS = {
+    "build_seconds": "phase.build_seconds",
+    "reorder_seconds": "phase.reorder_seconds",
+    "evaluate_seconds": "phase.evaluate_seconds",
+    "gradient_seconds": "phase.gradient_seconds",
+    "worker_evaluate_seconds": "phase.worker_evaluate_seconds",
+}
+
+
+class SweepServiceStats:
+    """Monotone counters describing what a service instance did so far.
+
+    Historically a plain dataclass; now a facade over a
+    :class:`repro.obs.metrics.MetricsRegistry` so the same numbers are
+    available as namespaced metrics (``snapshot()`` / Prometheus
+    exposition) and worker-process deltas aggregate into them.  The
+    attribute API is unchanged: counters read/``+=`` as ints, the
+    ``*_seconds`` attributes as floats (each ``+=`` becomes one histogram
+    observation).
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        object.__setattr__(
+            self, "registry", registry if registry is not None else MetricsRegistry()
+        )
+
+    def __getattr__(self, name):
+        metric = _COUNTER_METRICS.get(name)
+        if metric is not None:
+            return self.registry.counter(metric)
+        metric = _TIMER_METRICS.get(name)
+        if metric is not None:
+            return self.registry.histogram_sum(metric)
+        raise AttributeError(name)
+
+    def __setattr__(self, name, value):
+        metric = _COUNTER_METRICS.get(name)
+        if metric is not None:
+            self.registry.set_counter(metric, value)
+            return
+        metric = _TIMER_METRICS.get(name)
+        if metric is not None:
+            # ``stats.x += dt`` arrives as a plain assignment of the new
+            # total; record the delta as one histogram sample.
+            delta = value - self.registry.histogram_sum(metric)
+            if delta:
+                self.registry.observe(metric, delta)
+            return
+        raise AttributeError(name)
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self.__dict__)
+        out = {}  # type: Dict[str, float]
+        for name in _COUNTER_METRICS:
+            out[name] = self.registry.counter(_COUNTER_METRICS[name])
+        for name in _TIMER_METRICS:
+            out[name] = self.registry.histogram_sum(_TIMER_METRICS[name])
+        return out
 
 
 def _circuit_digest(circuit) -> str:
@@ -329,7 +400,11 @@ class SweepService:
         self.max_structures = int(max_structures)
         self.max_results = int(max_results)
         self.analyzer_options = analyzer_options
-        self.stats = SweepServiceStats()
+        #: One metrics registry per service: every stats counter lives here
+        #: under a namespaced metric, worker deltas merge into it, and
+        #: ``registry.expose_text()`` serves ``--metrics`` / future ``/stats``.
+        self.registry = MetricsRegistry()
+        self.stats = SweepServiceStats(self.registry)
         self._structures: "OrderedDict[Tuple, object]" = OrderedDict()
         self._results: "OrderedDict[Tuple, object]" = OrderedDict()
         self._pool = None
@@ -431,9 +506,10 @@ class SweepService:
             reuses_before = compiled.linearize_reuses
             fused_before = _fused_passes_of(compiled)
             started = time.perf_counter()
-            gradients = compiled.gradients_many(
-                [points[idx].problem for idx in indices]
-            )
+            with obs_trace.span("service.gradients", models=len(indices)):
+                gradients = compiled.gradients_many(
+                    [points[idx].problem for idx in indices]
+                )
             self.stats.gradient_seconds += time.perf_counter() - started
             self.stats.gradient_passes += 1
             self.stats.points_differentiated += len(indices)
@@ -556,11 +632,13 @@ class SweepService:
                 self._store_structure(skey, compiled)
                 return compiled, True
             self.stats.store_misses += 1
-        compiled = self._analyzer().compile_for_truncation(problem, truncation)
+        with obs_trace.span("service.build", truncation=truncation):
+            compiled = self._analyzer().compile_for_truncation(problem, truncation)
         self._store_structure(skey, compiled)
         self.stats.structures_built += 1
         self.stats.build_seconds += sum(compiled.build_timings)
         self.stats.reorder_seconds += compiled.reorder_seconds
+        _publish_kernel_caches(self.registry, compiled)
         self._persist_structure(skey, compiled)
         return compiled, False
 
@@ -582,7 +660,8 @@ class SweepService:
         reuses_before = compiled.linearize_reuses
         fused_before = _fused_passes_of(compiled)
         started = time.perf_counter()
-        results = compiled.evaluate_many(problems, reused=reused)
+        with obs_trace.span("service.evaluate", models=len(problems)):
+            results = compiled.evaluate_many(problems, reused=reused)
         self.stats.evaluate_seconds += time.perf_counter() - started
         self.stats.batched_passes += 1
         self.stats.linearize_builds += compiled.linearize_builds - builds_before
@@ -796,6 +875,7 @@ class SweepService:
                             "location_rows": shm_group["location_rows"],
                             "models": shm_group["models"],
                             "store_root": store_root,
+                            "trace": obs_trace.active() is not None,
                         }
                     )
                     sharded_payloads += 1
@@ -843,9 +923,16 @@ class SweepService:
                     self.stats.shard_payload_bytes += sum(len(blob) for blob in blobs)
                     started = time.perf_counter()
                     worker_build_seconds = 0.0
-                    for skey, compiled, chunk, shard_stats in pool.map(
-                        _evaluate_shard, blobs
-                    ):
+                    tracer = obs_trace.active()
+                    with obs_trace.span("service.dispatch", shards=len(payloads)):
+                        shard_results = pool.map(_evaluate_shard, blobs)
+                    for skey, compiled, chunk, shard_stats in shard_results:
+                        # every worker counter arrives as one registry
+                        # snapshot; merging it is the whole aggregation —
+                        # new worker metrics never need parent-side plumbing
+                        self.registry.merge_snapshot(shard_stats.get("metrics"))
+                        if tracer is not None:
+                            tracer.adopt(shard_stats.get("spans"))
                         # keep the worker-resolved structure for later batches
                         if compiled is not None:
                             self._store_structure(skey, compiled)
@@ -855,40 +942,17 @@ class SweepService:
                                 ):
                                     self._persist_structure(skey, compiled)
                         if shard_stats.get("built"):
-                            self.stats.structures_built += 1
-                            self.stats.build_seconds += shard_stats.get(
-                                "build_seconds", 0.0
-                            )
-                            self.stats.reorder_seconds += shard_stats.get(
-                                "reorder_seconds", 0.0
-                            )
                             worker_build_seconds += shard_stats.get("build_seconds", 0.0)
-                        if shard_stats.get("store_hit"):
-                            self.stats.store_hits += 1
-                            self.stats.store_bytes += shard_stats.get("store_bytes", 0)
-                        if shard_stats.get("mmap_load"):
-                            self.stats.mmap_loads += 1
-                        if shard_stats.get("store_miss"):
-                            self.stats.store_misses += 1
-                        self.stats.linearize_builds += shard_stats.get(
-                            "linearize_builds", 0
-                        )
-                        self.stats.linearize_reuses += shard_stats.get(
-                            "linearize_reuses", 0
-                        )
-                        self.stats.fused_passes += shard_stats.get("fused_passes", 0)
                         if shard_stats.get("kind") == "columns":
                             group = shm_groups[skey]
                             span = shard_stats["span"]
                             if shard_stats.get("ok"):
-                                self.stats.batched_passes += 1
                                 group["evaluate_seconds"] += shard_stats.get(
                                     "evaluate_seconds", 0.0
                                 )
                             else:
                                 group["failed_spans"].append(span)
                             continue
-                        self.stats.batched_passes += 1
                         evaluated.extend(chunk)
                     for group in shm_groups.values():
                         self._collect_shm_group(group, evaluated)
@@ -932,6 +996,7 @@ class SweepService:
             fresh,
             store_root,
             adopt,
+            obs_trace.active() is not None,
         )
 
     # ------------------------------------------------------------------ #
@@ -1018,8 +1083,27 @@ def _evaluate_shard(payload):
     """
     if isinstance(payload, (bytes, bytearray)):
         payload = pickle.loads(payload)
-    if isinstance(payload, dict):
-        return _evaluate_shard_columns(payload)
+    trace_requested = (
+        payload.get("trace") if isinstance(payload, dict) else payload[11]
+    )
+    # the parent asked for spans: run a fresh tracer for this shard and
+    # ship its finished spans home with the shard stats.  Always a fresh
+    # one — a forked worker inherits the parent's (useless) active tracer
+    tracer = obs_trace.start() if trace_requested else None
+    try:
+        if isinstance(payload, dict):
+            result = _evaluate_shard_columns(payload)
+        else:
+            result = _evaluate_shard_pickled(payload)
+    finally:
+        if tracer is not None:
+            obs_trace.stop()
+    if tracer is not None:
+        result[3]["spans"] = tracer.spans()
+    return result
+
+
+def _evaluate_shard_pickled(payload):
     (
         skey,
         ordering_key,
@@ -1032,53 +1116,65 @@ def _evaluate_shard(payload):
         fresh,
         store_root,
         adopt,
+        _trace,
     ) = payload
+    registry = MetricsRegistry()
+    wstats = SweepServiceStats(registry)
     built = False
     store_hit = False
-    store_miss = False
-    store_bytes = 0
-    mmap_load = False
-    if compiled is None:
-        compiled = _worker_structure_get(skey)
+    with obs_trace.span("worker.shard", kind="pickled", models=len(problems)):
         if compiled is None:
-            if store_root is not None:
-                from .store import StructureStore
-
-                loaded = StructureStore(store_root).load(skey, mmap=True)
-                if loaded is not None:
-                    compiled, store_bytes = loaded
-                    store_hit = True
-                    mmap_load = getattr(compiled, "store_mmapped", False)
-                else:
-                    store_miss = True
+            compiled = _worker_structure_get(skey)
             if compiled is None:
-                from ..core.method import YieldAnalyzer
-                from ..ordering.strategies import OrderingSpec
+                if store_root is not None:
+                    from .store import StructureStore
 
-                ordering = OrderingSpec.from_key(ordering_key)
-                analyzer = YieldAnalyzer(ordering, epsilon=epsilon, **analyzer_options)
-                compiled = analyzer.compile_for_truncation(problems[0], truncation)
-                built = True
-            _worker_structure_put(skey, compiled)
-        fresh = built
-    builds_before = compiled.linearize_builds
-    reuses_before = compiled.linearize_reuses
-    fused_before = _fused_passes_of(compiled)
-    results = compiled.evaluate_many(problems, reused=not fresh)
+                    loaded = StructureStore(store_root).load(skey, mmap=True)
+                    if loaded is not None:
+                        compiled, store_bytes = loaded
+                        store_hit = True
+                        wstats.store_hits += 1
+                        wstats.store_bytes += store_bytes
+                        if getattr(compiled, "store_mmapped", False):
+                            wstats.mmap_loads += 1
+                    else:
+                        wstats.store_misses += 1
+                if compiled is None:
+                    from ..core.method import YieldAnalyzer
+                    from ..ordering.strategies import OrderingSpec
+
+                    ordering = OrderingSpec.from_key(ordering_key)
+                    analyzer = YieldAnalyzer(
+                        ordering, epsilon=epsilon, **analyzer_options
+                    )
+                    with obs_trace.span("service.build", truncation=truncation):
+                        compiled = analyzer.compile_for_truncation(
+                            problems[0], truncation
+                        )
+                    built = True
+                    wstats.structures_built += 1
+                    wstats.build_seconds += sum(compiled.build_timings)
+                    wstats.reorder_seconds += compiled.reorder_seconds
+                    _publish_kernel_caches(registry, compiled)
+                _worker_structure_put(skey, compiled)
+            fresh = built
+        builds_before = compiled.linearize_builds
+        reuses_before = compiled.linearize_reuses
+        fused_before = _fused_passes_of(compiled)
+        started = time.perf_counter()
+        results = compiled.evaluate_many(problems, reused=not fresh)
+        wstats.worker_evaluate_seconds += time.perf_counter() - started
+        wstats.batched_passes += 1
+        wstats.linearize_builds += compiled.linearize_builds - builds_before
+        wstats.linearize_reuses += compiled.linearize_reuses - reuses_before
+        wstats.fused_passes += _fused_passes_of(compiled) - fused_before
     shard_stats = {
         "built": built,
         "models": len(problems),
-        "linearize_builds": compiled.linearize_builds - builds_before,
-        "linearize_reuses": compiled.linearize_reuses - reuses_before,
-        "fused_passes": _fused_passes_of(compiled) - fused_before,
-        "store_hit": store_hit,
-        "store_miss": store_miss,
-        "store_bytes": store_bytes,
-        "mmap_load": mmap_load,
+        "metrics": registry.snapshot(),
     }
     if built:
         shard_stats["build_seconds"] = sum(compiled.build_timings)
-        shard_stats["reorder_seconds"] = compiled.reorder_seconds
     return (
         skey,
         compiled if adopt and (built or store_hit) else None,
@@ -1101,68 +1197,72 @@ def _evaluate_shard_columns(payload):
     """
     skey = payload["skey"]
     a, b = payload["span"]
+    registry = MetricsRegistry()
+    wstats = SweepServiceStats(registry)
     shard_stats = {
         "kind": "columns",
         "span": (a, b),
         "ok": False,
         "models": b - a,
-        "store_hit": False,
-        "store_miss": False,
-        "store_bytes": 0,
-        "mmap_load": False,
-        "linearize_builds": 0,
-        "linearize_reuses": 0,
-        "fused_passes": 0,
     }
-    compiled = _worker_structure_get(skey)
-    if compiled is None:
-        from .store import StructureStore
+    with obs_trace.span("worker.shard", kind="columns", models=b - a):
+        compiled = _worker_structure_get(skey)
+        if compiled is None:
+            from .store import StructureStore
 
-        loaded = StructureStore(payload["store_root"]).load(skey, mmap=True)
-        if loaded is None:
-            shard_stats["store_miss"] = True
-            return skey, None, None, shard_stats
-        compiled, store_bytes = loaded
-        shard_stats["store_hit"] = True
-        shard_stats["store_bytes"] = store_bytes
-        shard_stats["mmap_load"] = getattr(compiled, "store_mmapped", False)
-        _worker_structure_put(skey, compiled)
+            loaded = StructureStore(payload["store_root"]).load(skey, mmap=True)
+            if loaded is None:
+                # the metrics snapshot ships even on the ok:false fallback
+                # path, so the parent still counts the worker's store miss
+                wstats.store_misses += 1
+                shard_stats["metrics"] = registry.snapshot()
+                return skey, None, None, shard_stats
+            compiled, store_bytes = loaded
+            wstats.store_hits += 1
+            wstats.store_bytes += store_bytes
+            if getattr(compiled, "store_mmapped", False):
+                wstats.mmap_loads += 1
+            _worker_structure_put(skey, compiled)
 
-    import numpy
+        import numpy
 
-    k = payload["models"]
-    count_rows = payload["count_rows"]
-    location_rows = payload["location_rows"]
-    block = _attach_shared_block(payload["shm"])
-    try:
-        count = numpy.ndarray(
-            (count_rows, k), dtype=numpy.float64, buffer=block.buf
-        )
-        location = numpy.ndarray(
-            (location_rows, k),
-            dtype=numpy.float64,
-            buffer=block.buf,
-            offset=count_rows * k * 8,
-        )
-        vector = numpy.ndarray(
-            (k,),
-            dtype=numpy.float64,
-            buffer=block.buf,
-            offset=(count_rows + location_rows) * k * 8,
-        )
-        builds_before = compiled.linearize_builds
-        reuses_before = compiled.linearize_reuses
-        fused_before = _fused_passes_of(compiled)
-        started = time.perf_counter()
-        vector[a:b] = compiled.evaluate_probabilities(
-            count[:, a:b], location[:, a:b], b - a
-        )
-        shard_stats["evaluate_seconds"] = time.perf_counter() - started
-        shard_stats["linearize_builds"] = compiled.linearize_builds - builds_before
-        shard_stats["linearize_reuses"] = compiled.linearize_reuses - reuses_before
-        shard_stats["fused_passes"] = _fused_passes_of(compiled) - fused_before
-        shard_stats["ok"] = True
-    finally:
-        count = location = vector = None
-        _release_shared_block(block, unlink=False)
+        k = payload["models"]
+        count_rows = payload["count_rows"]
+        location_rows = payload["location_rows"]
+        block = _attach_shared_block(payload["shm"])
+        try:
+            count = numpy.ndarray(
+                (count_rows, k), dtype=numpy.float64, buffer=block.buf
+            )
+            location = numpy.ndarray(
+                (location_rows, k),
+                dtype=numpy.float64,
+                buffer=block.buf,
+                offset=count_rows * k * 8,
+            )
+            vector = numpy.ndarray(
+                (k,),
+                dtype=numpy.float64,
+                buffer=block.buf,
+                offset=(count_rows + location_rows) * k * 8,
+            )
+            builds_before = compiled.linearize_builds
+            reuses_before = compiled.linearize_reuses
+            fused_before = _fused_passes_of(compiled)
+            started = time.perf_counter()
+            vector[a:b] = compiled.evaluate_probabilities(
+                count[:, a:b], location[:, a:b], b - a
+            )
+            seconds = time.perf_counter() - started
+            shard_stats["evaluate_seconds"] = seconds
+            wstats.worker_evaluate_seconds += seconds
+            wstats.batched_passes += 1
+            wstats.linearize_builds += compiled.linearize_builds - builds_before
+            wstats.linearize_reuses += compiled.linearize_reuses - reuses_before
+            wstats.fused_passes += _fused_passes_of(compiled) - fused_before
+            shard_stats["ok"] = True
+        finally:
+            count = location = vector = None
+            _release_shared_block(block, unlink=False)
+    shard_stats["metrics"] = registry.snapshot()
     return skey, None, None, shard_stats

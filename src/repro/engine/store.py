@@ -54,6 +54,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import profile as _obs_profile
+from ..obs import trace as _obs_trace
+
 try:  # pragma: no cover - exercised implicitly on both kinds of hosts
     import numpy as _np
 except ImportError:  # pragma: no cover
@@ -155,6 +158,10 @@ class StructureStore:
             raise StoreError("structure has no level profile; cannot persist")
         linearized = compiled.linearized()
         digest = digest_of(skey)
+        with _obs_trace.span("store.save", digest=digest[:16]):
+            return self._save_entry(digest, compiled, linearized)
+
+    def _save_entry(self, digest: str, compiled, linearized) -> int:
         json_path = self._json_path(digest)
         os.makedirs(os.path.dirname(json_path), exist_ok=True)
 
@@ -279,18 +286,30 @@ class StructureStore:
         meta = self._read_meta(json_path, digest)
         if meta is None:
             return None
-        try:
-            linearized, payload_bytes, mmapped = self._read_linearized(
-                meta, digest, mmap
+        started = time.perf_counter()
+        with _obs_trace.span("store.load", digest=digest[:16], mmap=mmap) as span:
+            try:
+                linearized, payload_bytes, mmapped = self._read_linearized(
+                    meta, digest, mmap
+                )
+                structure = self._restore(meta, linearized)
+                structure.store_mmapped = mmapped
+                json_bytes = os.path.getsize(json_path)
+            except Exception:
+                # anything — truncated arrays, version drift inside the
+                # payload, a concurrent `cache clear` unlinking the files
+                # mid-read — is a miss; the caller rebuilds
+                span.set(miss=True)
+                return None
+            span.set(nbytes=json_bytes + payload_bytes, mmapped=mmapped)
+        profiler = _obs_profile.active()
+        if profiler is not None:
+            profiler.record_store_load(
+                digest=digest,
+                seconds=time.perf_counter() - started,
+                nbytes=json_bytes + payload_bytes,
+                mmapped=mmapped,
             )
-            structure = self._restore(meta, linearized)
-            structure.store_mmapped = mmapped
-            json_bytes = os.path.getsize(json_path)
-        except Exception:
-            # anything — truncated arrays, version drift inside the payload,
-            # a concurrent `cache clear` unlinking the files mid-read — is a
-            # miss; the caller rebuilds
-            return None
         return structure, json_bytes + payload_bytes
 
     def _read_meta(self, json_path: str, digest: str) -> Optional[Dict]:

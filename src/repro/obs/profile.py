@@ -1,0 +1,120 @@
+"""Opt-in per-pass profiling: layer timings, collapse/block accounting.
+
+A :class:`PassProfiler` collects one record per kernel pass (with an
+optional per-layer breakdown from the fused kernel) and one record per
+structure-store load.  Like tracing, it is off by default; the enabled
+check in the hot paths is a single module attribute read, and the
+per-layer accounting only happens while a profiler is installed.
+
+Usage::
+
+    from repro.obs import profile
+
+    with profile.profiling() as prof:
+        linearized.evaluate(columns, num_models, kernel="fused")
+    print(prof.summary())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["PassProfiler", "start", "stop", "active", "profiling"]
+
+
+class PassProfiler:
+    """Accumulates per-pass and store-load profile records."""
+
+    def __init__(self):
+        self.passes = []
+        self.store_loads = []
+
+    def record_pass(self, **record):
+        """One kernel pass: op/kernel/models/nodes/seconds/collapsed/layers."""
+        self.passes.append(record)
+
+    def record_store_load(self, **record):
+        """One store load: digest/seconds/nbytes/mmapped."""
+        self.store_loads.append(record)
+
+    def as_dict(self):
+        return {"passes": list(self.passes), "store_loads": list(self.store_loads)}
+
+    def summary(self, max_layers=8):
+        """Human-readable profile: one line per pass, slowest layers below."""
+        lines = []
+        for index, record in enumerate(self.passes, 1):
+            lines.append(
+                "pass %d: %s kernel=%s models=%s nodes=%s %.4fs"
+                " (%s layers collapsed)"
+                % (
+                    index,
+                    record.get("op", "?"),
+                    record.get("kernel", "?"),
+                    record.get("models", "?"),
+                    record.get("nodes", "?"),
+                    record.get("seconds", 0.0),
+                    record.get("collapsed_layers", 0),
+                )
+            )
+            layers = sorted(
+                record.get("layers") or (),
+                key=lambda layer: layer.get("seconds", 0.0),
+                reverse=True,
+            )
+            for layer in layers[:max_layers]:
+                lines.append(
+                    "    level %-4s n=%-6s card=%-2s %s %.4fs"
+                    % (
+                        layer.get("level", "?"),
+                        layer.get("nodes", "?"),
+                        layer.get("cardinality", "?"),
+                        "collapsed"
+                        if layer.get("collapsed")
+                        else "blocks=%s" % layer.get("blocks", "?"),
+                        layer.get("seconds", 0.0),
+                    )
+                )
+        for record in self.store_loads:
+            digest = str(record.get("digest", ""))[:16]
+            lines.append(
+                "store load %s %d bytes%s %.4fs"
+                % (
+                    digest,
+                    record.get("nbytes", 0),
+                    " (mmap)" if record.get("mmapped") else "",
+                    record.get("seconds", 0.0),
+                )
+            )
+        return "\n".join(lines)
+
+
+_ACTIVE = None  # type: ignore[var-annotated]
+
+
+def start(profiler=None):
+    """Install (and return) the process-wide active profiler."""
+    global _ACTIVE
+    _ACTIVE = profiler if profiler is not None else PassProfiler()
+    return _ACTIVE
+
+
+def stop():
+    """Deactivate profiling; returns the profiler that was active (or None)."""
+    global _ACTIVE
+    profiler = _ACTIVE
+    _ACTIVE = None
+    return profiler
+
+
+def active():
+    return _ACTIVE
+
+
+@contextmanager
+def profiling(profiler=None):
+    installed = start(profiler)
+    try:
+        yield installed
+    finally:
+        stop()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -20,6 +22,16 @@ def tree_file(tmp_path):
     path = tmp_path / "duplex.ft"
     path.write_text(EXAMPLE_FT)
     return str(path)
+
+
+def stats_values(out):
+    """Parse the registry-generated ``--stats`` lines into ``{metric: value}``."""
+    values = {}
+    for line in out.splitlines():
+        parts = line.split()
+        if line.startswith("  ") and len(parts) >= 2 and "." in parts[0]:
+            values[parts[0]] = parts[1]
+    return values
 
 
 class TestListAndVersion:
@@ -134,11 +146,14 @@ class TestImportance:
         assert code == 0
         out = capsys.readouterr().out
         assert "Engine statistics" in out
+        values = stats_values(out)
         # one analytic pass differentiates the single baseline model...
-        assert "gradient passes     : 1 (1 points differentiated)" in out
+        assert values["service.passes.gradient"] == "1"
+        assert values["service.points.differentiated"] == "1"
         # ...and the hardening route batches baseline + 18 perturbed models
-        assert "batched passes      : 1 (19 points" in out
-        assert "gradients" in out  # phase wall-clock line
+        assert values["service.passes.batched"] == "1"
+        assert values["service.points.evaluated"] == "19"
+        assert "phase.gradient_seconds" in values  # phase timing histogram
 
     def test_jobs_fan_out(self, capsys):
         code = main(
@@ -147,7 +162,7 @@ class TestImportance:
         assert code == 0
         out = capsys.readouterr().out
         assert "Hardening potential" in out
-        assert "gradient passes     : 1" in out
+        assert stats_values(out)["service.passes.gradient"] == "1"
 
     def test_unknown_benchmark(self, capsys):
         assert main(["importance", "NOPE"]) == 2
@@ -241,7 +256,9 @@ class TestCache:
         assert code == 0
         out = capsys.readouterr().out
         assert "structures built    : 0" in out
-        assert "structure store     : 1 hits / 0 misses" in out
+        values = stats_values(out)
+        assert values["store.hits"] == "1"
+        assert values.get("store.misses", "0") == "0"
 
     def test_importance_accepts_a_store_dir(self, tmp_path, capsys):
         store_dir = str(tmp_path / "store")
@@ -258,7 +275,7 @@ class TestCache:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "structure store" in out
+        assert "Engine statistics" in out
         # the run persisted its structure: a second process warm-starts
         code = main(
             [
@@ -272,4 +289,77 @@ class TestCache:
             ]
         )
         assert code == 0
-        assert "structure store     : 1 hits" in capsys.readouterr().out
+        assert stats_values(capsys.readouterr().out)["store.hits"] == "1"
+
+
+class TestTelemetry:
+    def test_sweep_exports_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs import trace as obs_trace
+
+        trace_file = tmp_path / "trace.json"
+        metrics_file = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "sweep",
+                "MS2",
+                "--max-defects",
+                "3",
+                "--trace",
+                str(trace_file),
+                "--metrics",
+                str(metrics_file),
+            ]
+        )
+        assert code == 0
+        assert obs_trace.active() is None  # the CLI stops its tracer
+        out = capsys.readouterr().out
+        assert "trace               :" in out
+        assert str(trace_file) in out
+        trace = json.loads(trace_file.read_text())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert "cli.sweep" in names
+        assert "service.build" in names
+        assert "service.evaluate" in names
+        metrics_text = metrics_file.read_text()
+        assert "repro_service_points_requested" in metrics_text
+        assert "repro_phase_build_seconds" in metrics_text
+
+    def test_importance_exports_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            ["importance", "MS2", "--max-defects", "2", "--trace", str(trace_file)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        names = {
+            e["name"]
+            for e in json.loads(trace_file.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert "cli.importance" in names
+        assert "service.gradients" in names
+
+    def test_trace_subcommand_renders_a_tree(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            ["sweep", "MS2", "--max-defects", "3", "--trace", str(trace_file)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.sweep" in out and "ms" in out
+        # nesting by containment: service.build sits under cli.sweep
+        build_lines = [l for l in out.splitlines() if "service.build" in l]
+        assert build_lines and build_lines[0].startswith("  ")
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["trace", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+        good_json_wrong_shape = tmp_path / "shape.json"
+        good_json_wrong_shape.write_text("[1, 2, 3]")
+        assert main(["trace", str(good_json_wrong_shape)]) == 2
+        assert "not a Chrome trace-event file" in capsys.readouterr().err

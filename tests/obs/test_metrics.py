@@ -1,0 +1,203 @@
+"""Tests for the unified metrics registry."""
+
+import pickle
+import threading
+
+from repro.obs.metrics import HISTOGRAM_BOUNDS, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        registry = MetricsRegistry()
+        registry.inc("service.points.evaluated")
+        registry.inc("service.points.evaluated", 5)
+        assert registry.counter("service.points.evaluated") == 6
+        assert registry.counter("missing") == 0
+
+    def test_set_counter_overwrites(self):
+        registry = MetricsRegistry()
+        registry.inc("store.bytes", 100)
+        registry.set_counter("store.bytes", 42)
+        assert registry.counter("store.bytes") == 42
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n") == 4000
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("workers", 2)
+        registry.set_gauge("workers", 4)
+        assert registry.gauge("workers") == 4
+        assert registry.gauge("missing", default=-1) == -1
+
+
+class TestHistograms:
+    def test_observe_accumulates(self):
+        registry = MetricsRegistry()
+        registry.observe("phase.build_seconds", 0.5)
+        registry.observe("phase.build_seconds", 1.5)
+        assert registry.histogram_count("phase.build_seconds") == 2
+        assert registry.histogram_sum("phase.build_seconds") == 2.0
+        assert registry.histogram_sum("missing") == 0.0
+        assert registry.histogram_count("missing") == 0
+
+    def test_bucketing(self):
+        registry = MetricsRegistry()
+        # one observation per bucket, plus one overflow
+        for value in (0.0005, 0.005, 0.05, 0.5, 5.0, 50.0):
+            registry.observe("t", value)
+        hist = registry.snapshot()["histograms"]["t"]
+        assert hist["buckets"] == [1] * (len(HISTOGRAM_BOUNDS) + 1)
+        assert hist["min"] == 0.0005
+        assert hist["max"] == 50.0
+
+
+class TestSnapshotDiffMerge:
+    def test_snapshot_is_plain_and_picklable(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 0.1)
+        snap = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_diff_subtracts_an_older_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        registry.observe("h", 0.1)
+        older = registry.snapshot()
+        registry.inc("a", 3)
+        registry.inc("b")
+        registry.observe("h", 0.2)
+        delta = registry.diff(older)
+        assert delta["counters"] == {"a": 3, "b": 1}
+        assert delta["histograms"]["h"]["count"] == 1
+        assert abs(delta["histograms"]["h"]["sum"] - 0.2) < 1e-12
+        # unchanged metrics do not appear in the delta
+        registry2 = MetricsRegistry()
+        registry2.inc("a", 2)
+        assert registry2.diff(registry2.snapshot()) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_merge_snapshot_folds_a_worker_delta(self):
+        parent = MetricsRegistry()
+        parent.inc("kernel.fused_passes", 1)
+        parent.observe("phase.worker_evaluate_seconds", 0.5)
+        worker = MetricsRegistry()
+        worker.inc("kernel.fused_passes", 2)
+        worker.inc("store.hits")
+        worker.set_gauge("workers", 2)
+        worker.observe("phase.worker_evaluate_seconds", 1.5)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("kernel.fused_passes") == 3
+        assert parent.counter("store.hits") == 1
+        assert parent.gauge("workers") == 2
+        assert parent.histogram_count("phase.worker_evaluate_seconds") == 2
+        assert parent.histogram_sum("phase.worker_evaluate_seconds") == 2.0
+
+    def test_merge_none_is_a_no_op(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(None)
+        parent.merge_snapshot({})
+        assert parent.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.observe("h", 1.0)
+        registry.clear()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestExposition:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.inc("service.points.evaluated", 19)
+        registry.set_gauge("dispatch.workers", 2)
+        registry.observe("phase.build_seconds", 0.05)
+        registry.observe("phase.build_seconds", 5.0)
+        text = registry.expose_text()
+        assert "# TYPE repro_service_points_evaluated counter" in text
+        assert "repro_service_points_evaluated 19" in text
+        assert "# TYPE repro_dispatch_workers gauge" in text
+        assert "# TYPE repro_phase_build_seconds histogram" in text
+        assert 'repro_phase_build_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_phase_build_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_phase_build_seconds_count 2" in text
+        assert "repro_phase_build_seconds_sum 5.05" in text
+        assert text.endswith("\n")
+
+    def test_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (0.0005, 0.005, 0.05):
+            registry.observe("t", value)
+        text = registry.expose_text()
+        assert 'repro_t_bucket{le="0.001"} 1' in text
+        assert 'repro_t_bucket{le="0.01"} 2' in text
+        assert 'repro_t_bucket{le="0.1"} 3' in text
+        assert 'repro_t_bucket{le="+Inf"} 3' in text
+
+
+class TestServiceStatsFacade:
+    def test_attribute_reads_and_writes_map_to_metrics(self):
+        from repro.engine.service import SweepServiceStats
+
+        stats = SweepServiceStats()
+        assert stats.points_evaluated == 0
+        stats.points_evaluated += 19
+        assert stats.points_evaluated == 19
+        assert stats.registry.counter("service.points.evaluated") == 19
+
+    def test_timer_attributes_observe_deltas(self):
+        from repro.engine.service import SweepServiceStats
+
+        stats = SweepServiceStats()
+        stats.build_seconds += 0.5
+        stats.build_seconds += 1.5
+        assert stats.build_seconds == 2.0
+        assert stats.registry.histogram_count("phase.build_seconds") == 2
+        assert stats.registry.histogram_sum("phase.build_seconds") == 2.0
+
+    def test_unknown_attribute_raises(self):
+        import pytest
+
+        from repro.engine.service import SweepServiceStats
+
+        stats = SweepServiceStats()
+        with pytest.raises(AttributeError):
+            stats.nonexistent_counter
+        with pytest.raises(AttributeError):
+            stats.nonexistent_counter = 1
+
+    def test_as_dict_covers_every_field(self):
+        from repro.engine.service import (
+            _COUNTER_METRICS,
+            _TIMER_METRICS,
+            SweepServiceStats,
+        )
+
+        stats = SweepServiceStats()
+        stats.fused_passes += 3
+        stats.evaluate_seconds += 0.25
+        data = stats.as_dict()
+        assert set(data) == set(_COUNTER_METRICS) | set(_TIMER_METRICS)
+        assert data["fused_passes"] == 3
+        assert data["evaluate_seconds"] == 0.25
