@@ -149,10 +149,34 @@ def build_parser() -> argparse.ArgumentParser:
         "identical; shards fall back to pickled payloads)",
     )
     sweep.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry a failed worker shard up to N times (with exponential "
+        "backoff) before the parent evaluates it itself (default 2)",
+    )
+    sweep.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fixed per-shard worker deadline; the default scales one from "
+        "the measured per-model latency",
+    )
+    sweep.add_argument(
+        "--no-degrade",
+        dest="degrade",
+        action="store_false",
+        help="keep no shm -> pickled -> in-parent degradation state across "
+        "shards (each faulty shard still falls back individually)",
+    )
+    sweep.add_argument(
         "--stats",
         action="store_true",
         help="print engine statistics (cache hits, linearization reuse, "
-        "fused kernel passes, shared-memory bytes, phase times)",
+        "fused kernel passes, shared-memory bytes, fault/retry counters, "
+        "phase times)",
     )
     _add_telemetry_options(sweep)
 
@@ -271,6 +295,20 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="only remove entries matching this digest prefix (default: all)",
+    )
+
+    cache_verify = cache_commands.add_parser(
+        "verify",
+        help="deep-check every stored structure (checksums, shapes, restore)",
+    )
+    cache_verify.add_argument(
+        "store_dir", metavar="DIR", help="structure store directory"
+    )
+    cache_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="move corrupt entries into the store's quarantine/ directory "
+        "(they are rebuilt on the next sweep that needs them)",
     )
 
     table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
@@ -476,6 +514,9 @@ def _run_sweep(args) -> int:
             cache_dir=args.cache_dir,
             store_dir=args.store_dir,
             use_shared_memory=args.shared_memory,
+            max_retries=args.max_retries,
+            shard_timeout=args.shard_timeout,
+            degrade=args.degrade,
         )
         started = time.perf_counter()
         with obs_trace.span(
@@ -744,6 +785,29 @@ def _run_cache(args) -> int:
     if args.cache_command == "clear":
         removed = store.remove(args.digest) if args.digest else store.clear()
         print("removed %d entries from %s" % (removed, args.store_dir))
+        return 0
+    if args.cache_command == "verify":
+        if not os.path.isdir(args.store_dir):
+            # "verified 0 entries" on a typo'd path would read as a pass
+            print(
+                "error: %s is not a structure store directory" % args.store_dir,
+                file=sys.stderr,
+            )
+            return 2
+        rows = store.verify_all(repair=args.repair)
+        corrupt = [(digest, problems) for digest, ok, problems in rows if not ok]
+        print(
+            "verified %d entries in %s: %d ok, %d corrupt"
+            % (len(rows), args.store_dir, len(rows) - len(corrupt), len(corrupt))
+        )
+        for digest, problems in corrupt:
+            print("  %s CORRUPT" % digest[:16])
+            for problem in problems:
+                print("    - %s" % problem)
+            if args.repair:
+                print("    -> quarantined")
+        if corrupt and not args.repair:
+            return 1
         return 0
     print("error: unknown cache command %r" % args.cache_command, file=sys.stderr)
     return 2  # pragma: no cover - argparse enforces the choices

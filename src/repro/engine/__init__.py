@@ -28,16 +28,28 @@ reusable analysis engine — out of :mod:`repro.bdd` and :mod:`repro.mdd`:
   structures serialized to a versioned on-disk format (content-addressed
   per-array ``.npy`` files plus JSON metadata, memory-mappable; v1 npz
   entries stay readable) so cold processes and worker shards warm-start
-  from disk instead of rebuilding the diagrams.
+  from disk instead of rebuilding the diagrams.  Corrupt entries are
+  detected, quarantined and rebuilt (``verify_all`` / ``repro cache
+  verify``);
+* :mod:`repro.engine.supervise` — fault-tolerant dispatch: per-shard
+  deadlines scaled from measured latency, a worker death watch with pool
+  respawn, bounded retries with deterministic backoff, and the
+  shm → pickled → in-parent degradation cascade;
+* :mod:`repro.engine.faults` — the deterministic fault-injection harness
+  (``REPRO_FAULT_PLAN`` / ``SweepService(fault_plan=...)``) that the
+  supervision layer is tested against.
 """
 
 from .batch import (
     HAVE_NUMPY,
     KERNELS,
     BatchEvalError,
+    DeadlineExceeded,
     FusedSchedule,
     LinearizedDiagram,
+    shard_deadline,
 )
+from .faults import FaultPlan, InjectedFault
 from .kernel import (
     BoundedComputedTable,
     CacheStats,
@@ -48,19 +60,37 @@ from .kernel import (
 from .reorder import ReorderStats, sift, sift_grouped, sift_to_convergence
 from .service import SweepPoint, SweepService, SweepServiceStats
 from .store import StoreEntry, StoreError, StructureStore
+from .supervise import (
+    Backoff,
+    DegradationLadder,
+    ShardJob,
+    ShardSupervisor,
+    ShmJanitor,
+    janitor,
+)
 
 __all__ = [
+    "Backoff",
     "BatchEvalError",
     "BoundedComputedTable",
     "CacheStats",
     "DDKernel",
+    "DeadlineExceeded",
+    "DegradationLadder",
+    "FaultPlan",
     "FusedSchedule",
     "HAVE_NUMPY",
+    "InjectedFault",
     "KERNELS",
     "KernelStats",
     "LinearizedDiagram",
     "ReorderStats",
+    "ShardJob",
+    "ShardSupervisor",
+    "ShmJanitor",
+    "janitor",
     "recursion_guard",
+    "shard_deadline",
     "sift",
     "sift_grouped",
     "sift_to_convergence",

@@ -51,7 +51,9 @@ worker shards consume zero-copy through ``mmap``.
 
 from __future__ import annotations
 
+import threading as _threading
 import time as _time
+from contextlib import contextmanager as _contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs import profile as _obs_profile
@@ -81,6 +83,42 @@ KERNELS = ("python", "layered", "fused")
 
 class BatchEvalError(ValueError):
     """Raised on invalid batched-evaluation requests."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """Raised when a pass outlives the shard deadline of the dispatch layer."""
+
+
+#: Thread-local shard deadline (absolute epoch seconds, or None).  Epoch
+#: time, not a monotonic clock, so a deadline computed in the parent can
+#: ride a shard payload into a worker process and stay comparable there.
+_SHARD_DEADLINE = _threading.local()
+
+
+@_contextmanager
+def shard_deadline(deadline: Optional[float]):
+    """Install an absolute (epoch-seconds) pass deadline for this thread.
+
+    The supervised dispatch wraps each worker-side shard evaluation in
+    this context; :func:`check_deadline` then aborts passes that outlive
+    it — a shard that sat queued behind a hung sibling past its deadline
+    fails fast with :class:`DeadlineExceeded` instead of wasting a full
+    evaluation the parent has already given up on.  ``None`` disables the
+    checks (their cost is then a single thread-local read per pass).
+    """
+    previous = getattr(_SHARD_DEADLINE, "value", None)
+    _SHARD_DEADLINE.value = deadline
+    try:
+        yield
+    finally:
+        _SHARD_DEADLINE.value = previous
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceeded` once the installed deadline passed."""
+    deadline = getattr(_SHARD_DEADLINE, "value", None)
+    if deadline is not None and _time.time() > deadline:
+        raise DeadlineExceeded("shard deadline exceeded mid-pass")
 
 
 class FusedSchedule:
@@ -479,6 +517,7 @@ class LinearizedDiagram:
         if self.root_slot <= 1:
             value = float(self.root_slot)
             return [value] * num_models
+        check_deadline()
         self._check_columns(level_columns)
         kernel = self._resolve_with_fallback(kernel, use_numpy, num_models)
         self.models_evaluated += num_models
@@ -547,6 +586,7 @@ class LinearizedDiagram:
         if self.root_slot <= 1:
             value = float(self.root_slot)
             return [value] * num_models, {}
+        check_deadline()
         self._check_columns(level_columns)
         kernel = self._resolve_with_fallback(kernel, use_numpy, num_models)
         self.gradient_passes += 1
@@ -688,6 +728,9 @@ class LinearizedDiagram:
         values[0] = [0.0] * num_models
         values[1] = [1.0] * num_models
         for level, slots, kid_rows in self.layers:
+            # the python kernel is the slow one: honour the shard deadline
+            # between layers, not only at pass start
+            check_deadline()
             columns = level_columns[level]
             for slot, kids in zip(slots, kid_rows):
                 first = columns[0]

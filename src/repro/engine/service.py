@@ -64,14 +64,16 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .batch import HAVE_NUMPY
+from . import faults
+from .batch import HAVE_NUMPY, shard_deadline
+from .supervise import Backoff, DegradationLadder, ShardJob, ShardSupervisor, janitor
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
-def _attach_shared_block(name: str):
+def _attach_shared_block(name: str, registry=None):
     """Attach to an existing shared-memory block without tracker churn.
 
     Python 3.13 grew ``track=False``; on older interpreters attaching
@@ -90,22 +92,20 @@ def _attach_shared_block(name: str):
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(block._name, "shared_memory")
-        except Exception:
-            pass
+        except Exception as exc:
+            faults.note_suppressed(registry, "shm.untrack", exc)
         return block
 
 
-def _release_shared_block(block, *, unlink: bool) -> None:
-    """Close (and optionally unlink) a shared-memory block, best effort."""
-    try:
-        block.close()
-    except Exception:  # pragma: no cover - exported views may pin the buffer
-        pass
-    if unlink:
-        try:
-            block.unlink()
-        except Exception:  # pragma: no cover - already removed
-            pass
+def _release_shared_block(block, *, unlink: bool, registry=None) -> None:
+    """Close (and optionally unlink) a shared-memory block, best effort.
+
+    Routed through the process janitor so a block released here stops
+    being an orphan-sweep candidate, and any swallowed close/unlink
+    failure lands in the ``fault.suppressed`` counter instead of
+    vanishing.
+    """
+    janitor().release(block, unlink=unlink, registry=registry)
 
 
 def _fused_passes_of(compiled) -> int:
@@ -374,6 +374,10 @@ class SweepService:
         use_shared_memory: bool = True,
         max_structures: int = 8,
         max_results: int = 65536,
+        max_retries: int = 2,
+        shard_timeout: Optional[float] = None,
+        degrade: bool = True,
+        fault_plan=None,
         **analyzer_options,
     ) -> None:
         if max_structures < 1:
@@ -390,21 +394,39 @@ class SweepService:
         self.shard_size = int(shard_size)
         self.cache_dir = cache_dir
         self.store_dir = store_dir
-        if store_dir:
-            from .store import StructureStore
-
-            self._store: Optional["StructureStore"] = StructureStore(store_dir)
-        else:
-            self._store = None
-        self.use_shared_memory = bool(use_shared_memory)
-        self.max_structures = int(max_structures)
-        self.max_results = int(max_results)
-        self.analyzer_options = analyzer_options
         #: One metrics registry per service: every stats counter lives here
         #: under a namespaced metric, worker deltas merge into it, and
         #: ``registry.expose_text()`` serves ``--metrics`` / future ``/stats``.
         self.registry = MetricsRegistry()
         self.stats = SweepServiceStats(self.registry)
+        if store_dir:
+            from .store import StructureStore
+
+            self._store: Optional["StructureStore"] = StructureStore(
+                store_dir, registry=self.registry
+            )
+        else:
+            self._store = None
+        self.use_shared_memory = bool(use_shared_memory)
+        self.max_structures = int(max_structures)
+        self.max_results = int(max_results)
+        self.max_retries = int(max_retries)
+        self.shard_timeout = shard_timeout
+        # the supervisor validates too, but only when a sweep actually
+        # shards — reject bad values up front so a CLI typo cannot ride
+        # along silently through serial-route sweeps
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        if fault_plan is not None:
+            faults.install(fault_plan)
+        #: Degradation cascade over dispatch routes (shm -> pickled ->
+        #: in-parent); ``degrade=False`` pins every shard to its first
+        #: route and surfaces faults after the retry budget instead.
+        self._ladder = DegradationLadder(enabled=bool(degrade))
+        self._backoff = Backoff(seed=0)
+        self.analyzer_options = analyzer_options
         self._structures: "OrderedDict[Tuple, object]" = OrderedDict()
         self._results: "OrderedDict[Tuple, object]" = OrderedDict()
         self._pool = None
@@ -579,22 +601,48 @@ class SweepService:
                 import multiprocessing
 
                 self._pool = multiprocessing.Pool(processes=self.workers)
-            except Exception:  # pragma: no cover - platform specific
+            except Exception as exc:  # pragma: no cover - platform specific
+                faults.note_suppressed(
+                    getattr(self, "registry", None), "pool.spawn", exc
+                )
                 self._pool_broken = True
                 return None
         return self._pool
 
+    def respawn_workers(self):
+        """Replace the worker pool with a fresh one (supervision path).
+
+        A SIGKILLed pool member can die holding the shared task-queue
+        lock, wedging its siblings, so recovery always replaces the whole
+        pool rather than the one dead process.  Returns the new pool, or
+        ``None`` when a fresh pool cannot be spawned.
+        """
+        self.close()
+        self._pool_broken = False
+        return self.ensure_workers()
+
     def close(self) -> None:
-        """Terminate the persistent worker pool (caches are kept)."""
+        """Terminate the persistent worker pool (caches are kept).
+
+        Safe to call repeatedly and from error paths: the pool reference
+        is cleared *before* teardown, so a second call (or a close racing
+        an ``__del__``) is a no-op — terminate/join run exactly once per
+        pool.
+        """
         # getattr: __del__ may run on instances whose __init__ raised early
         pool = getattr(self, "_pool", None)
         self._pool = None
-        if pool is not None:
-            try:
-                pool.terminate()
-                pool.join()
-            except Exception:  # pragma: no cover - defensive
-                pass
+        if pool is None:
+            return
+        registry = getattr(self, "registry", None)
+        try:
+            pool.terminate()
+        except Exception as exc:  # pragma: no cover - defensive
+            faults.note_suppressed(registry, "pool.terminate", exc)
+        try:
+            pool.join()
+        except Exception as exc:  # pragma: no cover - defensive
+            faults.note_suppressed(registry, "pool.join", exc)
 
     def __del__(self):  # pragma: no cover - interpreter-dependent timing
         self.close()
@@ -724,9 +772,12 @@ class SweepService:
         location_rows = len(compiled.component_names)
         nbytes = (count_rows * k + location_rows * k + k) * 8
         try:
+            faults.fire("shm.create", self.registry)
             block = shared_memory.SharedMemory(create=True, size=nbytes)
         except Exception:  # platform without (writable) /dev/shm
+            self.registry.inc("fault.shm_create")
             return None
+        janitor().adopt(block)
         try:
             count = numpy.ndarray(
                 (count_rows, k), dtype=numpy.float64, buffer=block.buf
@@ -741,7 +792,7 @@ class SweepService:
                 problems, out_count=count, out_location=location
             )
         except Exception:
-            _release_shared_block(block, unlink=True)
+            _release_shared_block(block, unlink=True, registry=self.registry)
             return None
         finally:
             count = location = None
@@ -757,6 +808,10 @@ class SweepService:
             "location_rows": location_rows,
             "models": k,
             "failed_spans": [],
+            # spans whose results arrive outside the block (a shard
+            # degraded to the pickled protocol mid-dispatch): excluded
+            # from packaging entirely
+            "external_spans": [],
             "evaluate_seconds": 0.0,
         }
 
@@ -774,11 +829,15 @@ class SweepService:
             probabilities = vector.tolist()
         finally:
             vector = None
-            _release_shared_block(block, unlink=True)
+            _release_shared_block(block, unlink=True, registry=self.registry)
         failed = set()
         for a, b in group["failed_spans"]:
             failed.update(range(a, b))
-        ok = [m for m in range(k) if m not in failed]
+        external = set()
+        for a, b in group["external_spans"]:
+            external.update(range(a, b))
+        failed -= external
+        ok = [m for m in range(k) if m not in failed and m not in external]
         compiled = group["compiled"]
         if ok:
             results = compiled.package_results(
@@ -857,10 +916,19 @@ class SweepService:
                 if self._store.contains(skey):
                     ship = None  # workers load the slim on-disk form instead
             shm_group = None
-            if ship is None and self.use_shared_memory and HAVE_NUMPY:
+            if (
+                ship is None
+                and self.use_shared_memory
+                and HAVE_NUMPY
+                and self._ladder.allows("shm")
+            ):
                 # zero-copy dispatch: columns and results move through one
                 # shared-memory block, the payload shrinks to a span + name
                 shm_group = self._prepare_shm_group(compiled, indices, points, fresh)
+                if shm_group is None:
+                    # creation failed: block the route for a cooldown so the
+                    # next groups go straight to the pickled protocol
+                    self._ladder.note_failure("shm", self.registry)
             sharded_points += len(indices)
             if shm_group is not None:
                 shm_groups[skey] = shm_group
@@ -901,7 +969,9 @@ class SweepService:
                 # so run the whole batch in-process (structures the parent
                 # already holds are simply reused by the serial route)
                 for group in shm_groups.values():
-                    _release_shared_block(group["block"], unlink=True)
+                    _release_shared_block(
+                        group["block"], unlink=True, registry=self.registry
+                    )
                 shm_groups = {}
                 return self._run_serial(groups, points, truncations)
 
@@ -924,9 +994,57 @@ class SweepService:
                     started = time.perf_counter()
                     worker_build_seconds = 0.0
                     tracer = obs_trace.active()
+                    jobs = []
+                    for payload, blob in zip(payloads, blobs):
+                        if isinstance(payload, dict):
+                            a, b = payload["span"]
+                            jobs.append(
+                                ShardJob(payload, blob, models=b - a, route="columns")
+                            )
+                        else:
+                            jobs.append(
+                                ShardJob(
+                                    payload,
+                                    blob,
+                                    models=len(payload[6]),
+                                    route="pickled",
+                                )
+                            )
+
+                    def repickle(job):
+                        # degrade one columns shard to the pickled protocol:
+                        # same models, but the results now return via the
+                        # pickled chunk, so its span is excluded from the
+                        # shared-memory packaging
+                        payload = job.payload
+                        if not isinstance(payload, dict):
+                            return None
+                        group = shm_groups.get(payload["skey"])
+                        if group is None:
+                            return None
+                        a, b = payload["span"]
+                        chunk = [group["indices"][m] for m in range(a, b)]
+                        replacement = self._payload(
+                            payload["skey"], chunk, points, truncations,
+                            None, False, store_root, False,
+                        )
+                        group["external_spans"].append((a, b))
+                        self._ladder.note_failure("shm", self.registry)
+                        job.payload = replacement
+                        return pickle.dumps(replacement, protocol=_PICKLE_PROTOCOL)
+
+                    supervisor = ShardSupervisor(
+                        self,
+                        max_retries=self.max_retries,
+                        shard_timeout=self.shard_timeout,
+                        backoff=self._backoff,
+                    )
                     with obs_trace.span("service.dispatch", shards=len(payloads)):
-                        shard_results = pool.map(_evaluate_shard, blobs)
-                    for skey, compiled, chunk, shard_stats in shard_results:
+                        successes, quarantined = supervisor.dispatch(
+                            jobs, _evaluate_shard, repickle=repickle
+                        )
+                    for job, shard_result in successes:
+                        skey, compiled, chunk, shard_stats = shard_result
                         # every worker counter arrives as one registry
                         # snapshot; merging it is the whole aggregation —
                         # new worker metrics never need parent-side plumbing
@@ -950,10 +1068,34 @@ class SweepService:
                                 group["evaluate_seconds"] += shard_stats.get(
                                     "evaluate_seconds", 0.0
                                 )
+                                self._ladder.note_success("shm", self.registry)
                             else:
                                 group["failed_spans"].append(span)
                             continue
                         evaluated.extend(chunk)
+                        self._ladder.note_success("pickled", self.registry)
+                    # quarantined shards exhausted their retries (or the
+                    # pool is gone): the parent evaluates them itself — the
+                    # bottom rung of the cascade, always available
+                    for job in quarantined:
+                        payload = job.payload
+                        if isinstance(payload, dict):
+                            self._ladder.note_failure("shm", self.registry)
+                            group = shm_groups[payload["skey"]]
+                            group["failed_spans"].append(tuple(payload["span"]))
+                            continue
+                        self._ladder.note_failure("pickled", self.registry)
+                        qkey = payload[0]
+                        truncation = payload[4]
+                        q_indices = payload[5]
+                        q_problems = payload[6]
+                        compiled, reused = self._structure_for(
+                            qkey, q_problems[0], truncation
+                        )
+                        q_results = self._evaluate_group_locally(
+                            compiled, q_problems, reused=reused
+                        )
+                        evaluated.extend(zip(q_indices, q_results))
                     for group in shm_groups.values():
                         self._collect_shm_group(group, evaluated)
                     shm_groups = {}
@@ -979,7 +1121,9 @@ class SweepService:
             return evaluated
         finally:
             for group in shm_groups.values():
-                _release_shared_block(group["block"], unlink=True)
+                _release_shared_block(
+                    group["block"], unlink=True, registry=self.registry
+                )
 
     def _payload(
         self, skey, indices, points, truncations, compiled, fresh, store_root, adopt
@@ -1068,7 +1212,7 @@ def _worker_structure_put(skey, compiled) -> None:
         _WORKER_STRUCTURES.popitem(last=False)
 
 
-def _evaluate_shard(payload):
+def _evaluate_shard(payload, deadline=None):
     """Worker entry point: evaluate one shard of a structure group.
 
     The payload arrives as parent-pickled bytes (the parent accounts the
@@ -1080,9 +1224,18 @@ def _evaluate_shard(payload):
     already hold (``adopt``) is returned so the parent's LRU serves later
     batches without re-resolving.  Dict payloads are the zero-copy
     shared-memory protocol (:func:`_evaluate_shard_columns`).
+
+    ``deadline`` (epoch seconds, from the supervisor) arms the shard-level
+    deadline hook in the batch kernel: a worker stuck in a long pass
+    raises ``DeadlineExceeded`` itself instead of forcing the parent to
+    kill the pool.  The injection sites here model the fault classes the
+    supervision layer must absorb (see :mod:`repro.engine.faults`).
     """
     if isinstance(payload, (bytes, bytearray)):
+        faults.fire("shard.unpickle")
         payload = pickle.loads(payload)
+    faults.fire("worker.kill")
+    faults.fire("worker.hang")
     trace_requested = (
         payload.get("trace") if isinstance(payload, dict) else payload[11]
     )
@@ -1091,10 +1244,11 @@ def _evaluate_shard(payload):
     # one — a forked worker inherits the parent's (useless) active tracer
     tracer = obs_trace.start() if trace_requested else None
     try:
-        if isinstance(payload, dict):
-            result = _evaluate_shard_columns(payload)
-        else:
-            result = _evaluate_shard_pickled(payload)
+        with shard_deadline(deadline):
+            if isinstance(payload, dict):
+                result = _evaluate_shard_columns(payload)
+            else:
+                result = _evaluate_shard_pickled(payload)
     finally:
         if tracer is not None:
             obs_trace.stop()
@@ -1129,7 +1283,9 @@ def _evaluate_shard_pickled(payload):
                 if store_root is not None:
                     from .store import StructureStore
 
-                    loaded = StructureStore(store_root).load(skey, mmap=True)
+                    loaded = StructureStore(store_root, registry=registry).load(
+                        skey, mmap=True
+                    )
                     if loaded is not None:
                         compiled, store_bytes = loaded
                         store_hit = True
@@ -1210,7 +1366,9 @@ def _evaluate_shard_columns(payload):
         if compiled is None:
             from .store import StructureStore
 
-            loaded = StructureStore(payload["store_root"]).load(skey, mmap=True)
+            loaded = StructureStore(payload["store_root"], registry=registry).load(
+                skey, mmap=True
+            )
             if loaded is None:
                 # the metrics snapshot ships even on the ok:false fallback
                 # path, so the parent still counts the worker's store miss
@@ -1229,7 +1387,7 @@ def _evaluate_shard_columns(payload):
         k = payload["models"]
         count_rows = payload["count_rows"]
         location_rows = payload["location_rows"]
-        block = _attach_shared_block(payload["shm"])
+        block = _attach_shared_block(payload["shm"], registry=registry)
         try:
             count = numpy.ndarray(
                 (count_rows, k), dtype=numpy.float64, buffer=block.buf
@@ -1263,6 +1421,6 @@ def _evaluate_shard_columns(payload):
             shard_stats["ok"] = True
         finally:
             count = location = vector = None
-            _release_shared_block(block, unlink=False)
+            _release_shared_block(block, unlink=False, registry=registry)
     shard_stats["metrics"] = registry.snapshot()
     return skey, None, None, shard_stats

@@ -54,6 +54,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from . import faults
 from ..obs import profile as _obs_profile
 from ..obs import trace as _obs_trace
 
@@ -111,6 +112,14 @@ def digest_of(skey: Tuple) -> str:
     return hashlib.sha256(repr(skey).encode()).hexdigest()
 
 
+def _file_sha256(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
 class StructureStore:
     """Content-addressed, versioned store of compiled yield structures.
 
@@ -118,12 +127,24 @@ class StructureStore:
     ----------
     root:
         Directory holding the entries (created on the first save).
+    registry:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`: corrupt
+        entries detected (and quarantined) on the load path are counted
+        into it (``fault.store_corrupt`` / ``fault.store_quarantined``).
     """
 
-    def __init__(self, root: str) -> None:
+    #: Subdirectory corrupt entries are moved into by the quarantine path.
+    QUARANTINE_DIR = "quarantine"
+
+    def __init__(self, root: str, registry=None) -> None:
         if not root:
             raise StoreError("the structure store needs a directory")
         self.root = str(root)
+        self.registry = registry
+
+    def _count(self, metric: str, value: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.inc(metric, value)
 
     # ------------------------------------------------------------------ #
     # Paths
@@ -213,6 +234,7 @@ class StructureStore:
                     len(schedule.bounds), 6
                 ),
             }
+            checksums = {}
             for name in _V2_ARRAYS:
                 suffix = ".%s.npy" % name
                 path = self._sidecar(digest, suffix)
@@ -224,7 +246,12 @@ class StructureStore:
 
                 self._commit(path, "wb", write_npy)
                 nbytes += os.path.getsize(path)
+                checksums[name] = _file_sha256(path)
                 stale.remove(suffix)
+            # recorded for `repro cache verify`: the hot load path stays
+            # checksum-free (hashing would defeat the zero-copy mmap), the
+            # verifier compares these against the bytes on disk
+            meta["checksums"] = checksums
         else:
             meta["linearized"]["layers"] = [
                 [level, list(slots), [list(row) for row in kid_rows]]
@@ -268,7 +295,7 @@ class StructureStore:
     # Load
     # ------------------------------------------------------------------ #
 
-    def load(self, skey: Tuple, *, mmap: bool = False):
+    def load(self, skey: Tuple, *, mmap: bool = False, quarantine: bool = True):
         """Return ``(restored CompiledYield, entry bytes)`` or ``None``.
 
         With ``mmap=True`` (what :class:`repro.engine.service.SweepService`
@@ -276,15 +303,30 @@ class StructureStore:
         ``mmap_mode="r"`` — no copies, and the OS page cache is shared
         across every process mapping the same entry.  Any corruption,
         version skew or digest mismatch loads as a miss (the structural
-        validation includes an edge-range scan of the kids array).
+        validation includes an edge-range scan of the kids array) — and,
+        with ``quarantine=True`` (the default), the damaged entry's files
+        are moved aside into ``<root>/quarantine/`` so the rebuild that
+        follows can re-commit a clean entry instead of tripping over the
+        corpse again.  Detections and quarantines are counted into the
+        store's registry (``fault.store_corrupt``,
+        ``fault.store_quarantined``).
         """
-        return self.load_digest(digest_of(skey), mmap=mmap)
+        return self.load_digest(digest_of(skey), mmap=mmap, quarantine=quarantine)
 
-    def load_digest(self, digest: str, *, mmap: bool = False):
+    def load_digest(self, digest: str, *, mmap: bool = False, quarantine: bool = True):
         """Like :meth:`load`, addressed directly by digest."""
         json_path = self._json_path(digest)
+        if faults.fire("store.corrupt", self.registry):
+            # deterministic fault injection: damage the committed entry on
+            # disk, then read it normally — the regular corruption
+            # detection and quarantine path runs against real damage
+            self._damage_entry(digest)
         meta = self._read_meta(json_path, digest)
         if meta is None:
+            if os.path.exists(json_path):
+                # a marker that exists but does not parse/match is a
+                # corrupt entry, not a plain miss
+                self._note_corrupt(digest, quarantine)
             return None
         started = time.perf_counter()
         with _obs_trace.span("store.load", digest=digest[:16], mmap=mmap) as span:
@@ -298,8 +340,11 @@ class StructureStore:
             except Exception:
                 # anything — truncated arrays, version drift inside the
                 # payload, a concurrent `cache clear` unlinking the files
-                # mid-read — is a miss; the caller rebuilds
+                # mid-read — is a miss; the caller rebuilds.  A concurrent
+                # removal leaves no marker and is not counted as corruption
                 span.set(miss=True)
+                if os.path.exists(json_path):
+                    self._note_corrupt(digest, quarantine)
                 return None
             span.set(nbytes=json_bytes + payload_bytes, mmapped=mmapped)
         profiler = _obs_profile.active()
@@ -429,6 +474,113 @@ class StructureStore:
         )
 
     # ------------------------------------------------------------------ #
+    # Corruption handling: detection, quarantine, verification
+    # ------------------------------------------------------------------ #
+
+    def _note_corrupt(self, digest: str, quarantine: bool) -> None:
+        self._count("fault.store_corrupt")
+        if quarantine and self.quarantine_entry(digest):
+            self._count("fault.store_quarantined")
+
+    def _entry_paths(self, digest: str) -> List[str]:
+        paths = [self._json_path(digest)]
+        paths.extend(self._sidecar(digest, suffix) for suffix in _SIDECAR_SUFFIXES)
+        return [path for path in paths if os.path.exists(path)]
+
+    def quarantine_entry(self, digest: str) -> int:
+        """Move every file of ``digest`` into ``<root>/quarantine/``.
+
+        Returns how many files were moved.  The moved files keep their
+        names, so a human (or a forensic test) can inspect exactly what
+        the loader rejected; a later save of the same digest commits a
+        fresh entry in the original location.
+        """
+        target_dir = os.path.join(self.root, self.QUARANTINE_DIR)
+        moved = 0
+        for path in self._entry_paths(digest):
+            try:
+                os.makedirs(target_dir, exist_ok=True)
+                os.replace(path, os.path.join(target_dir, os.path.basename(path)))
+                moved += 1
+            except OSError:
+                # a concurrent loader may have quarantined (or a writer
+                # replaced) the file first; whoever won, the entry is gone
+                continue
+        return moved
+
+    def _damage_entry(self, digest: str) -> None:
+        """Truncate one committed array of ``digest`` (fault injection only)."""
+        candidates = [
+            self._sidecar(digest, suffix) for suffix in _SIDECAR_SUFFIXES
+        ]
+        candidates = [path for path in candidates if os.path.exists(path)]
+        target = max(candidates, key=os.path.getsize, default=self._json_path(digest))
+        try:
+            size = os.path.getsize(target)
+            with open(target, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        except OSError:  # pragma: no cover - nothing to damage
+            pass
+
+    def verify_entry(self, digest: str) -> Tuple[bool, List[str]]:
+        """Deep-check one committed entry; return ``(ok, problems)``.
+
+        Stronger than the load path: besides restoring the structure (which
+        runs the structural validation — shapes, the edge-range scan), the
+        recorded per-array SHA-256 checksums are compared against the bytes
+        on disk, catching bit-flips that still parse.  Never quarantines;
+        the caller decides (``repro cache verify --repair`` does).
+        """
+        problems: List[str] = []
+        meta = self._read_meta(self._json_path(digest), digest)
+        if meta is None:
+            return False, ["metadata unreadable, format-skewed or digest-mismatched"]
+        for name, expected in (meta.get("checksums") or {}).items():
+            path = self._sidecar(digest, ".%s.npy" % name)
+            try:
+                actual = _file_sha256(path)
+            except OSError as exc:
+                problems.append("array %s unreadable: %s" % (name, exc))
+                continue
+            if actual != expected:
+                problems.append("array %s checksum mismatch" % name)
+        try:
+            linearized, _, _ = self._read_linearized(meta, digest, False)
+            self._restore(meta, linearized)
+        except Exception as exc:
+            problems.append("restore failed: %r" % exc)
+        return not problems, problems
+
+    def verify_all(self, *, repair: bool = False) -> List[Tuple[str, bool, List[str]]]:
+        """Verify every committed entry; quarantine the bad with ``repair``.
+
+        Returns one ``(digest, ok, problems)`` row per entry (corrupt
+        markers that no longer list as entries are still checked).  With
+        ``repair=True`` every failing entry is quarantined and counted,
+        exactly like the load path would.
+        """
+        digests = []
+        if os.path.isdir(self.root):
+            for shard in sorted(os.listdir(self.root)):
+                if shard == self.QUARANTINE_DIR:
+                    continue
+                shard_dir = os.path.join(self.root, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in sorted(os.listdir(shard_dir)):
+                    if name.endswith(".json"):
+                        digests.append(name[: -len(".json")])
+        out = []
+        for digest in digests:
+            ok, problems = self.verify_entry(digest)
+            if not ok:
+                self._count("fault.store_corrupt")
+                if repair and self.quarantine_entry(digest):
+                    self._count("fault.store_quarantined")
+            out.append((digest, ok, problems))
+        return out
+
+    # ------------------------------------------------------------------ #
     # Inspection and maintenance (the ``repro cache`` CLI)
     # ------------------------------------------------------------------ #
 
@@ -446,6 +598,8 @@ class StructureStore:
         if not os.path.isdir(self.root):
             return out
         for shard in sorted(os.listdir(self.root)):
+            if shard == self.QUARANTINE_DIR:
+                continue
             shard_dir = os.path.join(self.root, shard)
             if not os.path.isdir(shard_dir):
                 continue

@@ -1,0 +1,525 @@
+"""Supervised shard dispatch: deadlines, bounded retry, degradation.
+
+:class:`repro.engine.service.SweepService` used to hand its shard blobs to
+``multiprocessing.Pool.map`` and hope: a worker killed mid-shard, a hung
+child or a payload that fails to unpickle either aborted the sweep or
+hung it forever.  This module wraps the dispatch in a supervision loop
+that guarantees **every shard either completes on a worker or is
+evaluated in the parent** — the sweep's results are bit-for-bit identical
+to a fault-free run no matter which faults strike:
+
+* **Deadlines** — every shard gets a deadline scaled from the measured
+  per-model latency (an EWMA kept in the metrics registry as the
+  ``supervise.per_model_seconds`` gauge), overridable with a fixed
+  ``shard_timeout``.  A shard past its deadline is abandoned and the pool
+  respawned, which terminates the hung worker.
+* **Death watch** — the pool's worker pids are watched between polls; a
+  worker that vanished (``kill -9``, OOM, a crash) triggers a pool
+  respawn and the resubmission of every in-flight shard.  Respawning the
+  whole pool (not just the member) is deliberate: a worker killed while
+  holding the shared inqueue lock can deadlock its siblings.
+* **Bounded retry with exponential backoff plus deterministic jitter** —
+  failed shards are retried up to ``max_retries`` times, each retry
+  delayed by :class:`Backoff` (seeded, so test runs are reproducible).
+* **Degradation cascade** — a shared-memory (``columns``) shard whose
+  worker keeps erroring is re-dispatched over the pickled protocol
+  (``repickle`` callback); a shard that exhausts every retry is
+  *quarantined*: returned to the caller, which evaluates it in-parent.
+  :class:`DegradationLadder` keeps per-route state at the service level so
+  a route that failed (e.g. shm creation) is sidestepped for a cooldown
+  and then probed again — the cascade steps back up when the fault clears.
+* **Resource lifecycle** — :class:`ShmJanitor` tracks every shared-memory
+  block the parent creates and unlinks the orphans at interpreter exit,
+  so an exception (or a ``sys.exit``) mid-dispatch cannot leak ``/dev/shm``
+  segments.  (A SIGKILLed parent is covered separately: parent-created
+  blocks stay registered with ``multiprocessing``'s resource tracker,
+  which survives the parent and unlinks them.)
+
+Every transition is counted in the service's metrics registry under the
+``fault.*`` / ``retry.*`` / ``supervise.*`` namespaces (see
+:mod:`repro.obs.metrics`), so ``--stats``, ``--metrics`` and the span
+trace make the fault handling observable.
+"""
+
+from __future__ import annotations
+
+import atexit
+import random
+import threading
+import time
+from collections import deque
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from . import faults
+from ..obs import trace as obs_trace
+
+__all__ = [
+    "Backoff",
+    "DegradationLadder",
+    "ShardJob",
+    "ShardSupervisor",
+    "ShmJanitor",
+    "janitor",
+    "unsupervised_dispatch",
+]
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory janitor
+# --------------------------------------------------------------------- #
+
+
+class ShmJanitor:
+    """Tracks parent-owned shared-memory blocks until they are released.
+
+    The dispatch code adopts every block right after creation and releases
+    it exactly once (close, optionally unlink).  Whatever is still adopted
+    when the interpreter exits — an exception between creation and the
+    ``finally``, a ``sys.exit`` mid-sweep — is closed and unlinked by the
+    atexit sweep, so no ``/dev/shm`` segment outlives the parent process
+    on any orderly exit path.
+    """
+
+    def __init__(self) -> None:
+        self._blocks = {}  # name -> SharedMemory
+        self._lock = threading.Lock()
+
+    def adopt(self, block) -> None:
+        with self._lock:
+            self._blocks[block.name] = block
+
+    def release(self, block, *, unlink: bool, registry=None) -> None:
+        """Close (and optionally unlink) ``block``; idempotent per block."""
+        with self._lock:
+            self._blocks.pop(getattr(block, "name", None), None)
+        try:
+            block.close()
+        except Exception as exc:  # exported views may pin the buffer
+            faults.note_suppressed(registry, "shm.close", exc)
+        if unlink:
+            try:
+                block.unlink()
+            except Exception as exc:  # already removed
+                faults.note_suppressed(registry, "shm.unlink", exc)
+
+    def orphans(self) -> List[str]:
+        with self._lock:
+            return sorted(self._blocks)
+
+    def sweep(self, registry=None) -> int:
+        """Release every still-adopted block; returns how many there were."""
+        with self._lock:
+            leaked = list(self._blocks.values())
+            self._blocks.clear()
+        for block in leaked:
+            try:
+                block.close()
+            except Exception as exc:
+                faults.note_suppressed(registry, "shm.close", exc)
+            try:
+                block.unlink()
+            except Exception as exc:
+                faults.note_suppressed(registry, "shm.unlink", exc)
+        if leaked and registry is not None:
+            registry.inc("fault.shm_orphans", len(leaked))
+        return len(leaked)
+
+
+_JANITOR: Optional[ShmJanitor] = None
+
+
+def janitor() -> ShmJanitor:
+    """The process-wide janitor (created, and atexit-registered, once)."""
+    global _JANITOR
+    if _JANITOR is None:
+        _JANITOR = ShmJanitor()
+        atexit.register(_JANITOR.sweep)
+    return _JANITOR
+
+
+# --------------------------------------------------------------------- #
+# Backoff and degradation state
+# --------------------------------------------------------------------- #
+
+
+class Backoff:
+    """Exponential backoff with deterministic (seeded) jitter.
+
+    ``delay(attempt)`` grows as ``base * factor**(attempt - 1)``, capped,
+    and jittered into ``[0.5, 1.0] * full delay`` by a private seeded RNG —
+    retries never synchronize, yet a fixed seed reproduces the exact delay
+    sequence, which the deterministic fault harness relies on.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        cap: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if base < 0 or factor < 1.0 or cap < 0:
+            raise ValueError("invalid backoff parameters")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.cap = float(cap)
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        full = min(self.cap, self.base * self.factor ** max(0, attempt - 1))
+        return full * (0.5 + 0.5 * self._rng.random())
+
+
+#: The dispatch routes, best first.  ``shm`` moves columns through a
+#: shared-memory block, ``pickled`` ships pickled problems, ``parent``
+#: evaluates in-process (always available, never blocked).
+ROUTES = ("shm", "pickled", "parent")
+
+
+class DegradationLadder:
+    """Per-route health state driving the shm → pickled → parent cascade.
+
+    A failure at a route blocks it for ``cooldown`` subsequent successes
+    at *any* lower route; each success pays the cooldown down, and once it
+    reaches zero the route is probed again — so a transient fault (a full
+    ``/dev/shm``) degrades the service only until the fault clears, while
+    a persistent one keeps the service on the working route.  With
+    ``enabled=False`` (the ``--no-degrade`` flag) failures still fall back
+    for the *current* shard, but no state is kept: every new group starts
+    back at the top route.
+    """
+
+    def __init__(self, enabled: bool = True, cooldown: int = 2) -> None:
+        self.enabled = bool(enabled)
+        self.cooldown = int(cooldown)
+        self._blocked = {route: 0 for route in ROUTES}
+
+    def allows(self, route: str) -> bool:
+        return not self.enabled or self._blocked.get(route, 0) <= 0
+
+    def preferred(self, top: str = "shm") -> str:
+        """The best currently-allowed route at or below ``top``."""
+        routes = ROUTES[ROUTES.index(top):]
+        for route in routes:
+            if self.allows(route):
+                return route
+        return "parent"
+
+    def note_failure(self, route: str, registry=None) -> None:
+        if not self.enabled:
+            return
+        self._blocked[route] = self.cooldown
+        if registry is not None:
+            registry.inc("fault.degrade.%s" % route)
+
+    def note_success(self, route: str, registry=None) -> None:
+        """A shard finished on ``route``: pay down the routes above it."""
+        if not self.enabled:
+            return
+        index = ROUTES.index(route)
+        for above in ROUTES[:index]:
+            if self._blocked[above] > 0:
+                self._blocked[above] -= 1
+                if self._blocked[above] <= 0 and registry is not None:
+                    registry.inc("fault.restore.%s" % above)
+
+
+# --------------------------------------------------------------------- #
+# The supervisor
+# --------------------------------------------------------------------- #
+
+
+class ShardJob:
+    """One unit of supervised dispatch: a payload, its blob, its history."""
+
+    __slots__ = (
+        "payload",
+        "blob",
+        "models",
+        "route",
+        "attempts",
+        "respawns",
+        "not_before",
+        "deadline_scale",
+        "submitted",
+        "deadline",
+        "handle",
+    )
+
+    def __init__(self, payload, blob, *, models: int, route: str) -> None:
+        self.payload = payload
+        self.blob = blob
+        self.models = int(models)
+        self.route = route
+        self.attempts = 0  # failures charged to this job itself
+        self.respawns = 0  # collateral resubmissions after a pool respawn
+        self.not_before = 0.0
+        self.deadline_scale = 1.0
+        self.submitted = 0.0
+        self.deadline = 0.0
+        self.handle = None
+
+
+class ShardSupervisor:
+    """Drives a batch of :class:`ShardJob` through the pool to completion.
+
+    Parameters
+    ----------
+    service:
+        The owning :class:`~repro.engine.service.SweepService`; the
+        supervisor only uses ``ensure_workers()`` / ``respawn_workers()``
+        and the metrics registry.
+    max_retries:
+        How many times one shard may fail (timeout or error) before it is
+        quarantined to the parent.
+    shard_timeout:
+        Fixed per-shard deadline in seconds; ``None`` computes one from
+        the measured per-model latency (see :meth:`deadline_for`).
+    """
+
+    #: EWMA weight of the newest per-model latency sample.
+    LATENCY_ALPHA = 0.3
+    #: Safety factor between expected and allowed shard duration.
+    DEADLINE_FACTOR = 8.0
+    #: Deadline used before any latency has been measured (must cover a
+    #: worker-side structure build), and the floor under computed ones.
+    DEFAULT_DEADLINE = 60.0
+    DEADLINE_FLOOR = 0.5
+    #: How many collateral resubmissions (pool respawns) one job survives
+    #: before it is quarantined along with the genuinely failing ones.
+    MAX_RESPAWNS = 4
+    #: Longest the supervisor sleeps between health scans; worker deaths
+    #: (not signalled through any waitable handle) are noticed within this.
+    WATCHDOG_INTERVAL = 0.1
+
+    def __init__(
+        self,
+        service,
+        *,
+        max_retries: int = 2,
+        shard_timeout: Optional[float] = None,
+        backoff: Optional[Backoff] = None,
+        poll_interval: float = 0.005,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        self.service = service
+        self.registry = service.registry
+        self.max_retries = int(max_retries)
+        self.shard_timeout = shard_timeout
+        self.backoff = backoff if backoff is not None else Backoff()
+        self.poll_interval = float(poll_interval)
+        self._known_pids: set = set()
+
+    # -- deadlines ---------------------------------------------------------
+
+    def deadline_for(self, job: ShardJob) -> float:
+        """Seconds this job may spend on a worker before it is abandoned."""
+        if self.shard_timeout is not None:
+            return self.shard_timeout * job.deadline_scale
+        per_model = self.registry.gauge("supervise.per_model_seconds")
+        if not per_model:
+            return self.DEFAULT_DEADLINE * job.deadline_scale
+        computed = self.DEADLINE_FACTOR * per_model * max(1, job.models) + 0.5
+        return max(self.DEADLINE_FLOOR, computed) * job.deadline_scale
+
+    def _observe_latency(self, job: ShardJob, seconds: float) -> None:
+        self.registry.observe("retry.shard_seconds", seconds)
+        per_model = seconds / max(1, job.models)
+        previous = self.registry.gauge("supervise.per_model_seconds")
+        if previous:
+            per_model = (
+                (1.0 - self.LATENCY_ALPHA) * previous + self.LATENCY_ALPHA * per_model
+            )
+        self.registry.set_gauge("supervise.per_model_seconds", per_model)
+
+    # -- pool health -------------------------------------------------------
+
+    def _worker_pids(self, pool) -> set:
+        try:
+            return {p.pid for p in pool._pool if p.exitcode is None}
+        except Exception:  # pool internals unavailable on this platform
+            return set()
+
+    def _deaths_since_last_check(self, pool) -> int:
+        current = self._worker_pids(pool)
+        if not current and not self._known_pids:
+            return 0
+        lost = len(self._known_pids - current)
+        self._known_pids = current
+        return lost
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(
+        self,
+        jobs: Sequence[ShardJob],
+        worker: Callable,
+        *,
+        repickle: Optional[Callable[[ShardJob], Optional[bytes]]] = None,
+    ) -> Tuple[List[Tuple[ShardJob, object]], List[ShardJob]]:
+        """Run every job to completion or quarantine.
+
+        Returns ``(successes, quarantined)``: ``successes`` pairs each job
+        with its worker result (in completion order); ``quarantined`` jobs
+        exhausted their retries (or the pool is gone) and must be
+        evaluated by the caller in-parent.
+        """
+        pending = deque(jobs)
+        inflight: List[ShardJob] = []
+        successes: List[Tuple[ShardJob, object]] = []
+        quarantined: List[ShardJob] = []
+
+        pool = self.service.ensure_workers()
+        if pool is None:
+            return [], list(jobs)
+        self._known_pids = self._worker_pids(pool)
+
+        with obs_trace.span("service.supervise", shards=len(jobs)):
+            while pending or inflight:
+                now = time.monotonic()
+                # submit whatever is eligible (backoff delays respected)
+                held = []
+                while pending:
+                    job = pending.popleft()
+                    if job.not_before > now:
+                        held.append(job)
+                        continue
+                    limit = self.deadline_for(job)
+                    job.submitted = now
+                    job.deadline = now + limit
+                    # the worker receives the deadline as epoch seconds
+                    # (comparable across processes) and aborts its own
+                    # kernel passes past it — see batch.shard_deadline
+                    job.handle = pool.apply_async(
+                        worker, (job.blob, time.time() + limit)
+                    )
+                    inflight.append(job)
+                pending.extend(held)
+
+                respawn_needed = False
+                still_running: List[ShardJob] = []
+                for job in inflight:
+                    if job.handle.ready():
+                        try:
+                            result = job.handle.get()
+                        except Exception as exc:
+                            self._note_failure(job, exc)
+                            self._requeue(job, pending, quarantined, repickle)
+                        else:
+                            self._observe_latency(job, time.monotonic() - job.submitted)
+                            successes.append((job, result))
+                        continue
+                    if time.monotonic() > job.deadline:
+                        # hung (or silently dead) worker: charge the job,
+                        # give it a longer leash next time, and replace the
+                        # pool — terminating the pool is what actually
+                        # interrupts the hung child
+                        self.registry.inc("fault.shard_timeout")
+                        job.attempts += 1
+                        job.deadline_scale *= 2.0
+                        self._requeue(job, pending, quarantined, repickle)
+                        respawn_needed = True
+                        continue
+                    still_running.append(job)
+                inflight = still_running
+
+                lost = self._deaths_since_last_check(pool)
+                if lost:
+                    self.registry.inc("fault.worker_lost", lost)
+                    respawn_needed = True
+
+                if respawn_needed:
+                    # in-flight work on the old pool is unrecoverable (the
+                    # lost task never completes; siblings may share a lock
+                    # with the dead worker) — resubmit everything on a
+                    # fresh pool, within a collateral-respawn bound
+                    for job in inflight:
+                        job.handle = None
+                        job.respawns += 1
+                        if job.respawns > self.MAX_RESPAWNS:
+                            self.registry.inc("fault.quarantined")
+                            quarantined.append(job)
+                        else:
+                            pending.append(job)
+                    inflight = []
+                    self.registry.inc("supervise.respawns")
+                    pool = self.service.respawn_workers()
+                    if pool is None:  # platform stopped spawning processes
+                        quarantined.extend(pending)
+                        pending.clear()
+                        break
+                    self._known_pids = self._worker_pids(pool)
+                    continue
+
+                if inflight or pending:
+                    # sleep until the next *event*: the oldest in-flight
+                    # result landing (wait() wakes instantly), a deadline
+                    # expiring, or a backoff hold ending — capped at the
+                    # watchdog cadence so worker deaths are still noticed.
+                    # Workers pull shards from the shared queue without the
+                    # parent's help, so coarse wake-ups cost nothing on the
+                    # fault-free path; a busy 5 ms poll measurably starves
+                    # the workers on small machines
+                    now = time.monotonic()
+                    horizon = self.WATCHDOG_INTERVAL
+                    for job in inflight:
+                        horizon = min(horizon, job.deadline - now)
+                    for job in pending:
+                        horizon = min(horizon, job.not_before - now)
+                    timeout = max(self.poll_interval, horizon)
+                    if inflight:
+                        inflight[0].handle.wait(timeout)
+                    else:
+                        time.sleep(timeout)
+        return successes, quarantined
+
+    def _note_failure(self, job: ShardJob, exc: BaseException) -> None:
+        if type(exc).__name__ == "DeadlineExceeded":
+            # the worker noticed the deadline itself (shard-level hook in
+            # the batch kernel): same treatment as a parent-side timeout
+            self.registry.inc("fault.shard_timeout")
+            job.deadline_scale *= 2.0
+        else:
+            self.registry.inc("fault.shard_error")
+        job.attempts += 1
+
+    def _requeue(self, job, pending, quarantined, repickle) -> None:
+        """Schedule a failed job's next attempt, degrading or quarantining."""
+        if job.attempts > self.max_retries:
+            self.registry.inc("fault.quarantined")
+            quarantined.append(job)
+            return
+        if job.route == "columns" and job.attempts >= 2 and repickle is not None:
+            # the shared-memory route failed twice for this shard: step it
+            # down to the pickled protocol before the last retries
+            blob = repickle(job)
+            if blob is not None:
+                job.blob = blob
+                job.route = "pickled"
+                self.registry.inc("fault.degrade.shard")
+        delay = self.backoff.delay(job.attempts)
+        self.registry.inc("retry.attempts")
+        self.registry.observe("retry.backoff_seconds", delay)
+        job.not_before = time.monotonic() + delay
+        job.handle = None
+        pending.append(job)
+
+
+def unsupervised_dispatch(
+    supervisor: ShardSupervisor, jobs: Sequence[ShardJob], worker: Callable, **_
+) -> Tuple[List[Tuple[ShardJob, object]], List[ShardJob]]:
+    """The pre-supervision dispatch: one bare ``pool.map``, no safety net.
+
+    Kept as the overhead baseline for ``benchmarks/test_engine_sweep.py``:
+    the fault-free supervised path must stay within a few percent of this.
+    Any worker failure propagates (exactly the behaviour supervision
+    removes) — never use this outside the benchmark.
+    """
+    pool = supervisor.service.ensure_workers()
+    if pool is None:
+        return [], list(jobs)
+    results = pool.map(worker, [job.blob for job in jobs])
+    return list(zip(jobs, results)), []

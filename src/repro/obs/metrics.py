@@ -15,6 +15,26 @@ piggybacked on their shard result; the parent folds it in with
 ``merge_snapshot()``.  ``diff()`` subtracts an older snapshot to get a
 delta, and ``expose_text()`` renders the Prometheus text exposition
 format for ``--metrics FILE``.
+
+The fault-tolerance layer (:mod:`repro.engine.supervise` /
+:mod:`repro.engine.faults`) publishes into three reserved namespaces:
+
+* ``fault.*`` — counters, one per fault class and transition:
+  ``fault.worker_lost``, ``fault.shard_timeout``, ``fault.shard_error``,
+  ``fault.shm_create``, ``fault.store_corrupt``,
+  ``fault.store_quarantined``, ``fault.quarantined`` (shards routed to
+  in-parent evaluation), ``fault.degrade.<route>`` /
+  ``fault.restore.<route>`` (cascade transitions), ``fault.suppressed``
+  (swallowed cleanup failures) and ``fault.injected[.<site>]``
+  (deterministic injections);
+* ``retry.*`` — ``retry.attempts`` plus the ``retry.backoff_seconds`` and
+  ``retry.shard_seconds`` histograms;
+* ``supervise.*`` — ``supervise.respawns`` and the
+  ``supervise.per_model_seconds`` latency gauge that deadlines are
+  scaled from.
+
+:meth:`MetricsRegistry.counters_with_prefix` slices any one namespace out
+of the registry (used by ``--stats`` and the fault-injection suite).
 """
 
 from __future__ import annotations
@@ -109,6 +129,15 @@ class MetricsRegistry:
     def counter(self, name):
         with self._lock:
             return self._counters.get(name, 0)
+
+    def counters_with_prefix(self, prefix):
+        """All counters whose name starts with ``prefix``, as a dict."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
 
     # -- gauges -----------------------------------------------------------
 

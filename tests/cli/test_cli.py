@@ -291,6 +291,83 @@ class TestCache:
         assert code == 0
         assert stats_values(capsys.readouterr().out)["store.hits"] == "1"
 
+    def test_verify_of_a_clean_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["cache", "warm", store_dir, "MS2", "--max-defects", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 ok, 0 corrupt" in out
+
+    def test_verify_reports_and_repairs_corruption(self, tmp_path, capsys):
+        import glob
+        import os
+
+        store_dir = str(tmp_path / "store")
+        assert main(["cache", "warm", store_dir, "MS2", "--max-defects", "2"]) == 0
+        capsys.readouterr()
+        sidecars = glob.glob(os.path.join(store_dir, "*", "*.npy"))
+        if not sidecars:
+            pytest.skip("no npy sidecars without numpy")
+        target = max(sidecars, key=os.path.getsize)
+        with open(target, "r+b") as handle:
+            handle.truncate(os.path.getsize(target) // 2)
+
+        # report-only: corrupt entries found -> exit 1, nothing moved
+        assert main(["cache", "verify", store_dir]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "CORRUPT" in out
+        assert not os.path.isdir(os.path.join(store_dir, "quarantine"))
+
+        # --repair quarantines and exits 0; the store is then clean
+        assert main(["cache", "verify", store_dir, "--repair"]) == 0
+        assert "quarantined" in capsys.readouterr().out
+        assert os.path.isdir(os.path.join(store_dir, "quarantine"))
+        assert main(["cache", "verify", store_dir]) == 0
+        assert "0 ok, 0 corrupt" in capsys.readouterr().out
+
+    def test_verify_of_a_missing_store_is_an_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such-store")
+        assert main(["cache", "verify", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweepFaultOptions:
+    def test_sweep_accepts_the_supervision_flags(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "MS2",
+                "--max-defects",
+                "2",
+                "--densities",
+                "1.0",
+                "2.0",
+                "--max-retries",
+                "1",
+                "--shard-timeout",
+                "30",
+                "--no-degrade",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "Engine statistics" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [["--shard-timeout", "-3"], ["--max-retries", "-1"]],
+        ids=["negative-timeout", "negative-retries"],
+    )
+    def test_invalid_supervision_values_are_rejected_up_front(self, flags, capsys):
+        # even a sweep that never shards (serial route) must not accept
+        # an unusable supervision configuration
+        code = main(
+            ["sweep", "MS2", "--max-defects", "2", "--densities", "1.0"] + flags
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestTelemetry:
     def test_sweep_exports_trace_and_metrics(self, tmp_path, capsys):

@@ -284,3 +284,96 @@ class TestWorkerWarmStart:
         reference = SweepService(ordering=ORDERING)
         expected = reference.density_sweep(make_problem, densities, max_defects=3)
         assert rows == expected
+
+
+class TestVerifyAndQuarantine:
+    def test_verify_entry_passes_on_a_clean_save(self, tmp_path):
+        _, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        store.save(skey, compiled)
+        ok, problems = store.verify_entry(digest_of(skey))
+        assert ok and problems == []
+
+    def test_save_records_per_array_checksums(self, tmp_path):
+        _, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        store.save(skey, compiled)
+        with open(store._json_path(digest_of(skey))) as handle:
+            meta = json.load(handle)
+        checksums = meta.get("checksums")
+        if checksums:  # npy sidecars only exist with numpy
+            assert all(len(value) == 64 for value in checksums.values())
+
+    def test_verify_detects_a_silent_bit_flip(self, tmp_path):
+        """Damage that still parses is caught by the recorded checksums."""
+        _, compiled, skey = compile_structure()
+        store = StructureStore(str(tmp_path / "store"))
+        store.save(skey, compiled)
+        digest = digest_of(skey)
+        kids_path = store._sidecar(digest, ".kids.npy")
+        if not os.path.exists(kids_path):
+            pytest.skip("no npy sidecars without numpy")
+        with open(kids_path, "r+b") as handle:
+            handle.seek(os.path.getsize(kids_path) - 1)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        ok, problems = store.verify_entry(digest)
+        assert not ok
+        assert any("checksum" in problem for problem in problems)
+
+    def test_verify_all_repair_quarantines_corrupt_entries(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = StructureStore(str(tmp_path / "store"), registry=registry)
+        _, compiled, skey = compile_structure()
+        store.save(skey, compiled)
+        other = make_problem(2.0)
+        okey = structure_key(other, 4, ORDERING)
+        store.save(okey, YieldAnalyzer(ORDERING).compile_for_truncation(other, 4))
+
+        digest = digest_of(skey)
+        kids_path = store._sidecar(digest, ".kids.npy")
+        if not os.path.exists(kids_path):
+            pytest.skip("no npy sidecars without numpy")
+        with open(kids_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(kids_path) // 2)
+
+        rows = store.verify_all(repair=False)
+        assert len(rows) == 2
+        assert sum(1 for _, ok, _ in rows if not ok) == 1
+        assert store.contains(skey)  # report-only: nothing moved yet
+
+        rows = store.verify_all(repair=True)
+        assert sum(1 for _, ok, _ in rows if not ok) == 1
+        assert not store.contains(skey)
+        assert store.contains(okey)
+        quarantine_dir = tmp_path / "store" / StructureStore.QUARANTINE_DIR
+        assert quarantine_dir.is_dir() and any(quarantine_dir.iterdir())
+        assert registry.counter("fault.store_quarantined") == 1
+        # entries() must not list the quarantined corpse
+        assert [entry.digest for entry in store.entries()] == [digest_of(okey)]
+
+    def test_load_quarantines_a_corrupt_entry_and_rebuild_recommits(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = StructureStore(str(tmp_path / "store"), registry=registry)
+        _, compiled, skey = compile_structure()
+        store.save(skey, compiled)
+        digest = digest_of(skey)
+        kids_path = store._sidecar(digest, ".kids.npy")
+        if not os.path.exists(kids_path):
+            pytest.skip("no npy sidecars without numpy")
+        with open(kids_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(kids_path) // 2)
+
+        assert store.load(skey) is None  # corruption loads as a miss
+        assert registry.counter("fault.store_corrupt") == 1
+        assert registry.counter("fault.store_quarantined") == 1
+        assert not store.contains(skey)  # the corpse was moved aside
+
+        store.save(skey, compiled)  # the rebuild recommits cleanly
+        restored, _ = store.load(skey)
+        assert restored is not None
