@@ -23,6 +23,11 @@ Python:
   (``ls``/``info``/``warm``/``clear``): compiled decision-diagram
   structures serialized under ``--store-dir`` so later processes (and
   worker shards) warm-start from disk instead of rebuilding;
+* ``serve``             — long-lived asyncio HTTP front end over one shared
+  sweep service (:mod:`repro.server`): JSON sweep/importance endpoints with
+  per-structure-key request coalescing, NDJSON streaming, bounded admission
+  control (429 + ``Retry-After``), ``/healthz`` and a Prometheus ``/stats``,
+  graceful drain on SIGTERM;
 * ``trace FILE``        — summarize a Chrome trace-event file exported with
   ``sweep/importance --trace`` as an indented span tree;
 * ``table {1,2,3,4}``   — regenerate one of the paper's tables on the small
@@ -309,6 +314,79 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="move corrupt entries into the store's quarantine/ directory "
         "(they are rebuilt on the next sweep that needs them)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve sweep/importance queries over HTTP from one shared engine",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; 0.0.0.0 in containers)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, help="TCP port to bind (default 8000)"
+    )
+    _add_method_options(serve)
+    serve.add_argument(
+        "--workers",
+        "--jobs",
+        dest="workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="evaluate structure groups (and shards of large groups) in N processes",
+    )
+    serve.add_argument(
+        "--shard-size",
+        type=int,
+        default=16,
+        metavar="POINTS",
+        help="minimum points per intra-group worker shard (default 16)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist sweep results under DIR and reuse them across requests",
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist compiled structures under DIR: restarts (and worker "
+        "shards) warm-start from disk instead of rebuilding",
+    )
+    serve.add_argument(
+        "--no-shared-memory",
+        dest="shared_memory",
+        action="store_false",
+        help="disable zero-copy shared-memory shard dispatch",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admit at most N concurrent sweep/importance requests; the "
+        "next one gets 429 + Retry-After (default 64)",
+    )
+    serve.add_argument(
+        "--http-threads",
+        type=int,
+        default=8,
+        metavar="N",
+        help="threads executing (blocking) engine calls for the event loop "
+        "(default 8)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long a SIGTERM drain waits for in-flight requests "
+        "(default 10)",
     )
 
     table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
@@ -693,6 +771,60 @@ def _run_importance(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import asyncio
+
+    from .engine.service import SweepService
+    from .server import YieldServer
+
+    try:
+        service = SweepService(
+            ordering=_ordering_from(args),
+            epsilon=args.epsilon,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            cache_dir=args.cache_dir,
+            store_dir=args.store_dir,
+            use_shared_memory=args.shared_memory,
+        )
+    except (OrderingError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    server = YieldServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        http_threads=args.http_threads,
+        drain_grace=args.drain_grace,
+    )
+
+    async def main() -> None:
+        await server.start()
+        print(
+            "repro serve: listening on http://%s:%d (workers=%d, max-queue=%d)"
+            % (server.host, server.port, args.workers, args.max_queue),
+            flush=True,
+        )
+        if args.workers > 1:
+            service.ensure_workers()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-timing dependent
+        pass
+    except OSError as exc:
+        # bind failures (port in use, privileged port, bad interface)
+        print("error: cannot listen on %s:%d: %s" % (args.host, args.port, exc),
+              file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    print("repro serve: drained, bye")
+    return 0
+
+
 def _run_trace(args) -> int:
     import json
 
@@ -859,6 +991,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _run_sweep(args)
     if args.command == "importance":
         return _run_importance(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "cache":
         return _run_cache(args)
     if args.command == "table":

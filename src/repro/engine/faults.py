@@ -33,14 +33,26 @@ Sites
 Installation
 ------------
 
-A plan is installed per process, either programmatically
-(``SweepService(fault_plan=...)`` → :func:`install`) or through the
-``REPRO_FAULT_PLAN`` environment variable (a JSON spec, read lazily on
-first use — this is how the CI chaos job and spawned worker processes
-get their plan).  Worker processes forked from a parent with an
-installed plan inherit it, with occurrence counters starting from the
-parent's values at fork time — identical for every pool member, so the
-injection schedule stays deterministic per worker.
+Plans have three scopes, consulted in this order by :func:`active`:
+
+* **thread-scoped** — ``with faults.scoped(plan):`` activates a plan for
+  the calling thread only.  This is how ``SweepService(fault_plan=...)``
+  isolates its plan: every service wraps its own evaluation paths in a
+  scope, so two services in one process (or many server threads sharing
+  one process) never see each other's plans, and closing a service
+  leaves no global state behind.
+* **process-global** — :func:`install` (kept for tests and tools that
+  deliberately want process-wide injection).
+* **environment** — the ``REPRO_FAULT_PLAN`` variable (a JSON spec,
+  read lazily on first use — this is how the CI chaos job gets its
+  plan into every process).
+
+Worker pool members receive the owning service's plan through the pool
+initializer (:func:`install_worker_plan`): each worker installs a fresh
+copy with occurrence counters starting at zero — identical for every
+pool member, so the injection schedule stays deterministic per worker.
+Workers of a plan-less service install nothing and still resolve the
+environment variable lazily, exactly like any other process.
 """
 
 from __future__ import annotations
@@ -51,6 +63,7 @@ import os
 import signal
 import threading
 import time
+from contextlib import contextmanager
 from typing import Dict, Optional
 
 __all__ = [
@@ -60,7 +73,9 @@ __all__ = [
     "clear",
     "fire",
     "install",
+    "install_worker_plan",
     "note_suppressed",
+    "scoped",
 ]
 
 #: Environment variable holding a JSON plan spec (see :meth:`FaultPlan.from_spec`).
@@ -202,9 +217,13 @@ class FaultPlan:
 #: consulted on first use); ``None`` means "resolved: no plan".
 _ACTIVE = False
 
+#: Thread-scoped plan stacks (see :func:`scoped`); consulted before the
+#: process-global plan so concurrently-open services stay isolated.
+_SCOPE = threading.local()
+
 
 def install(plan: Optional[FaultPlan]) -> None:
-    """Install ``plan`` for this process (``None`` disables injection)."""
+    """Install ``plan`` process-globally (``None`` disables injection)."""
     global _ACTIVE
     _ACTIVE = plan
 
@@ -215,9 +234,51 @@ def clear() -> None:
     _ACTIVE = False
 
 
+@contextmanager
+def scoped(plan: Optional[FaultPlan]):
+    """Activate ``plan`` for the calling thread for the ``with`` body.
+
+    Scopes nest (the innermost wins) and shadow the process-global and
+    environment plans.  ``None`` is a no-op scope: the thread keeps
+    whatever plan it would otherwise resolve — a service without a
+    ``fault_plan`` must not mask a deliberate process-wide installation.
+    """
+    if plan is None:
+        yield None
+        return
+    stack = getattr(_SCOPE, "stack", None)
+    if stack is None:
+        stack = _SCOPE.stack = []
+    stack.append(plan)
+    try:
+        yield plan
+    finally:
+        stack.pop()
+
+
+def install_worker_plan(text: Optional[str]) -> None:
+    """Pool-initializer: install the owning service's plan in a worker.
+
+    Runs once per pool member with the plan's JSON spec (or ``None``).
+    A fresh :class:`FaultPlan` is built per worker, so occurrence
+    counters start at zero in every member — the deterministic
+    per-worker schedule the fault suite relies on.  A malformed spec is
+    ignored rather than killing the pool at spawn time.
+    """
+    if not text:
+        return
+    try:
+        install(FaultPlan.from_json(text))
+    except (ValueError, TypeError):  # pragma: no cover - defensive
+        _log.warning("ignoring malformed worker fault plan %r", text)
+
+
 def active() -> Optional[FaultPlan]:
-    """The installed plan, resolving ``REPRO_FAULT_PLAN`` on first use."""
+    """The effective plan: thread scope, then process, then the env var."""
     global _ACTIVE
+    stack = getattr(_SCOPE, "stack", None)
+    if stack:
+        return stack[-1]
     if _ACTIVE is False:
         text = os.environ.get(PLAN_ENV)
         try:

@@ -59,8 +59,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -71,6 +73,11 @@ from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Cache-miss sentinel: the result caches must be able to store *any*
+#: value — including ``None`` — so lookups compare against this marker
+#: instead of testing the stored value's truthiness.
+_MISS = object()
 
 
 def _attach_shared_block(name: str, registry=None):
@@ -203,6 +210,63 @@ _TIMER_METRICS = {
 }
 
 
+class _Applied:
+    """Marker consumed by ``SweepServiceStats.__setattr__`` after ``+=``."""
+
+    __slots__ = ()
+
+
+_APPLIED = _Applied()
+
+
+class _CounterValue(int):
+    """An int whose ``+=`` is one atomic registry increment.
+
+    ``stats.x += n`` expands to a read (``__getattr__``), an add and a
+    write-back (``__setattr__``) — under concurrent callers the write-back
+    of a stale read loses updates.  Returning this from ``__getattr__``
+    routes the add through ``__iadd__`` → ``registry.inc`` (atomic under
+    the registry lock) and hands ``__setattr__`` a marker to discard, so
+    every ``+=`` in the service is a single atomic increment while plain
+    reads still behave as ints.
+    """
+
+    # no __slots__: variable-sized bases (int) do not support them
+
+    def __new__(cls, value, registry, metric):
+        self = int.__new__(cls, value)
+        self._registry = registry
+        self._metric = metric
+        return self
+
+    def __iadd__(self, other):
+        if other:
+            self._registry.inc(self._metric, other)
+        return _APPLIED
+
+    def __isub__(self, other):
+        if other:
+            self._registry.inc(self._metric, -other)
+        return _APPLIED
+
+
+class _TimerValue(float):
+    """A float whose ``+=`` is one atomic histogram observation."""
+
+    __slots__ = ("_registry", "_metric")
+
+    def __new__(cls, value, registry, metric):
+        self = float.__new__(cls, value)
+        self._registry = registry
+        self._metric = metric
+        return self
+
+    def __iadd__(self, other):
+        if other:
+            self._registry.observe(self._metric, other)
+        return _APPLIED
+
+
 class SweepServiceStats:
     """Monotone counters describing what a service instance did so far.
 
@@ -212,7 +276,8 @@ class SweepServiceStats:
     exposition) and worker-process deltas aggregate into them.  The
     attribute API is unchanged: counters read/``+=`` as ints, the
     ``*_seconds`` attributes as floats (each ``+=`` becomes one histogram
-    observation).
+    observation) — and every ``+=`` is atomic (one registry operation
+    under the registry lock), so concurrent callers never lose updates.
     """
 
     __slots__ = ("registry",)
@@ -225,21 +290,25 @@ class SweepServiceStats:
     def __getattr__(self, name):
         metric = _COUNTER_METRICS.get(name)
         if metric is not None:
-            return self.registry.counter(metric)
+            return _CounterValue(self.registry.counter(metric), self.registry, metric)
         metric = _TIMER_METRICS.get(name)
         if metric is not None:
-            return self.registry.histogram_sum(metric)
+            return _TimerValue(
+                self.registry.histogram_sum(metric), self.registry, metric
+            )
         raise AttributeError(name)
 
     def __setattr__(self, name, value):
+        if value is _APPLIED:
+            return  # ``+=`` already applied atomically by __iadd__
         metric = _COUNTER_METRICS.get(name)
         if metric is not None:
             self.registry.set_counter(metric, value)
             return
         metric = _TIMER_METRICS.get(name)
         if metric is not None:
-            # ``stats.x += dt`` arrives as a plain assignment of the new
-            # total; record the delta as one histogram sample.
+            # a plain assignment of a new total (legacy callers): record
+            # the delta as one histogram sample.
             delta = value - self.registry.histogram_sum(metric)
             if delta:
                 self.registry.observe(metric, delta)
@@ -419,8 +488,13 @@ class SweepService:
             raise ValueError("max_retries cannot be negative")
         if shard_timeout is not None and shard_timeout <= 0:
             raise ValueError("shard_timeout must be positive")
-        if fault_plan is not None:
-            faults.install(fault_plan)
+        #: The service's fault plan is *scoped*, not process-global: the
+        #: parent-side injection sites see it through a thread-local
+        #: ``faults.scoped`` block around every evaluation path, and pool
+        #: workers receive a fresh copy through the pool initializer —
+        #: so two services in one process never clobber each other's
+        #: plans and ``close()`` leaves no injection state behind.
+        self._fault_plan = fault_plan
         #: Degradation cascade over dispatch routes (shm -> pickled ->
         #: in-parent); ``degrade=False`` pins every shard to its first
         #: route and surfaces faults after the retry budget instead.
@@ -431,6 +505,20 @@ class SweepService:
         self._results: "OrderedDict[Tuple, object]" = OrderedDict()
         self._pool = None
         self._pool_broken = False
+        #: Reentrant guard over every piece of shared mutable state: the
+        #: structure/result LRUs, the per-key lock table and the lazy
+        #: pool reference.  Held only for dict-sized critical sections —
+        #: builds, store IO and kernel passes run outside it.
+        self._lock = threading.RLock()
+        #: Per-structure-key build/evaluate locks: concurrent callers of
+        #: the same key coalesce on one build (and serialize their passes
+        #: over the shared compiled structure, whose linearization caches
+        #: are not reentrant); different keys proceed in parallel.
+        self._key_locks: Dict[Tuple, list] = {}
+        #: One supervised pool dispatch at a time: the supervisor owns the
+        #: pool's health (respawn on faults), which cannot be shared by
+        #: two concurrent dispatch loops.
+        self._dispatch_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -444,9 +532,13 @@ class SweepService:
 
     def evaluate_batch(self, points: Sequence[SweepPoint]) -> List[object]:
         """Evaluate every point and return the results in request order."""
+        with self._fault_scope():
+            return self._evaluate_batch(points)
+
+    def _evaluate_batch(self, points: Sequence[SweepPoint]) -> List[object]:
         points = list(points)
         self.stats.points_requested += len(points)
-        results: List[Optional[object]] = [None] * len(points)
+        results: List[object] = [_MISS] * len(points)
 
         # resolve truncations and serve what the caches already know
         pending: Dict[Tuple, List[int]] = {}
@@ -457,14 +549,15 @@ class SweepService:
             truncations[idx] = truncation
             rkey = result_key(point.problem, truncation, self.ordering)
             keys[idx] = rkey
-            cached = self._results.get(rkey)
-            if cached is not None:
-                self._results.move_to_end(rkey)
-                self.stats.result_cache_hits += 1
-                results[idx] = cached
-                continue
+            with self._lock:
+                cached = self._results.get(rkey, _MISS)
+                if cached is not _MISS:
+                    self._results.move_to_end(rkey)
+                    self.stats.result_cache_hits += 1
+                    results[idx] = cached
+                    continue
             cached = self._disk_get(rkey)
-            if cached is not None:
+            if cached is not _MISS:
                 self.stats.disk_cache_hits += 1
                 self._remember_result(rkey, cached)
                 results[idx] = cached
@@ -485,7 +578,7 @@ class SweepService:
                 self._disk_put(rkey, result)
                 self.stats.points_evaluated += 1
 
-        missing = [i for i, r in enumerate(results) if r is None]
+        missing = [i for i, r in enumerate(results) if r is _MISS]
         if missing:  # pragma: no cover - defensive
             raise RuntimeError("points %s were not evaluated" % missing)
         return results  # type: ignore[return-value]
@@ -519,27 +612,33 @@ class SweepService:
             truncations[idx] = truncation
             skey = structure_key(point.problem, truncation, self.ordering)
             pending.setdefault(skey, []).append(idx)
-        for skey, indices in pending.items():
-            first = indices[0]
-            compiled, _ = self._structure_for(
-                skey, points[first].problem, truncations[first]
-            )
-            builds_before = compiled.linearize_builds
-            reuses_before = compiled.linearize_reuses
-            fused_before = _fused_passes_of(compiled)
-            started = time.perf_counter()
-            with obs_trace.span("service.gradients", models=len(indices)):
-                gradients = compiled.gradients_many(
-                    [points[idx].problem for idx in indices]
-                )
-            self.stats.gradient_seconds += time.perf_counter() - started
-            self.stats.gradient_passes += 1
-            self.stats.points_differentiated += len(indices)
-            self.stats.linearize_builds += compiled.linearize_builds - builds_before
-            self.stats.linearize_reuses += compiled.linearize_reuses - reuses_before
-            self.stats.fused_passes += _fused_passes_of(compiled) - fused_before
-            for idx, gradient in zip(indices, gradients):
-                results[idx] = gradient
+        with self._fault_scope():
+            for skey, indices in pending.items():
+                first = indices[0]
+                with self._locked_key(skey):
+                    compiled, _ = self._structure_for(
+                        skey, points[first].problem, truncations[first]
+                    )
+                    builds_before = compiled.linearize_builds
+                    reuses_before = compiled.linearize_reuses
+                    fused_before = _fused_passes_of(compiled)
+                    started = time.perf_counter()
+                    with obs_trace.span("service.gradients", models=len(indices)):
+                        gradients = compiled.gradients_many(
+                            [points[idx].problem for idx in indices]
+                        )
+                    self.stats.gradient_seconds += time.perf_counter() - started
+                    self.stats.gradient_passes += 1
+                    self.stats.points_differentiated += len(indices)
+                    self.stats.linearize_builds += (
+                        compiled.linearize_builds - builds_before
+                    )
+                    self.stats.linearize_reuses += (
+                        compiled.linearize_reuses - reuses_before
+                    )
+                    self.stats.fused_passes += _fused_passes_of(compiled) - fused_before
+                for idx, gradient in zip(indices, gradients):
+                    results[idx] = gradient
         return results  # type: ignore[return-value]
 
     def density_sweep(
@@ -583,31 +682,67 @@ class SweepService:
 
     def clear(self) -> None:
         """Drop the in-memory structure and result caches (disk kept)."""
-        self._structures.clear()
-        self._results.clear()
+        with self._lock:
+            self._structures.clear()
+            self._results.clear()
+
+    def resolve_point(self, point: SweepPoint) -> Tuple[Tuple, int]:
+        """Return ``(structure_key, truncation)`` of a point.
+
+        The submission seam for front ends: a server coalesces concurrent
+        requests on the structure key *before* touching the service, so
+        only one of them pays (or waits on) the build.
+        """
+        truncation = self._resolve_truncation(point)
+        return structure_key(point.problem, truncation, self.ordering), truncation
+
+    def has_structure(self, skey: Tuple) -> bool:
+        """Whether ``skey`` is resident in the in-memory structure LRU."""
+        with self._lock:
+            return skey in self._structures
+
+    def prime_structure(self, problem, truncation: int, skey: Optional[Tuple] = None):
+        """Resolve (build if necessary) the structure for one point, now.
+
+        Concurrency-safe and idempotent: callers of the same key block on
+        one build; later calls are an LRU hit.  Returns the structure key,
+        so a front end can prime with the key it coalesced on.
+        """
+        if skey is None:
+            skey = structure_key(problem, truncation, self.ordering)
+        with self._fault_scope():
+            with self._locked_key(skey):
+                self._structure_for(skey, problem, int(truncation))
+        return skey
 
     def ensure_workers(self):
-        """Spawn the persistent worker pool now (idempotent).
+        """Spawn the persistent worker pool now (idempotent, thread-safe).
 
         The pool is otherwise created lazily by the first batch that needs
         it; long-lived callers can pre-spawn so the first sweep does not pay
         the process start-up.  Returns the pool, or ``None`` when workers
         are disabled or the platform cannot spawn processes.
         """
-        if self.workers <= 1 or self._pool_broken:
-            return None
-        if self._pool is None:
-            try:
-                import multiprocessing
-
-                self._pool = multiprocessing.Pool(processes=self.workers)
-            except Exception as exc:  # pragma: no cover - platform specific
-                faults.note_suppressed(
-                    getattr(self, "registry", None), "pool.spawn", exc
-                )
-                self._pool_broken = True
+        with self._lock:
+            if self.workers <= 1 or self._pool_broken:
                 return None
-        return self._pool
+            if self._pool is None:
+                try:
+                    import multiprocessing
+
+                    plan = self._fault_plan
+                    self._pool = multiprocessing.Pool(
+                        processes=self.workers,
+                        initializer=faults.install_worker_plan,
+                        initargs=(None if plan is None else plan.to_json(),),
+                    )
+                except Exception as exc:  # pragma: no cover - platform specific
+                    faults.note_suppressed(
+                        getattr(self, "registry", None), "pool.spawn", exc
+                    )
+                    self._pool_broken = True
+                    return None
+            return self._pool
 
     def respawn_workers(self):
         """Replace the worker pool with a fresh one (supervision path).
@@ -618,31 +753,65 @@ class SweepService:
         ``None`` when a fresh pool cannot be spawned.
         """
         self.close()
-        self._pool_broken = False
+        with self._lock:
+            self._pool_broken = False
         return self.ensure_workers()
+
+    #: How long :meth:`close` lets ``Pool.terminate`` run before declaring
+    #: the pool wedged and killing its members directly.  A member
+    #: SIGKILLed while *idle* dies holding the shared task-queue reader
+    #: lock, and ``terminate()`` then blocks forever trying to drain the
+    #: queue — exactly the state an external ``kill -9`` (or the chaos
+    #: suite) leaves behind.
+    _CLOSE_TIMEOUT = 5.0
 
     def close(self) -> None:
         """Terminate the persistent worker pool (caches are kept).
 
         Safe to call repeatedly and from error paths: the pool reference
-        is cleared *before* teardown, so a second call (or a close racing
-        an ``__del__``) is a no-op — terminate/join run exactly once per
-        pool.
+        is swapped out under the lock *before* teardown, so a second call
+        (or a close racing an ``__del__``) is a no-op — terminate/join run
+        exactly once per pool.  A pool wedged by a member that died
+        holding a queue lock cannot be drained; after ``_CLOSE_TIMEOUT``
+        the remaining members are SIGKILLed and the pool machinery is
+        abandoned (its daemon threads die with the process) instead of
+        blocking the caller forever.
         """
         # getattr: __del__ may run on instances whose __init__ raised early
-        pool = getattr(self, "_pool", None)
-        self._pool = None
+        lock = getattr(self, "_lock", None)
+        with lock if lock is not None else nullcontext():
+            pool = getattr(self, "_pool", None)
+            self._pool = None
         if pool is None:
             return
         registry = getattr(self, "registry", None)
-        try:
-            pool.terminate()
-        except Exception as exc:  # pragma: no cover - defensive
-            faults.note_suppressed(registry, "pool.terminate", exc)
-        try:
-            pool.join()
-        except Exception as exc:  # pragma: no cover - defensive
-            faults.note_suppressed(registry, "pool.join", exc)
+
+        def teardown():
+            try:
+                pool.terminate()
+            except Exception as exc:  # pragma: no cover - defensive
+                faults.note_suppressed(registry, "pool.terminate", exc)
+            try:
+                pool.join()
+            except Exception as exc:  # pragma: no cover - defensive
+                faults.note_suppressed(registry, "pool.join", exc)
+
+        watchdog = threading.Thread(
+            target=teardown, name="repro-pool-close", daemon=True
+        )
+        watchdog.start()
+        watchdog.join(self._CLOSE_TIMEOUT)
+        if watchdog.is_alive():
+            if registry is not None:
+                try:
+                    registry.inc("fault.pool_wedged")
+                except Exception:  # pragma: no cover - interpreter exit
+                    pass
+            for process in list(getattr(pool, "_pool", []) or []):
+                try:
+                    process.kill()
+                except Exception as exc:  # pragma: no cover - defensive
+                    faults.note_suppressed(registry, "pool.kill", exc)
 
     def __del__(self):  # pragma: no cover - interpreter-dependent timing
         self.close()
@@ -662,13 +831,52 @@ class SweepService:
         budget = self.epsilon if point.epsilon is None else float(point.epsilon)
         return point.problem.lethal_defect_distribution().truncation_level(budget)
 
+    def _fault_scope(self):
+        """Thread-scoped activation of this service's fault plan (if any)."""
+        if self._fault_plan is None:
+            return nullcontext()
+        return faults.scoped(self._fault_plan)
+
+    @contextmanager
+    def _locked_key(self, skey: Tuple):
+        """Serialize build + evaluation per structure key.
+
+        Concurrent callers of the *same* key block here, so a structure is
+        compiled exactly once and the shared compiled object's
+        linearization workspaces are never raced; *different* keys proceed
+        in parallel.  Lock entries are refcounted and dropped when the
+        last holder leaves, so the table stays bounded by the number of
+        concurrently-active keys.
+        """
+        with self._lock:
+            entry = self._key_locks.get(skey)
+            if entry is None:
+                entry = self._key_locks[skey] = [threading.RLock(), 0]
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._lock:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._key_locks.pop(skey, None)
+
     def _structure_for(self, skey: Tuple, problem, truncation: int):
-        """Resolve a structure: memory LRU → persistent store → build."""
-        compiled = self._structures.get(skey)
-        if compiled is not None:
-            self._structures.move_to_end(skey)
-            self.stats.structure_reuses += 1
-            return compiled, True
+        """Resolve a structure: memory LRU → persistent store → build.
+
+        Callers that may run concurrently hold the key lock
+        (:meth:`_locked_key`) around this, so at most one build per key is
+        in flight; the LRU bookkeeping itself is guarded by the service
+        lock.
+        """
+        with self._lock:
+            compiled = self._structures.get(skey)
+            if compiled is not None:
+                self._structures.move_to_end(skey)
+                self.stats.structure_reuses += 1
+                return compiled, True
         if self._store is not None:
             loaded = self._store.load(skey, mmap=True)
             if loaded is not None:
@@ -718,27 +926,30 @@ class SweepService:
         return results
 
     def _store_structure(self, skey: Tuple, compiled) -> None:
-        self._structures[skey] = compiled
-        self._structures.move_to_end(skey)
-        while len(self._structures) > self.max_structures:
-            self._structures.popitem(last=False)
+        with self._lock:
+            self._structures[skey] = compiled
+            self._structures.move_to_end(skey)
+            while len(self._structures) > self.max_structures:
+                self._structures.popitem(last=False)
 
     def _remember_result(self, rkey: Tuple, result) -> None:
-        self._results[rkey] = result
-        self._results.move_to_end(rkey)
-        while len(self._results) > self.max_results:
-            self._results.popitem(last=False)
+        with self._lock:
+            self._results[rkey] = result
+            self._results.move_to_end(rkey)
+            while len(self._results) > self.max_results:
+                self._results.popitem(last=False)
 
     def _run_serial(self, groups, points, truncations):
         evaluated = []
         for skey, indices in groups:
             first = indices[0]
-            compiled, reused = self._structure_for(
-                skey, points[first].problem, truncations[first]
-            )
-            results = self._evaluate_group_locally(
-                compiled, [points[idx].problem for idx in indices], reused=reused
-            )
+            with self._locked_key(skey):
+                compiled, reused = self._structure_for(
+                    skey, points[first].problem, truncations[first]
+                )
+                results = self._evaluate_group_locally(
+                    compiled, [points[idx].problem for idx in indices], reused=reused
+                )
             evaluated.extend(zip(indices, results))
         return evaluated
 
@@ -855,14 +1066,23 @@ class SweepService:
             # example a concurrent `cache clear`): evaluate the orphaned
             # models in-process — the parent still holds the structure
             retry = sorted(failed)
-            results = self._evaluate_group_locally(
-                compiled, [group["problems"][m] for m in retry], reused=True
-            )
+            with self._locked_key(group["skey"]):
+                results = self._evaluate_group_locally(
+                    compiled, [group["problems"][m] for m in retry], reused=True
+                )
             evaluated.extend(
                 (group["indices"][m], result) for m, result in zip(retry, results)
             )
 
     def _run_parallel(self, groups, points, truncations):
+        # one supervised dispatch at a time: the supervisor respawns the
+        # shared pool on faults, which two concurrent dispatch loops would
+        # race; concurrent batches queue here while serial-route batches
+        # (different keys) keep running in parallel
+        with self._dispatch_lock:
+            return self._run_parallel_locked(groups, points, truncations)
+
+    def _run_parallel_locked(self, groups, points, truncations):
         # settle pool availability before any stats-mutating shard prep, so
         # a platform that cannot spawn workers falls back to the serial
         # route without double-counting structure/linearization work
@@ -875,7 +1095,8 @@ class SweepService:
         sharded_points = 0
         sharded_payloads = 0
         for skey, indices in groups:
-            compiled = self._structures.get(skey)
+            with self._lock:
+                compiled = self._structures.get(skey)
             shards = self._shard_count(len(indices))
             if shards <= 1:
                 if compiled is not None:
@@ -898,12 +1119,14 @@ class SweepService:
             # chunk; with a store the chunk carries only a store reference
             # and each worker warm-starts the structure from disk.
             if compiled is None:
-                compiled, reused = self._structure_for(
-                    skey, points[indices[0]].problem, truncations[indices[0]]
-                )
+                with self._locked_key(skey):
+                    compiled, reused = self._structure_for(
+                        skey, points[indices[0]].problem, truncations[indices[0]]
+                    )
                 fresh = not reused
             else:
-                self._structures.move_to_end(skey)
+                with self._lock:
+                    self._structures.move_to_end(skey)
                 self.stats.structure_reuses += 1
                 fresh = False
             builds_before = compiled.linearize_builds
@@ -931,6 +1154,7 @@ class SweepService:
                     self._ladder.note_failure("shm", self.registry)
             sharded_points += len(indices)
             if shm_group is not None:
+                shm_group["skey"] = skey
                 shm_groups[skey] = shm_group
                 for chunk in _chunked(list(range(len(indices))), shards):
                     payloads.append(
@@ -1089,12 +1313,13 @@ class SweepService:
                         truncation = payload[4]
                         q_indices = payload[5]
                         q_problems = payload[6]
-                        compiled, reused = self._structure_for(
-                            qkey, q_problems[0], truncation
-                        )
-                        q_results = self._evaluate_group_locally(
-                            compiled, q_problems, reused=reused
-                        )
+                        with self._locked_key(qkey):
+                            compiled, reused = self._structure_for(
+                                qkey, q_problems[0], truncation
+                            )
+                            q_results = self._evaluate_group_locally(
+                                compiled, q_problems, reused=reused
+                            )
                         evaluated.extend(zip(q_indices, q_results))
                     for group in shm_groups.values():
                         self._collect_shm_group(group, evaluated)
@@ -1154,14 +1379,19 @@ class SweepService:
         return os.path.join(self.cache_dir, "yield-%s.pkl" % digest)
 
     def _disk_get(self, rkey: Tuple):
+        """One disk-cache lookup: the stored result, or ``_MISS``.
+
+        The sentinel (not ``None``) reports a miss so a legitimately
+        stored ``None`` result still counts as a hit.
+        """
         path = self._disk_path(rkey)
         if path is None:
-            return None
+            return _MISS
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
         except (OSError, pickle.PickleError, EOFError, AttributeError):
-            return None
+            return _MISS
 
     def _disk_put(self, rkey: Tuple, result) -> None:
         path = self._disk_path(rkey)

@@ -78,15 +78,21 @@ class ShmJanitor:
     ``finally``, a ``sys.exit`` mid-sweep — is closed and unlinked by the
     atexit sweep, so no ``/dev/shm`` segment outlives the parent process
     on any orderly exit path.
+
+    Long-lived processes (the HTTP server) cannot wait for atexit: they
+    call :meth:`sweep_stale` periodically, which releases only blocks
+    older than a generous age bound — a live dispatch holds its blocks
+    for seconds, so a minutes-scale bound never races in-flight work
+    while still capping how long a leaked segment can survive.
     """
 
     def __init__(self) -> None:
-        self._blocks = {}  # name -> SharedMemory
+        self._blocks = {}  # name -> (SharedMemory, adopted-at monotonic)
         self._lock = threading.Lock()
 
     def adopt(self, block) -> None:
         with self._lock:
-            self._blocks[block.name] = block
+            self._blocks[block.name] = (block, time.monotonic())
 
     def release(self, block, *, unlink: bool, registry=None) -> None:
         """Close (and optionally unlink) ``block``; idempotent per block."""
@@ -106,11 +112,7 @@ class ShmJanitor:
         with self._lock:
             return sorted(self._blocks)
 
-    def sweep(self, registry=None) -> int:
-        """Release every still-adopted block; returns how many there were."""
-        with self._lock:
-            leaked = list(self._blocks.values())
-            self._blocks.clear()
+    def _release_all(self, leaked, registry) -> int:
         for block in leaked:
             try:
                 block.close()
@@ -123,6 +125,30 @@ class ShmJanitor:
         if leaked and registry is not None:
             registry.inc("fault.shm_orphans", len(leaked))
         return len(leaked)
+
+    def sweep(self, registry=None) -> int:
+        """Release every still-adopted block; returns how many there were."""
+        with self._lock:
+            leaked = [block for block, _ in self._blocks.values()]
+            self._blocks.clear()
+        return self._release_all(leaked, registry)
+
+    def sweep_stale(self, max_age: float, registry=None) -> int:
+        """Release blocks adopted more than ``max_age`` seconds ago.
+
+        The periodic variant of :meth:`sweep` for processes that never
+        exit: anything younger than ``max_age`` is assumed in-flight and
+        left alone.  Returns how many stale blocks were released.
+        """
+        cutoff = time.monotonic() - float(max_age)
+        with self._lock:
+            stale_names = [
+                name
+                for name, (_, adopted) in self._blocks.items()
+                if adopted <= cutoff
+            ]
+            leaked = [self._blocks.pop(name)[0] for name in stale_names]
+        return self._release_all(leaked, registry)
 
 
 _JANITOR: Optional[ShmJanitor] = None

@@ -33,6 +33,14 @@ The fault-tolerance layer (:mod:`repro.engine.supervise` /
   ``supervise.per_model_seconds`` latency gauge that deadlines are
   scaled from.
 
+The HTTP front end (:mod:`repro.server`) adds a ``server.*`` namespace
+on the same shared registry: ``server.requests[.<route>]``,
+``server.responses.<status>``, ``server.rejected`` (admission control),
+``server.coalesced_joins`` / ``server.builds_started`` (request
+coalescing), ``server.inflight`` (gauge) and the
+``server.request_seconds`` latency histogram — all served by
+``GET /stats`` through :meth:`MetricsRegistry.expose_text`.
+
 :meth:`MetricsRegistry.counters_with_prefix` slices any one namespace out
 of the registry (used by ``--stats`` and the fault-injection suite).
 """

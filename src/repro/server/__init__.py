@@ -1,0 +1,22 @@
+"""HTTP serving layer: a long-lived front end over the sweep engine.
+
+``repro serve`` (or :func:`serve_in_thread` for tests and notebooks)
+wraps one shared, concurrency-safe :class:`repro.engine.service.SweepService`
+in an asyncio HTTP server — stdlib only, no framework dependency:
+
+* JSON endpoints for sweep and importance batches (``POST /v1/sweep``,
+  ``POST /v1/importance``), with optional NDJSON streaming;
+* request **coalescing per structure key**: concurrent queries for the
+  same fault tree / truncation / ordering join one in-flight compile;
+* bounded admission control (``max_queue`` → ``429`` + ``Retry-After``)
+  and graceful drain on SIGTERM;
+* ``GET /stats`` (Prometheus text exposition of the whole metrics
+  registry) and ``GET /healthz``.
+
+See :mod:`repro.server.app` for the protocol details and
+:mod:`repro.server.http` for the minimal HTTP/1.1 layer underneath.
+"""
+
+from .app import ServerHandle, YieldServer, serve_in_thread
+
+__all__ = ["ServerHandle", "YieldServer", "serve_in_thread"]

@@ -1,0 +1,557 @@
+"""The asyncio HTTP front end over a shared :class:`SweepService`.
+
+One process, one service, many concurrent clients: the event loop owns
+admission control and **request coalescing per structure key**, a small
+thread pool runs the (blocking, now thread-safe) service calls, and the
+worker-pool fan-out below stays exactly as the CLI uses it.
+
+Endpoints
+---------
+
+``GET /healthz``
+    Liveness: ``200 {"status": "ok"}`` while the loop is serving, 503
+    once a drain has started.
+``GET /stats``
+    The service's entire :class:`~repro.obs.metrics.MetricsRegistry` in
+    Prometheus text exposition format — the same numbers the CLI's
+    ``--metrics`` writes, plus the ``server.*`` namespace.
+``POST /v1/sweep``
+    Body: ``{"benchmark": "MS2", "densities": [0.5, 1.0], "clustering":
+    4.0, "max_defects": null, "epsilon": null, "stream": false}``.
+    Evaluates one yield point per density through
+    :meth:`SweepService.evaluate_batch`.  With ``"stream": true`` the
+    response is NDJSON (``Transfer-Encoding: chunked``): one line per
+    point, written as each structure group completes, each line carrying
+    its request ``index`` so clients may reorder.
+``POST /v1/importance``
+    Body: ``{"benchmark": "MS2", "mean_defects": 2.0, "clustering":
+    4.0, ...}``.  One analytic reverse-mode gradient pass
+    (:meth:`SweepService.gradient_batch`); responds with the component
+    ranking.
+
+Coalescing
+----------
+
+Every sweep/importance request resolves its points to structure keys
+*before* touching the caches.  Keys not yet resident are primed through
+a per-key in-flight table on the event loop: the first request starts
+the build (``server.builds_started``), every concurrent request for the
+same key awaits the same future (``server.coalesced_joins``) — K clients
+asking for one cold structure cause exactly one compile.  The service's
+own per-key locks make this safe even for callers that bypass the
+server.
+
+Backpressure
+------------
+
+At most ``max_queue`` sweep/importance requests are in flight; the next
+one is rejected with ``429`` and a ``Retry-After`` header *before* any
+service work happens.  ``/healthz`` and ``/stats`` bypass admission so
+operators can always see in.
+
+Shutdown
+--------
+
+SIGTERM/SIGINT stop the listener, let in-flight requests drain for
+``drain_grace`` seconds, then cancel stragglers.  A periodic task also
+sweeps shared-memory blocks older than ``shm_max_age`` back to the OS
+(:meth:`repro.engine.supervise.ShmJanitor.sweep_stale`) — a long-lived
+server cannot rely on the atexit sweep alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from .http import ChunkedWriter, HTTPError, Request, error_bytes, read_request, response_bytes
+from ..engine.service import SweepPoint, SweepService
+from ..engine.supervise import janitor
+
+__all__ = ["YieldServer", "ServerHandle", "serve_in_thread", "result_to_dict", "gradients_to_dict"]
+
+
+def result_to_dict(result, index: int, mean_defects: Optional[float] = None) -> Dict:
+    """JSON-ready view of one :class:`~repro.core.results.YieldResult`.
+
+    Floats pass through ``json`` unrounded (shortest-repr encoding), so a
+    decoded value compares bit-for-bit equal to the in-process result —
+    the property the smoke tests assert.
+    """
+    out = {
+        "index": index,
+        "name": result.name,
+        "yield": result.yield_estimate,
+        "yield_upper_bound": result.yield_upper_bound,
+        "error_bound": result.error_bound,
+        "truncation": result.truncation,
+        "probability_not_functioning": result.probability_not_functioning,
+        "romdd_size": result.romdd_size,
+        "ordering": list(result.ordering),
+    }
+    if mean_defects is not None:
+        out["mean_defects"] = mean_defects
+    return out
+
+
+def gradients_to_dict(gradients) -> Dict:
+    """JSON-ready view of one :class:`~repro.core.results.YieldGradients`."""
+    return {
+        "name": gradients.name,
+        "truncation": gradients.truncation,
+        "yield": gradients.yield_estimate,
+        "ranking": [
+            {"component": name, "sensitivity": value}
+            for name, value in gradients.ranking()
+        ],
+    }
+
+
+def _json_bytes(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+class YieldServer:
+    """Serve one :class:`SweepService` over HTTP (see the module docs)."""
+
+    def __init__(
+        self,
+        service: SweepService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        max_queue: int = 64,
+        http_threads: int = 8,
+        drain_grace: float = 10.0,
+        shm_sweep_interval: float = 60.0,
+        shm_max_age: float = 300.0,
+    ) -> None:
+        self.service = service
+        self.registry = service.registry
+        self.host = host
+        self.port = int(port)
+        self.max_queue = int(max_queue)
+        self.drain_grace = float(drain_grace)
+        self.shm_sweep_interval = float(shm_sweep_interval)
+        self.shm_max_age = float(shm_max_age)
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(http_threads), thread_name_prefix="repro-http"
+        )
+        #: skey -> in-flight build future (event-loop confined).
+        self._builds: Dict[Tuple, "asyncio.Future"] = {}
+        self._admitted = 0
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._sweeper: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the listener (``self.port`` is updated when 0 was asked)."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        if self.shm_sweep_interval > 0:
+            self._sweeper = asyncio.create_task(self._sweep_loop())
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`initiate_stop` (or SIGTERM/SIGINT) fires."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        import signal
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.initiate_stop)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or platform without signal support
+        await self._stopped.wait()
+        await self._shutdown()
+
+    def initiate_stop(self) -> None:
+        """Begin a graceful drain (idempotent; callable from the loop)."""
+        self._draining = True
+        if self._stopped is not None and not self._stopped.is_set():
+            self._stopped.set()
+
+    async def _shutdown(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.drain_grace
+        while self._admitted > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        self._executor.shutdown(wait=False)
+        # the long-lived loop is going away: return adopted blocks now
+        # rather than waiting for atexit
+        janitor().sweep_stale(0.0, self.registry)
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.shm_sweep_interval)
+            released = janitor().sweep_stale(self.shm_max_age, self.registry)
+            if released:
+                self.registry.inc("server.shm_sweeps", 1)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except HTTPError as exc:
+                writer.write(error_bytes(exc))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            await self._respond(request, writer)
+        except (ConnectionError, OSError):
+            pass  # client went away mid-response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, request: Request, writer) -> None:
+        started = time.perf_counter()
+        route, handler, needs_admission = self._route(request)
+        self.registry.inc("server.requests")
+        self.registry.inc("server.requests.%s" % route)
+        status = 500
+        try:
+            if needs_admission:
+                if self._draining:
+                    raise HTTPError(503, "server is draining", {"Retry-After": "1"})
+                if self._admitted >= self.max_queue:
+                    self.registry.inc("server.rejected")
+                    raise HTTPError(
+                        429,
+                        "too many in-flight requests (max %d)" % self.max_queue,
+                        {"Retry-After": "1"},
+                    )
+                self._admitted += 1
+                self.registry.set_gauge("server.inflight", self._admitted)
+                try:
+                    status = await handler(request, writer)
+                finally:
+                    self._admitted -= 1
+                    self.registry.set_gauge("server.inflight", self._admitted)
+            else:
+                status = await handler(request, writer)
+        except HTTPError as exc:
+            status = exc.status
+            writer.write(error_bytes(exc))
+            await writer.drain()
+        except Exception as exc:
+            status = 500
+            self.registry.inc("server.errors")
+            writer.write(error_bytes(HTTPError(500, "internal error: %s" % exc)))
+            await writer.drain()
+        finally:
+            self.registry.inc("server.responses.%d" % status)
+            self.registry.observe("server.request_seconds", time.perf_counter() - started)
+
+    def _route(self, request: Request):
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                return "healthz", self._method_not_allowed("GET"), False
+            return "healthz", self._handle_healthz, False
+        if path == "/stats":
+            if method != "GET":
+                return "stats", self._method_not_allowed("GET"), False
+            return "stats", self._handle_stats, False
+        if path == "/v1/sweep":
+            if method != "POST":
+                return "sweep", self._method_not_allowed("POST"), False
+            return "sweep", self._handle_sweep, True
+        if path == "/v1/importance":
+            if method != "POST":
+                return "importance", self._method_not_allowed("POST"), False
+            return "importance", self._handle_importance, True
+        return "unknown", self._handle_not_found, False
+
+    @staticmethod
+    def _method_not_allowed(allow: str):
+        async def handler(request, writer):
+            raise HTTPError(405, "method not allowed", {"Allow": allow})
+
+        return handler
+
+    @staticmethod
+    async def _handle_not_found(request, writer):
+        raise HTTPError(404, "no such endpoint")
+
+    async def _handle_healthz(self, request, writer) -> int:
+        status = 503 if self._draining else 200
+        payload = {"status": "draining" if self._draining else "ok"}
+        writer.write(response_bytes(status, _json_bytes(payload)))
+        await writer.drain()
+        return status
+
+    async def _handle_stats(self, request, writer) -> int:
+        text = self.registry.expose_text()
+        writer.write(
+            response_bytes(
+                200,
+                text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+        )
+        await writer.drain()
+        return 200
+
+    # ------------------------------------------------------------------ #
+    # Service endpoints
+    # ------------------------------------------------------------------ #
+
+    def _sweep_points(self, payload) -> Tuple[str, List[float], List[SweepPoint]]:
+        benchmark = payload.get("benchmark")
+        if not isinstance(benchmark, str):
+            raise HTTPError(400, "'benchmark' must be a string")
+        densities = payload.get("densities")
+        if not isinstance(densities, list) or not densities:
+            raise HTTPError(400, "'densities' must be a non-empty list of numbers")
+        try:
+            densities = [float(value) for value in densities]
+        except (TypeError, ValueError):
+            raise HTTPError(400, "'densities' must be a non-empty list of numbers") from None
+        clustering = payload.get("clustering", 4.0)
+        max_defects = payload.get("max_defects")
+        epsilon = payload.get("epsilon")
+        from ..soc import benchmark_problem
+
+        try:
+            points = [
+                SweepPoint(
+                    benchmark_problem(
+                        benchmark, mean_defects=mean, clustering=float(clustering)
+                    ),
+                    max_defects=None if max_defects is None else int(max_defects),
+                    epsilon=None if epsilon is None else float(epsilon),
+                )
+                for mean in densities
+            ]
+        except KeyError as exc:
+            raise HTTPError(400, str(exc.args[0])) from None
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, "invalid sweep parameters: %s" % exc) from None
+        return benchmark, densities, points
+
+    async def _in_executor(self, func, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, func, *args)
+
+    async def _prime_structures(self, points: List[SweepPoint]) -> Dict[Tuple, List[int]]:
+        """Coalesce structure builds; return ``skey -> point indices``.
+
+        The in-flight table lives on the event loop, so membership checks
+        and future creation are race-free without locks; the build itself
+        runs on the thread pool.
+        """
+        resolved = await self._in_executor(
+            lambda: [self.service.resolve_point(point) for point in points]
+        )
+        groups: Dict[Tuple, List[int]] = {}
+        waits = []
+        for idx, (skey, truncation) in enumerate(resolved):
+            first_sight = skey not in groups
+            groups.setdefault(skey, []).append(idx)
+            if not first_sight:
+                continue
+            pending = self._builds.get(skey)
+            if pending is not None:
+                self.registry.inc("server.coalesced_joins")
+                waits.append(pending)
+                continue
+            if self.service.has_structure(skey):
+                continue
+            future = asyncio.get_running_loop().create_future()
+            self._builds[skey] = future
+            self.registry.inc("server.builds_started")
+            waits.append(
+                asyncio.ensure_future(
+                    self._build_structure(skey, points[idx], truncation, future)
+                )
+            )
+        for waited in waits:
+            outcome = await waited
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return groups
+
+    async def _build_structure(self, skey, point: SweepPoint, truncation: int, future):
+        """Run one coalesced structure build; resolve its future for joiners.
+
+        The future always resolves with the outcome (an exception instance
+        on failure, ``None`` on success) rather than raising, so joiners
+        that were cancelled never leave an unretrieved-exception warning.
+        """
+        outcome = None
+        try:
+            await self._in_executor(
+                self.service.prime_structure, point.problem, truncation, skey
+            )
+        except Exception as exc:
+            outcome = exc
+        finally:
+            self._builds.pop(skey, None)
+            if not future.done():
+                future.set_result(outcome)
+        return outcome
+
+    async def _handle_sweep(self, request: Request, writer) -> int:
+        payload = request.json()
+        benchmark, densities, points = self._sweep_points(payload)
+        stream = bool(payload.get("stream", False))
+        groups = await self._prime_structures(points)
+        if not stream:
+            results = await self._in_executor(self.service.evaluate_batch, points)
+            body = {
+                "benchmark": benchmark,
+                "points": [
+                    result_to_dict(result, idx, densities[idx])
+                    for idx, result in enumerate(results)
+                ],
+            }
+            writer.write(response_bytes(200, _json_bytes(body)))
+            await writer.drain()
+            return 200
+        # streaming: evaluate one structure group at a time (each still a
+        # single batched pass) and flush that group's lines immediately —
+        # clients see results as groups complete, tagged with the request
+        # index for reordering
+        chunked = ChunkedWriter(writer)
+        await chunked.start(200)
+        for indices in groups.values():
+            results = await self._in_executor(
+                self.service.evaluate_batch, [points[idx] for idx in indices]
+            )
+            lines = b"".join(
+                _json_bytes(result_to_dict(result, idx, densities[idx])) + b"\n"
+                for idx, result in zip(indices, results)
+            )
+            await chunked.send(lines)
+        await chunked.finish()
+        return 200
+
+    async def _handle_importance(self, request: Request, writer) -> int:
+        payload = request.json()
+        benchmark = payload.get("benchmark")
+        if not isinstance(benchmark, str):
+            raise HTTPError(400, "'benchmark' must be a string")
+        from ..soc import benchmark_problem
+
+        try:
+            problem = benchmark_problem(
+                benchmark,
+                mean_defects=float(payload.get("mean_defects", 2.0)),
+                clustering=float(payload.get("clustering", 4.0)),
+            )
+        except KeyError as exc:
+            raise HTTPError(400, str(exc.args[0])) from None
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, "invalid importance parameters: %s" % exc) from None
+        max_defects = payload.get("max_defects")
+        epsilon = payload.get("epsilon")
+        point = SweepPoint(
+            problem,
+            max_defects=None if max_defects is None else int(max_defects),
+            epsilon=None if epsilon is None else float(epsilon),
+        )
+        await self._prime_structures([point])
+        gradients = await self._in_executor(self.service.gradient_batch, [point])
+        body = dict(gradients_to_dict(gradients[0]), benchmark=benchmark)
+        writer.write(response_bytes(200, _json_bytes(body)))
+        await writer.drain()
+        return 200
+
+
+# ---------------------------------------------------------------------- #
+# Embedding helpers (tests, notebooks)
+# ---------------------------------------------------------------------- #
+
+
+class ServerHandle:
+    """A server running on a background thread (see :func:`serve_in_thread`)."""
+
+    def __init__(self):
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[YieldServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    @property
+    def address(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain and stop the server; joins the background thread."""
+        if self._loop is not None and self._server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._server.initiate_stop)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+def serve_in_thread(service: SweepService, **kwargs) -> ServerHandle:
+    """Start a :class:`YieldServer` on a daemon thread; return its handle.
+
+    Binds an ephemeral port by default (pass ``port=`` to pin one) and
+    returns only after the listener is accepting connections — tests can
+    hit ``handle.address`` immediately.  Raises if startup failed.
+    """
+    kwargs.setdefault("port", 0)
+    handle = ServerHandle()
+
+    def run():
+        async def main():
+            server = YieldServer(service, **kwargs)
+            try:
+                await server.start()
+            except BaseException as exc:
+                handle.error = exc
+                handle._ready.set()
+                return
+            handle.host = server.host
+            handle.port = server.port
+            handle._loop = asyncio.get_running_loop()
+            handle._server = server
+            handle._ready.set()
+            await server.serve_forever()
+
+        asyncio.run(main())
+
+    handle._thread = threading.Thread(
+        target=run, name="repro-server", daemon=True
+    )
+    handle._thread.start()
+    if not handle._ready.wait(30.0):
+        raise RuntimeError("server thread did not start in time")
+    if handle.error is not None:
+        raise RuntimeError("server failed to start: %r" % handle.error)
+    return handle

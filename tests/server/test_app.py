@@ -1,0 +1,375 @@
+"""Integration tests of the HTTP front end over a real ``SweepService``.
+
+Every test starts the actual asyncio server on an ephemeral port
+(:func:`repro.server.serve_in_thread`) and talks real HTTP through
+``http.client`` — the same path production clients use.
+"""
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.engine.service import SweepPoint, SweepService
+from repro.server import serve_in_thread
+from repro.soc import benchmark_problem
+
+BENCH = "MS2"
+DENSITIES = [0.5, 1.0, 1.5, 2.0]
+
+
+def request(handle, method, path, payload=None, timeout=120.0):
+    conn = HTTPConnection(handle.host, handle.port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response, raw
+    finally:
+        conn.close()
+
+
+def get_json(handle, path):
+    response, raw = request(handle, "GET", path)
+    return response.status, json.loads(raw)
+
+
+def post_json(handle, path, payload, timeout=120.0):
+    response, raw = request(handle, "POST", path, payload, timeout=timeout)
+    kind = (response.getheader("Content-Type") or "").split(";")[0]
+    if kind == "application/x-ndjson":
+        decoded = [json.loads(line) for line in raw.splitlines() if line.strip()]
+    else:
+        decoded = json.loads(raw)
+    return response, decoded
+
+
+def counter_from_stats(handle, name):
+    _, raw = request(handle, "GET", "/stats")
+    for line in raw.decode().splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    return 0.0
+
+
+@pytest.fixture
+def served():
+    service = SweepService()
+    handle = serve_in_thread(service)
+    yield service, handle
+    handle.stop()
+    service.close()
+
+
+def serial_reference(densities=DENSITIES, max_defects=3):
+    service = SweepService()
+    try:
+        points = [
+            SweepPoint(benchmark_problem(BENCH, mean_defects=m), max_defects=max_defects)
+            for m in densities
+        ]
+        return [
+            (r.yield_estimate, r.error_bound, r.truncation)
+            for r in service.evaluate_batch(points)
+        ]
+    finally:
+        service.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, handle = served
+        status, payload = get_json(handle, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+    def test_stats_exposes_the_service_registry(self, served):
+        _, handle = served
+        post_json(
+            handle,
+            "/v1/sweep",
+            {"benchmark": BENCH, "densities": [1.0], "max_defects": 3},
+        )
+        response, raw = request(handle, "GET", "/stats")
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith("text/plain")
+        text = raw.decode()
+        assert "repro_server_requests" in text
+        assert "repro_service_structures_built 1" in text
+
+    def test_unknown_path_is_404(self, served):
+        _, handle = served
+        status, payload = get_json(handle, "/nope")
+        assert status == 404
+        assert payload["status"] == 404
+
+    def test_wrong_method_is_405(self, served):
+        _, handle = served
+        response, _ = request(handle, "GET", "/v1/sweep")
+        assert response.status == 405
+        assert response.getheader("Allow") == "POST"
+
+    def test_malformed_json_is_400(self, served):
+        _, handle = served
+        conn = HTTPConnection(served[1].host, served[1].port, timeout=30)
+        try:
+            conn.request("POST", "/v1/sweep", body=b"{nope",
+                         headers={"Content-Type": "application/json"})
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_unknown_benchmark_is_400(self, served):
+        _, handle = served
+        response, payload = post_json(
+            handle, "/v1/sweep", {"benchmark": "NOPE", "densities": [1.0]}
+        )
+        assert response.status == 400
+        assert "unknown benchmark" in payload["error"]
+
+    def test_missing_densities_is_400(self, served):
+        _, handle = served
+        response, _ = post_json(handle, "/v1/sweep", {"benchmark": BENCH})
+        assert response.status == 400
+
+
+class TestSweepCorrectness:
+    def test_sweep_is_bit_identical_to_the_serial_service(self, served):
+        _, handle = served
+        response, payload = post_json(
+            handle,
+            "/v1/sweep",
+            {"benchmark": BENCH, "densities": DENSITIES, "max_defects": 3},
+        )
+        assert response.status == 200
+        got = [
+            (p["yield"], p["error_bound"], p["truncation"]) for p in payload["points"]
+        ]
+        assert got == serial_reference()
+        assert [p["mean_defects"] for p in payload["points"]] == DENSITIES
+
+    def test_streaming_matches_the_fixed_response(self, served):
+        _, handle = served
+        _, fixed = post_json(
+            handle,
+            "/v1/sweep",
+            {"benchmark": BENCH, "densities": DENSITIES, "max_defects": 3},
+        )
+        response, lines = post_json(
+            handle,
+            "/v1/sweep",
+            {
+                "benchmark": BENCH,
+                "densities": DENSITIES,
+                "max_defects": 3,
+                "stream": True,
+            },
+        )
+        assert response.status == 200
+        assert response.getheader("Transfer-Encoding") == "chunked"
+        by_index = sorted(lines, key=lambda line: line["index"])
+        assert [l["yield"] for l in by_index] == [
+            p["yield"] for p in fixed["points"]
+        ]
+
+    def test_importance_matches_the_in_process_gradients(self, served):
+        service, handle = served
+        response, payload = post_json(
+            handle,
+            "/v1/importance",
+            {"benchmark": BENCH, "mean_defects": 2.0, "max_defects": 3},
+        )
+        assert response.status == 200
+        reference = SweepService()
+        try:
+            gradients = reference.gradient_batch(
+                [
+                    SweepPoint(
+                        benchmark_problem(BENCH, mean_defects=2.0), max_defects=3
+                    )
+                ]
+            )[0]
+        finally:
+            reference.close()
+        expected = [
+            {"component": name, "sensitivity": value}
+            for name, value in gradients.ranking()
+        ]
+        assert payload["ranking"] == expected
+
+
+class TestCoalescing:
+    def test_concurrent_same_key_requests_build_once(self):
+        service = SweepService()
+        real_prime = service.prime_structure
+
+        def slow_prime(problem, truncation, skey=None):
+            # hold the build long enough that every concurrent request
+            # arrives while it is still in flight
+            time.sleep(0.5)
+            return real_prime(problem, truncation, skey)
+
+        service.prime_structure = slow_prime
+        handle = serve_in_thread(service)
+        try:
+            clients = 6
+            payload = {"benchmark": BENCH, "densities": [1.0], "max_defects": 3}
+            statuses, yields = [], []
+            barrier = threading.Barrier(clients)
+
+            def client():
+                barrier.wait(timeout=30)
+                response, decoded = post_json(handle, "/v1/sweep", payload)
+                statuses.append(response.status)
+                if response.status == 200:
+                    yields.append(decoded["points"][0]["yield"])
+
+            threads = [threading.Thread(target=client) for _ in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+
+            assert statuses == [200] * clients
+            assert len(set(yields)) == 1  # all N receive identical results
+            assert counter_from_stats(handle, "repro_service_structures_built") == 1
+            assert counter_from_stats(handle, "repro_server_builds_started") == 1
+            assert (
+                counter_from_stats(handle, "repro_server_coalesced_joins")
+                == clients - 1
+            )
+        finally:
+            handle.stop()
+            service.close()
+
+
+class TestAdmissionControl:
+    def test_overflow_gets_429_and_never_touches_the_service(self):
+        service = SweepService()
+        release = threading.Event()
+        entered = threading.Event()
+        real_evaluate = service.evaluate_batch
+
+        def blocking_evaluate(points):
+            entered.set()
+            release.wait(timeout=60)
+            return real_evaluate(points)
+
+        service.evaluate_batch = blocking_evaluate
+        handle = serve_in_thread(service, max_queue=1)
+        try:
+            payload = {"benchmark": BENCH, "densities": [1.0], "max_defects": 3}
+            first_result = {}
+
+            def occupant():
+                response, decoded = post_json(handle, "/v1/sweep", payload)
+                first_result["status"] = response.status
+
+            thread = threading.Thread(target=occupant)
+            thread.start()
+            assert entered.wait(60), "first request never reached the service"
+
+            requested_before = float(service.stats.points_requested)
+            response, decoded = post_json(handle, "/v1/sweep", payload)
+            assert response.status == 429
+            assert response.getheader("Retry-After") == "1"
+            assert "too many in-flight requests" in decoded["error"]
+            # the rejected request performed no service work at all
+            assert float(service.stats.points_requested) == requested_before
+            assert counter_from_stats(handle, "repro_server_rejected") == 1
+
+            release.set()
+            thread.join(120)
+            assert first_result["status"] == 200
+        finally:
+            release.set()
+            handle.stop()
+            service.close()
+
+
+class TestResilience:
+    def test_healthz_stays_green_through_a_worker_kill(self):
+        service = SweepService(workers=2, shard_size=2)
+        handle = serve_in_thread(service)
+        try:
+            payload = {
+                "benchmark": BENCH,
+                "densities": DENSITIES,
+                "max_defects": 3,
+            }
+            response, before = post_json(handle, "/v1/sweep", payload)
+            assert response.status == 200
+
+            pool = service.ensure_workers()
+            if pool is None:
+                pytest.skip("platform cannot spawn worker processes")
+            import os
+            import signal
+
+            os.kill(pool._pool[0].pid, signal.SIGKILL)
+
+            status, health = get_json(handle, "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            # a fresh benchmark forces real evaluation work after the kill
+            response, after = post_json(
+                handle,
+                "/v1/sweep",
+                {"benchmark": BENCH, "densities": [3.0], "max_defects": 3},
+            )
+            assert response.status == 200
+            reference = serial_reference(densities=[3.0])
+            assert [
+                (p["yield"], p["error_bound"], p["truncation"])
+                for p in after["points"]
+            ] == reference
+        finally:
+            handle.stop()
+            service.close()
+
+    def test_drain_turns_healthz_unhealthy_and_rejects_new_work(self):
+        service = SweepService()
+        handle = serve_in_thread(service, drain_grace=0.5)
+        try:
+            status, _ = get_json(handle, "/healthz")
+            assert status == 200
+        finally:
+            handle.stop()
+            service.close()
+        # the listener is gone after the drain completes
+        with pytest.raises(OSError):
+            request(handle, "GET", "/healthz", timeout=2.0)
+
+
+class TestServeCli:
+    def test_parser_accepts_the_serve_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--host", "0.0.0.0",
+                "--port", "8123",
+                "--workers", "2",
+                "--shard-size", "8",
+                "--max-queue", "16",
+                "--http-threads", "4",
+                "--drain-grace", "3.5",
+                "--store-dir", "/tmp/store",
+                "--cache-dir", "/tmp/cache",
+                "--no-shared-memory",
+                "--epsilon", "1e-5",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.host == "0.0.0.0"
+        assert args.port == 8123
+        assert args.workers == 2
+        assert args.max_queue == 16
+        assert args.http_threads == 4
+        assert args.drain_grace == 3.5
+        assert args.shared_memory is False
+        assert args.epsilon == 1e-5

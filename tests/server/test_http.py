@@ -1,0 +1,135 @@
+"""Unit tests of the minimal asyncio HTTP layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    ChunkedWriter,
+    HTTPError,
+    error_bytes,
+    read_request,
+    response_bytes,
+)
+
+
+def parse(raw: bytes):
+    """Drive :func:`read_request` over an in-memory reader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class FakeWriter:
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+
+    async def drain(self):
+        pass
+
+    @property
+    def data(self):
+        return b"".join(self.chunks)
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = parse(b"GET /stats?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/stats"
+        assert request.query == "verbose=1"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_post_with_json_body(self):
+        body = json.dumps({"benchmark": "MS2"}).encode()
+        raw = (
+            b"POST /v1/sweep HTTP/1.1\r\nContent-Length: %d\r\n\r\n" % len(body)
+        ) + body
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.json() == {"benchmark": "MS2"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_post_without_length_is_411(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"POST /v1/sweep HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 411
+
+    def test_chunked_request_body_is_501(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        assert excinfo.value.status == 413
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_malformed_content_length_is_400(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert excinfo.value.status == 400
+
+    def test_non_object_json_body_is_400(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]"
+        with pytest.raises(HTTPError) as excinfo:
+            parse(raw).json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_fixed_length_response(self):
+        raw = response_bytes(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Connection: close" in head
+        assert body == b'{"ok": true}'
+
+    def test_error_response_carries_extra_headers(self):
+        raw = error_bytes(HTTPError(429, "busy", {"Retry-After": "1"}))
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 1" in head
+        assert json.loads(body) == {"error": "busy", "status": 429}
+
+    def test_chunked_writer_round_trip(self):
+        writer = FakeWriter()
+
+        async def run():
+            chunked = ChunkedWriter(writer)
+            await chunked.start(200)
+            await chunked.send(b'{"index": 0}\n')
+            await chunked.send(b'{"index": 1}\n')
+            await chunked.finish()
+
+        asyncio.run(run())
+        head, _, body = writer.data.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        assert body == (
+            b'd\r\n{"index": 0}\n\r\n'
+            b'd\r\n{"index": 1}\n\r\n'
+            b"0\r\n\r\n"
+        )
