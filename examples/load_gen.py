@@ -20,9 +20,12 @@ serial :class:`repro.engine.service.SweepService` and asserts the HTTP
 responses are **bit-for-bit identical** (floats survive the JSON round
 trip by shortest-repr) — the acceptance check the CI smoke job runs.
 
-Exit code: 0 when every request succeeded (and verification passed),
-1 otherwise.  429 responses count separately (they are backpressure,
-not failures) unless ``--fail-on-reject`` is given.
+Backpressure is the server doing its job, so a 429 is never a failure
+by itself: clients honor the ``Retry-After`` header (capped, with a few
+bounded attempts) and re-issue the request.  The exit code is 0 unless
+a request hard-fails (non-200/429, connection error) or ``--verify``
+finds a drift; ``--fail-on-reject`` additionally fails the run when a
+request still gets 429 after exhausting its retries.
 
 Without ``--base-url`` the script is self-contained: it boots an
 in-process server on an ephemeral port (the same
@@ -44,9 +47,14 @@ from urllib.parse import urlsplit
 
 FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
 
+#: 429 backoff bounds: never sleep longer than this per Retry-After hint,
+#: never re-issue one request more than this many times.
+MAX_RETRY_AFTER = 2.0
+RETRY_ATTEMPTS = 5
+
 
 def _request(base, method, path, payload=None, timeout=120.0):
-    """One HTTP request; returns ``(status, parsed-or-raw body)``."""
+    """One HTTP request; returns ``(status, parsed-or-raw body, retry_after)``."""
     parts = urlsplit(base)
     conn = HTTPConnection(parts.hostname, parts.port or 80, timeout=timeout)
     try:
@@ -55,16 +63,43 @@ def _request(base, method, path, payload=None, timeout=120.0):
         conn.request(method, path, body=body, headers=headers)
         response = conn.getresponse()
         raw = response.read()
+        retry_after = None
+        if response.status == 429:
+            try:
+                retry_after = float(response.getheader("Retry-After") or "")
+            except ValueError:
+                retry_after = None
         kind = (response.getheader("Content-Type") or "").split(";")[0]
         if kind == "application/json":
-            return response.status, json.loads(raw)
+            return response.status, json.loads(raw), retry_after
         if kind == "application/x-ndjson":
             return response.status, [
                 json.loads(line) for line in raw.splitlines() if line.strip()
-            ]
-        return response.status, raw
+            ], retry_after
+        return response.status, raw, retry_after
     finally:
         conn.close()
+
+
+def _request_with_backoff(base, method, path, payload, tally):
+    """Issue one request, absorbing 429s by honoring ``Retry-After``.
+
+    Sleeps the server's hint (capped at :data:`MAX_RETRY_AFTER`, doubling
+    a small default when the header is missing) and retries up to
+    :data:`RETRY_ATTEMPTS` times; the last response is returned whatever
+    its status, so a saturated server still surfaces as a 429.
+    """
+    delay = 0.1
+    status, body, retry_after = _request(base, method, path, payload)
+    for _ in range(RETRY_ATTEMPTS - 1):
+        if status != 429:
+            break
+        wait = min(retry_after if retry_after is not None else delay, MAX_RETRY_AFTER)
+        tally.note_backoff(wait)
+        time.sleep(wait)
+        delay = min(delay * 2.0, MAX_RETRY_AFTER)
+        status, body, retry_after = _request(base, method, path, payload)
+    return status, body
 
 
 class Tally:
@@ -75,6 +110,8 @@ class Tally:
         self.ok = 0
         self.rejected = 0
         self.failed = 0
+        self.retries = 0
+        self.backoff_seconds = 0.0
         self.errors = []
 
     def record(self, status, context):
@@ -82,10 +119,16 @@ class Tally:
             if status == 200:
                 self.ok += 1
             elif status == 429:
+                # still rejected after every Retry-After-honoring attempt
                 self.rejected += 1
             else:
                 self.failed += 1
                 self.errors.append("%s -> HTTP %s" % (context, status))
+
+    def note_backoff(self, wait):
+        with self.lock:
+            self.retries += 1
+            self.backoff_seconds += wait
 
     def crash(self, context, exc):
         with self.lock:
@@ -99,7 +142,7 @@ def _client(base, client_id, rounds, sweep_payload, importance_payload, tally, r
     for round_index in range(rounds):
         context = "client %d round %d" % (client_id, round_index)
         try:
-            status, body = _request(base, "POST", "/v1/sweep", payload)
+            status, body = _request_with_backoff(base, "POST", "/v1/sweep", payload, tally)
             tally.record(status, context + " sweep")
             if status == 200:
                 points = body if stream else body["points"]
@@ -108,7 +151,9 @@ def _client(base, client_id, rounds, sweep_payload, importance_payload, tally, r
         except Exception as exc:
             tally.crash(context + " sweep", exc)
         try:
-            status, body = _request(base, "POST", "/v1/importance", importance_payload)
+            status, body = _request_with_backoff(
+                base, "POST", "/v1/importance", importance_payload, tally
+            )
             tally.record(status, context + " importance")
             if status == 200:
                 with tally.lock:
@@ -209,7 +254,7 @@ def main(argv=None):
             args.verify = True  # the self-contained demo always checks itself
 
     try:
-        status, _ = _request(args.base_url, "GET", "/healthz", timeout=10.0)
+        status, _, _ = _request(args.base_url, "GET", "/healthz", timeout=10.0)
         if status != 200:
             print("server at %s is not healthy (HTTP %d)" % (args.base_url, status))
             return 1
@@ -266,10 +311,15 @@ def _run_burst(args):
         "%d requests in %.2fs from %d clients: %d ok, %d rejected (429), %d failed"
         % (total, elapsed, args.clients, tally.ok, tally.rejected, tally.failed)
     )
+    if tally.retries:
+        print(
+            "  backpressure: %d retries honoring Retry-After (%.2fs slept)"
+            % (tally.retries, tally.backoff_seconds)
+        )
     for line in tally.errors[:10]:
         print("  FAIL %s" % line)
 
-    status, raw = _request(args.base_url, "GET", "/stats", timeout=10.0)
+    status, raw, _ = _request(args.base_url, "GET", "/stats", timeout=10.0)
     if status == 200:
         text = raw.decode("utf-8") if isinstance(raw, bytes) else str(raw)
         wanted = (

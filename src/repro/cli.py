@@ -28,6 +28,10 @@ Python:
   per-structure-key request coalescing, NDJSON streaming, bounded admission
   control (429 + ``Retry-After``), ``/healthz`` and a Prometheus ``/stats``,
   graceful drain on SIGTERM;
+* ``worker``            — long-lived remote shard worker
+  (:mod:`repro.engine.fabric`): resolves digest-addressed structures from
+  a shared ``--store-dir`` and evaluates model spans posted by a parent
+  sweep started with ``--remote-worker URL`` flags;
 * ``trace FILE``        — summarize a Chrome trace-event file exported with
   ``sweep/importance --trace`` as an indented span tree;
 * ``table {1,2,3,4}``   — regenerate one of the paper's tables on the small
@@ -169,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fixed per-shard worker deadline; the default scales one from "
         "the measured per-model latency",
     )
+    _add_fabric_options(sweep)
     sweep.add_argument(
         "--no-degrade",
         dest="degrade",
@@ -364,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="disable zero-copy shared-memory shard dispatch",
     )
+    _add_fabric_options(serve)
     serve.add_argument(
         "--max-queue",
         type=int,
@@ -387,6 +393,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="how long a SIGTERM drain waits for in-flight requests "
         "(default 10)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="serve remote shard evaluations over HTTP from a shared store",
+    )
+    worker.add_argument(
+        "store_dir",
+        metavar="DIR",
+        help="structure store directory shared with the parent sweep",
+    )
+    worker.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; 0.0.0.0 in containers)",
+    )
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=8100,
+        help="TCP port to bind; 0 picks an ephemeral port (default 8100)",
     )
 
     table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
@@ -415,6 +442,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the available benchmark names")
     return parser
+
+
+def _add_fabric_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remote-worker",
+        dest="remote_workers",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="dispatch shards of large groups to this `repro worker` "
+        "(repeatable; requires --store-dir shared with the workers)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="probe remote workers' /healthz this often (default 1.0)",
+    )
 
 
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
@@ -595,6 +641,8 @@ def _run_sweep(args) -> int:
             max_retries=args.max_retries,
             shard_timeout=args.shard_timeout,
             degrade=args.degrade,
+            remote_workers=args.remote_workers,
+            heartbeat_interval=args.heartbeat_interval,
         )
         started = time.perf_counter()
         with obs_trace.span(
@@ -786,6 +834,8 @@ def _run_serve(args) -> int:
             cache_dir=args.cache_dir,
             store_dir=args.store_dir,
             use_shared_memory=args.shared_memory,
+            remote_workers=args.remote_workers,
+            heartbeat_interval=args.heartbeat_interval,
         )
     except (OrderingError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -822,6 +872,39 @@ def _run_serve(args) -> int:
     finally:
         service.close()
     print("repro serve: drained, bye")
+    return 0
+
+
+def _run_worker(args) -> int:
+    import asyncio
+
+    from .engine.fabric import ShardWorker
+
+    try:
+        worker = ShardWorker(args.store_dir, host=args.host, port=args.port)
+    except (OSError, RuntimeError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    async def main() -> None:
+        await worker.start()
+        print(
+            "repro worker: listening on http://%s:%d (store %s)"
+            % (worker.host, worker.port, args.store_dir),
+            flush=True,
+        )
+        await worker.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-timing dependent
+        pass
+    except OSError as exc:
+        # bind failures (port in use, privileged port, bad interface)
+        print("error: cannot listen on %s:%d: %s" % (args.host, args.port, exc),
+              file=sys.stderr)
+        return 2
+    print("repro worker: stopped after %d shards" % worker.shards_served)
     return 0
 
 
@@ -993,6 +1076,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _run_importance(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "worker":
+        return _run_worker(args)
     if args.command == "cache":
         return _run_cache(args)
     if args.command == "table":

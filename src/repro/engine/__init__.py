@@ -37,7 +37,12 @@ reusable analysis engine — out of :mod:`repro.bdd` and :mod:`repro.mdd`:
   shm → pickled → in-parent degradation cascade;
 * :mod:`repro.engine.faults` — the deterministic fault-injection harness
   (``REPRO_FAULT_PLAN`` / ``SweepService(fault_plan=...)``) that the
-  supervision layer is tested against.
+  supervision layer is tested against;
+* :mod:`repro.engine.fabric` — the remote shard fabric: long-lived HTTP
+  shard workers (``repro worker``) resolving digest-addressed structures
+  from the shared store, and a parent-side scheduler with heartbeats,
+  EWMA deadlines, work stealing and the same bounded-retry guarantees as
+  the local supervisor.
 """
 
 from .batch import (
@@ -100,4 +105,32 @@ __all__ = [
     "SweepPoint",
     "SweepService",
     "SweepServiceStats",
+    "FabricError",
+    "FabricScheduler",
+    "FabricShard",
+    "ShardWorker",
+    "WorkerHandle",
+    "worker_in_thread",
 ]
+
+#: Fabric names resolve lazily: importing :mod:`repro.engine.fabric`
+#: pulls in :mod:`repro.server.http` (whose package init imports the app,
+#: which imports this package), so an eager import here would cycle.
+_FABRIC_EXPORTS = frozenset(
+    (
+        "FabricError",
+        "FabricScheduler",
+        "FabricShard",
+        "ShardWorker",
+        "WorkerHandle",
+        "worker_in_thread",
+    )
+)
+
+
+def __getattr__(name):
+    if name in _FABRIC_EXPORTS:
+        from . import fabric
+
+        return getattr(fabric, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -29,6 +29,22 @@ Sites
     an entry is read: the store *truncates one of the entry's array
     files on disk*, so the regular corruption detection (and the
     verify-and-quarantine path) runs against real damage.
+``net.refuse``
+    Fired in the fabric client (:mod:`repro.engine.fabric`) before it
+    connects to a remote worker: raises, modelling a refused connection
+    (dead worker, partition, firewall).
+``net.drop``
+    Fired in the fabric client after the response bytes were read:
+    raises, modelling a connection dropped mid-response — the remote
+    worker did the work but the result never arrived.
+``net.delay``
+    Fired in the fabric client between sending the request and reading
+    the response: sleeps (``delay`` seconds, default 30) so the shard
+    blows its deadline and the scheduler abandons the attempt.
+``net.garbage``
+    Fired in the fabric client after the response was read: returns
+    ``True`` and the client *corrupts the received body itself*, so the
+    regular wire-format validation runs against real damage.
 
 Installation
 ------------
@@ -89,6 +105,10 @@ SITES = (
     "shard.unpickle",
     "shm.create",
     "store.corrupt",
+    "net.refuse",
+    "net.drop",
+    "net.delay",
+    "net.garbage",
 )
 
 _log = logging.getLogger("repro.engine.faults")
@@ -293,11 +313,12 @@ def fire(site: str, registry=None) -> bool:
     """Evaluate one occurrence of ``site``; inject its fault if due.
 
     Returns ``True`` when the site fired *and* the fault is one the caller
-    must act on itself (currently only ``store.corrupt``: the store damages
-    its own entry when this returns ``True``).  ``worker.kill`` never
-    returns (SIGKILL); ``worker.hang`` sleeps, then returns ``False``;
-    every other firing site raises :class:`InjectedFault`.  When no plan
-    is installed the cost is one module read and one ``None`` check.
+    must act on itself (``store.corrupt``: the store damages its own
+    entry; ``net.garbage``: the fabric client corrupts the received
+    body).  ``worker.kill`` never returns (SIGKILL); ``worker.hang`` and
+    ``net.delay`` sleep, then return ``False``; every other firing site
+    raises :class:`InjectedFault`.  When no plan is installed the cost is
+    one module read and one ``None`` check.
     """
     plan = active()
     if plan is None:
@@ -312,10 +333,10 @@ def fire(site: str, registry=None) -> bool:
     _log.debug("fault injection: %s fires (occurrence %d)", site, occurrence)
     if site == "worker.kill":
         os.kill(os.getpid(), signal.SIGKILL)  # never returns
-    if site == "worker.hang":
+    if site in ("worker.hang", "net.delay"):
         time.sleep(30.0 if rule.delay is None else rule.delay)
         return False
-    if site == "store.corrupt":
+    if site in ("store.corrupt", "net.garbage"):
         return True
     raise InjectedFault(site, occurrence)
 

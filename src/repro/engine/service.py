@@ -421,6 +421,18 @@ class SweepService:
         a store).  Platforms or situations where a block cannot be created
         fall back to the pickled protocol transparently — results are
         identical either way.
+    remote_workers:
+        Optional list of shard-worker URLs (``host:port`` or
+        ``http://host:port``, see ``repro worker``).  Sharded groups are
+        dispatched to the remote fabric first
+        (:class:`repro.engine.fabric.FabricScheduler`); anything the
+        fabric cannot finish — dead workers, exhausted retries, no
+        store — falls back to the local pool and then in-parent, so
+        results are identical with or without the fabric.  Requires
+        ``store_dir`` (workers resolve structures by digest from the
+        shared store) and numpy.
+    heartbeat_interval:
+        Seconds between liveness probes of the remote workers.
     max_structures:
         How many compiled structures to keep in memory (LRU).
     max_results:
@@ -447,6 +459,8 @@ class SweepService:
         shard_timeout: Optional[float] = None,
         degrade: bool = True,
         fault_plan=None,
+        remote_workers: Optional[Sequence[str]] = None,
+        heartbeat_interval: float = 1.0,
         **analyzer_options,
     ) -> None:
         if max_structures < 1:
@@ -519,6 +533,13 @@ class SweepService:
         #: pool's health (respawn on faults), which cannot be shared by
         #: two concurrent dispatch loops.
         self._dispatch_lock = threading.Lock()
+        #: Remote shard fabric (lazy; see :meth:`_fabric_scheduler`).
+        self.remote_workers = list(remote_workers or [])
+        self.heartbeat_interval = float(heartbeat_interval)
+        self._fabric = None
+        #: Epoch seconds of the last pool respawn, for health reporting
+        #: (``/healthz`` downgrades to ``degraded`` for a window after one).
+        self._last_respawn: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -567,10 +588,21 @@ class SweepService:
 
         if pending:
             groups = list(pending.items())
-            if self.workers > 1:
-                evaluated = self._run_parallel(groups, points, truncations)
-            else:
-                evaluated = self._run_serial(groups, points, truncations)
+            evaluated = []
+            # the remote fabric gets first claim on sharded groups; what
+            # it cannot finish (no workers, failed shards, small groups)
+            # continues on the local routes unchanged
+            fabric = self._fabric_scheduler()
+            if fabric is not None and self._ladder.allows("remote"):
+                remote_evaluated, groups = self._run_fabric(
+                    groups, points, truncations, fabric
+                )
+                evaluated.extend(remote_evaluated)
+            if groups:
+                if self.workers > 1:
+                    evaluated.extend(self._run_parallel(groups, points, truncations))
+                else:
+                    evaluated.extend(self._run_serial(groups, points, truncations))
             for idx, result in evaluated:
                 results[idx] = result
                 rkey = keys[idx]
@@ -715,6 +747,20 @@ class SweepService:
                 self._structure_for(skey, problem, int(truncation))
         return skey
 
+    def health(self) -> Dict[str, object]:
+        """Degradation signals for front-end health endpoints.
+
+        ``blocked_routes`` lists dispatch routes the cascade is currently
+        sidestepping; ``last_respawn`` is the epoch time of the most
+        recent pool respawn (``None`` if the pool never died).  A healthy
+        service reports ``([], None)``.
+        """
+        with self._lock:
+            return {
+                "blocked_routes": self._ladder.blocked_routes(),
+                "last_respawn": self._last_respawn,
+            }
+
     def ensure_workers(self):
         """Spawn the persistent worker pool now (idempotent, thread-safe).
 
@@ -755,6 +801,7 @@ class SweepService:
         self.close()
         with self._lock:
             self._pool_broken = False
+            self._last_respawn = time.time()
         return self.ensure_workers()
 
     #: How long :meth:`close` lets ``Pool.terminate`` run before declaring
@@ -782,6 +829,17 @@ class SweepService:
         with lock if lock is not None else nullcontext():
             pool = getattr(self, "_pool", None)
             self._pool = None
+            fabric = getattr(self, "_fabric", None)
+            self._fabric = None
+        if fabric is not None:
+            # stop the heartbeat monitor; the scheduler is rebuilt lazily
+            # by the next batch that wants the remote route
+            try:
+                fabric.close()
+            except Exception as exc:  # pragma: no cover - defensive
+                faults.note_suppressed(
+                    getattr(self, "registry", None), "fabric.close", exc
+                )
         if pool is None:
             return
         registry = getattr(self, "registry", None)
@@ -952,6 +1010,160 @@ class SweepService:
                 )
             evaluated.extend(zip(indices, results))
         return evaluated
+
+    def _fabric_scheduler(self):
+        """The remote shard fabric, created lazily (``None`` if unusable).
+
+        The fabric needs configured workers, a structure store (workers
+        resolve structures by digest) and numpy (the wire format is raw
+        float64 matrices).  Rebuilt after :meth:`close`, so a respawned
+        service keeps its remote route.
+        """
+        if not self.remote_workers or self._store is None or not HAVE_NUMPY:
+            return None
+        with self._lock:
+            if self._fabric is None:
+                from .fabric import FabricScheduler
+
+                self._fabric = FabricScheduler(
+                    self.remote_workers,
+                    self.registry,
+                    max_retries=self.max_retries,
+                    shard_timeout=self.shard_timeout,
+                    backoff=self._backoff,
+                    heartbeat_interval=self.heartbeat_interval,
+                    fault_plan=self._fault_plan,
+                )
+            return self._fabric
+
+    def _run_fabric(self, groups, points, truncations, fabric):
+        """Dispatch sharded groups to the remote fabric.
+
+        Returns ``(evaluated, leftover)``: results for every model span a
+        remote worker finished, and the groups (or failed remnants of
+        groups) the local routes must still evaluate.  The parent builds
+        or loads each group's structure once, persists it to the shared
+        store, assembles the model matrices, and ships per-span column
+        slices — workers run only the kernel pass, so a remote result is
+        bit-for-bit the local one.
+        """
+        from .fabric import FabricShard
+        from .store import digest_of
+        import numpy
+
+        evaluated: List[Tuple[int, object]] = []
+        leftover = []
+        if not fabric.has_live_workers():
+            # keep probing so returning workers are re-admitted even
+            # while every batch bypasses the remote route
+            fabric.monitor.ensure()
+            return [], groups
+        shards = []
+        fabric_groups = []
+        live = max(1, len(fabric.live_workers()))
+        for skey, indices in groups:
+            if len(indices) < self.shard_size:
+                leftover.append((skey, indices))
+                continue
+            first = indices[0]
+            with self._locked_key(skey):
+                compiled, reused = self._structure_for(
+                    skey, points[first].problem, truncations[first]
+                )
+            if not self._store.contains(skey):
+                self._persist_structure(skey, compiled)
+                if not self._store.contains(skey):
+                    # the store cannot hold this structure: workers could
+                    # never resolve its digest, so keep the group local
+                    leftover.append((skey, indices))
+                    continue
+            problems = [points[idx].problem for idx in indices]
+            k = len(problems)
+            try:
+                lethal, count, location = compiled.model_matrices(problems)
+            except Exception:
+                leftover.append((skey, indices))
+                continue
+            count = numpy.ascontiguousarray(count, dtype="<f8")
+            location = numpy.ascontiguousarray(location, dtype="<f8")
+            group = {
+                "skey": skey,
+                "compiled": compiled,
+                "problems": problems,
+                "lethal": lethal,
+                "indices": list(indices),
+                "fresh": not reused,
+                "models": k,
+                "probabilities": [None] * k,
+                "failed": set(),
+                "evaluate_seconds": 0.0,
+            }
+            fabric_groups.append(group)
+            digest = digest_of(skey)
+            for chunk in _chunked(
+                list(range(k)), max(1, min(2 * live, k // self.shard_size))
+            ):
+                a, b = chunk[0], chunk[-1] + 1
+                shards.append(
+                    FabricShard(
+                        group=group,
+                        span=(a, b),
+                        digest=digest,
+                        count_bytes=numpy.ascontiguousarray(
+                            count[:, a:b]
+                        ).tobytes(),
+                        location_bytes=numpy.ascontiguousarray(
+                            location[:, a:b]
+                        ).tobytes(),
+                        count_rows=count.shape[0],
+                        location_rows=location.shape[0],
+                        models=b - a,
+                    )
+                )
+        if not shards:
+            return [], leftover
+
+        started = time.perf_counter()
+        successes, failures = fabric.dispatch(shards)
+        for shard in successes:
+            group = shard.group
+            a, b = shard.span
+            group["probabilities"][a:b] = shard.result
+            group["evaluate_seconds"] += shard.evaluate_seconds
+            # the worker's metrics delta rides home on the response; one
+            # merge is the whole aggregation
+            self.registry.merge_snapshot(shard.metrics)
+            self._ladder.note_success("remote", self.registry)
+        for shard in failures:
+            shard.group["failed"].update(range(*shard.span))
+            self._ladder.note_failure("remote", self.registry)
+        for group in fabric_groups:
+            k = group["models"]
+            ok = [m for m in range(k) if m not in group["failed"]]
+            if ok:
+                results = group["compiled"].package_results(
+                    [group["problems"][m] for m in ok],
+                    [group["lethal"][m] for m in ok],
+                    [group["probabilities"][m] for m in ok],
+                    reused=not (group["fresh"] and ok[0] == 0),
+                    per_point=group["evaluate_seconds"] / max(1, k),
+                )
+                evaluated.extend(
+                    (group["indices"][m], result) for m, result in zip(ok, results)
+                )
+            if group["failed"]:
+                # spans the fabric could not finish rejoin the batch as a
+                # smaller group: the local pool (or the parent) takes over
+                leftover.append(
+                    (
+                        group["skey"],
+                        [group["indices"][m] for m in sorted(group["failed"])],
+                    )
+                )
+        self.stats.evaluate_seconds += time.perf_counter() - started
+        if successes:
+            self.stats.points_sharded += sum(s.models for s in successes)
+        return evaluated, leftover
 
     def _shard_count(self, num_points: int) -> int:
         """How many worker shards a group of ``num_points`` points gets."""

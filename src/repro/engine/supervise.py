@@ -196,10 +196,12 @@ class Backoff:
         return full * (0.5 + 0.5 * self._rng.random())
 
 
-#: The dispatch routes, best first.  ``shm`` moves columns through a
-#: shared-memory block, ``pickled`` ships pickled problems, ``parent``
-#: evaluates in-process (always available, never blocked).
-ROUTES = ("shm", "pickled", "parent")
+#: The dispatch routes, best first.  ``remote`` ships shards to the
+#: distributed worker fabric (:mod:`repro.engine.fabric`), ``shm`` moves
+#: columns through a shared-memory block, ``pickled`` ships pickled
+#: problems, ``parent`` evaluates in-process (always available, never
+#: blocked).
+ROUTES = ("remote", "shm", "pickled", "parent")
 
 
 class DegradationLadder:
@@ -222,6 +224,10 @@ class DegradationLadder:
 
     def allows(self, route: str) -> bool:
         return not self.enabled or self._blocked.get(route, 0) <= 0
+
+    def blocked_routes(self) -> List[str]:
+        """Routes currently sidestepped by the cascade (health reporting)."""
+        return [route for route in ROUTES if self._blocked.get(route, 0) > 0]
 
     def preferred(self, top: str = "shm") -> str:
         """The best currently-allowed route at or below ``top``."""

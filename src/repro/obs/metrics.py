@@ -33,6 +33,27 @@ The fault-tolerance layer (:mod:`repro.engine.supervise` /
   ``supervise.per_model_seconds`` latency gauge that deadlines are
   scaled from.
 
+The remote shard fabric (:mod:`repro.engine.fabric`) reserves three
+more:
+
+* ``fabric.*`` — the dispatch ledger (``fabric.shards_dispatched`` /
+  ``fabric.shards_completed`` / ``fabric.shards_failed``,
+  ``fabric.models``, ``fabric.timeouts``, ``fabric.worker_errors``,
+  ``fabric.bytes_sent`` / ``fabric.bytes_received`` and the
+  ``fabric.remote_seconds`` histogram) plus the worker-side counters
+  merged home with each result (``fabric.worker_requests``,
+  ``fabric.worker_shards``, ``fabric.worker_models``,
+  ``fabric.worker_failures``, ``fabric.worker_structure_loads`` /
+  ``fabric.worker_structure_bytes`` and the
+  ``fabric.worker_evaluate_seconds`` histogram);
+* ``steal.*`` — speculative re-execution: ``steal.speculated``
+  (duplicate attempts launched), ``steal.wins`` (a speculative copy
+  finished first) and ``steal.late_discards`` (losing results dropped
+  by first-result-wins dedup);
+* ``heartbeat.*`` — the liveness probe loop: ``heartbeat.probes``,
+  ``heartbeat.misses``, ``heartbeat.evictions`` and
+  ``heartbeat.readmissions``.
+
 The HTTP front end (:mod:`repro.server`) adds a ``server.*`` namespace
 on the same shared registry: ``server.requests[.<route>]``,
 ``server.responses.<status>``, ``server.rejected`` (admission control),

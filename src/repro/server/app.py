@@ -10,7 +10,11 @@ Endpoints
 
 ``GET /healthz``
     Liveness: ``200 {"status": "ok"}`` while the loop is serving, 503
-    once a drain has started.
+    once a drain has started.  A serving loop whose engine is limping —
+    a degradation-ladder route is blocked, or the worker pool was
+    respawned within the last ``respawn_window`` seconds — still answers
+    200 (the process is alive) but with ``{"status": "degraded",
+    "reason": ...}`` so orchestrators can distinguish "up" from "well".
 ``GET /stats``
     The service's entire :class:`~repro.obs.metrics.MetricsRegistry` in
     Prometheus text exposition format — the same numbers the CLI's
@@ -129,6 +133,7 @@ class YieldServer:
         drain_grace: float = 10.0,
         shm_sweep_interval: float = 60.0,
         shm_max_age: float = 300.0,
+        respawn_window: float = 30.0,
     ) -> None:
         self.service = service
         self.registry = service.registry
@@ -138,6 +143,7 @@ class YieldServer:
         self.drain_grace = float(drain_grace)
         self.shm_sweep_interval = float(shm_sweep_interval)
         self.shm_max_age = float(shm_max_age)
+        self.respawn_window = float(respawn_window)
         self._executor = ThreadPoolExecutor(
             max_workers=int(http_threads), thread_name_prefix="repro-http"
         )
@@ -302,11 +308,38 @@ class YieldServer:
         raise HTTPError(404, "no such endpoint")
 
     async def _handle_healthz(self, request, writer) -> int:
-        status = 503 if self._draining else 200
-        payload = {"status": "draining" if self._draining else "ok"}
+        if self._draining:
+            status, payload = 503, {"status": "draining"}
+        else:
+            status = 200
+            reason = self._degraded_reason()
+            if reason is None:
+                payload = {"status": "ok"}
+            else:
+                payload = {"status": "degraded", "reason": reason}
         writer.write(response_bytes(status, _json_bytes(payload)))
         await writer.drain()
         return status
+
+    def _degraded_reason(self) -> Optional[str]:
+        """Why the engine is limping, or ``None`` while it is healthy.
+
+        Reads :meth:`SweepService.health`; services without it (tests
+        stub the service with a bare object) count as healthy.
+        """
+        health = getattr(self.service, "health", None)
+        if not callable(health):
+            return None
+        snapshot = health()
+        blocked = snapshot.get("blocked_routes") or []
+        if blocked:
+            return "degraded dispatch routes: %s" % ", ".join(sorted(blocked))
+        last_respawn = snapshot.get("last_respawn")
+        if last_respawn is not None and self.respawn_window > 0:
+            age = time.time() - last_respawn
+            if age < self.respawn_window:
+                return "worker pool respawned %.1fs ago" % age
+        return None
 
     async def _handle_stats(self, request, writer) -> int:
         text = self.registry.expose_text()

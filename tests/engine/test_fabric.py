@@ -1,0 +1,327 @@
+"""The remote shard fabric: wire format, workers, scheduler, chaos.
+
+Everything here holds the fabric to the same contract as the local
+dispatch layer: **no fault on the fabric may change a sweep's results**
+— remote evaluation, four injected network fault classes, evicted
+workers and a fully dead fabric must all produce rows bit-for-bit
+identical to the serial reference, with the story visible in the
+``fabric.*`` / ``steal.*`` / ``heartbeat.*`` counters.
+"""
+
+import struct
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.core.problem import YieldProblem
+from repro.distributions import ComponentDefectModel, PoissonDefectDistribution
+from repro.engine import faults
+from repro.engine.fabric import (
+    FabricError,
+    FabricScheduler,
+    HeartbeatMonitor,
+    RemoteWorker,
+    decode_shard_request,
+    decode_shard_response,
+    encode_shard_request,
+    encode_shard_response,
+    worker_in_thread,
+)
+from repro.engine.faults import PLAN_ENV, FaultPlan
+from repro.engine.service import SweepService
+from repro.faulttree import FaultTreeBuilder
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_tree():
+    ft = FaultTreeBuilder("fabric-tmr")
+    ft.set_top(ft.k_out_of_n_failed(2, ["M1", "M2", "M3"]))
+    return ft.build()
+
+
+TREE = build_tree()
+
+
+def make_problem(mean_defects):
+    model = ComponentDefectModel.uniform(["M1", "M2", "M3"], lethality=0.8)
+    distribution = PoissonDefectDistribution(mean=mean_defects)
+    return YieldProblem(TREE, model, distribution, name="fabric-tmr")
+
+
+DENSITIES = [0.2 + 0.05 * index for index in range(16)]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan(monkeypatch):
+    monkeypatch.delenv(PLAN_ENV, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def serial_reference():
+    service = SweepService()
+    try:
+        return service.density_sweep(make_problem, DENSITIES, max_defects=3)
+    finally:
+        service.close()
+
+
+# --------------------------------------------------------------------- #
+# Wire format
+# --------------------------------------------------------------------- #
+
+
+class TestWireFormat:
+    def test_request_round_trip_is_bitexact(self):
+        count = struct.pack("<8d", *[0.1 * i for i in range(8)])
+        location = struct.pack("<4d", *[1.5, -2.0, 0.0, 3.25])
+        body = encode_shard_request(
+            "abc123", count, location, count_rows=2, location_rows=1, models=4,
+            deadline=2.5,
+        )
+        header, count_out, location_out = decode_shard_request(body)
+        assert header["digest"] == "abc123"
+        assert header["models"] == 4
+        assert header["deadline"] == 2.5
+        assert count_out == count
+        assert location_out == location
+
+    def test_response_round_trip_is_bitexact(self):
+        probabilities = [0.1, 0.25, 1.0 / 3.0, 7e-12]
+        body = encode_shard_response(probabilities, evaluate_seconds=0.125)
+        header, out = decode_shard_response(body, 4)
+        assert out == probabilities  # exact float64, not approx
+        assert header["evaluate_seconds"] == 0.125
+
+    def test_truncated_frame_is_rejected(self):
+        with pytest.raises(FabricError, match="length prefix"):
+            decode_shard_request(b"\x00")
+        body = encode_shard_response([0.5], evaluate_seconds=0.0)
+        with pytest.raises(FabricError):
+            decode_shard_response(body[: len(body) - 3], 1)
+
+    def test_header_not_json_is_rejected(self):
+        body = struct.pack(">I", 4) + b"\xff\xfe\xfd\xfc"
+        with pytest.raises(FabricError, match="JSON"):
+            decode_shard_request(body)
+
+    def test_payload_length_must_match_the_shapes(self):
+        body = encode_shard_request(
+            "abc", b"\x00" * 16, b"", count_rows=1, location_rows=0, models=2
+        )
+        with pytest.raises(FabricError, match="payload"):
+            decode_shard_request(body[:-8])
+
+    def test_model_count_mismatch_is_rejected(self):
+        body = encode_shard_response([0.5, 0.25])
+        with pytest.raises(FabricError, match="models"):
+            decode_shard_response(body, 3)
+
+    def test_worker_reported_failure_is_surfaced(self):
+        from repro.engine.fabric import _pack_frame
+
+        body = _pack_frame({"ok": False, "error": "no such structure"})
+        with pytest.raises(FabricError, match="no such structure"):
+            decode_shard_response(body, 1)
+
+
+# --------------------------------------------------------------------- #
+# Worker-side scheduling state
+# --------------------------------------------------------------------- #
+
+
+class TestRemoteWorker:
+    def test_url_without_scheme_gets_one(self):
+        worker = RemoteWorker("127.0.0.1:9000")
+        assert worker.url == "http://127.0.0.1:9000"
+        assert worker.host == "127.0.0.1"
+        assert worker.port == 9000
+
+    def test_url_without_a_port_is_rejected(self):
+        with pytest.raises(ValueError, match="host and port"):
+            RemoteWorker("http://localhost")
+
+    def test_latency_ewma_converges_toward_new_samples(self):
+        worker = RemoteWorker("h:1")
+        worker.observe(1.0, 10)  # 0.1 per model
+        first = worker.per_model_seconds
+        assert first == pytest.approx(0.1)
+        worker.observe(10.0, 10)  # 1.0 per model
+        assert first < worker.per_model_seconds < 1.0
+
+    def test_miss_threshold_evicts_and_alive_readmits(self):
+        registry = MetricsRegistry()
+        worker = RemoteWorker("h:1")
+        for _ in range(2):
+            worker.note_miss(3, registry)
+        assert worker.alive  # below the threshold
+        worker.note_miss(3, registry)
+        assert not worker.alive
+        assert registry.counter("heartbeat.evictions") == 1
+        worker.note_alive(registry)
+        assert worker.alive
+        assert worker.misses == 0
+        assert registry.counter("heartbeat.readmissions") == 1
+
+
+# --------------------------------------------------------------------- #
+# The HTTP shard worker
+# --------------------------------------------------------------------- #
+
+
+def _http(handle, method, path, body=None):
+    from http.client import HTTPConnection
+
+    conn = HTTPConnection(handle.host, handle.port, timeout=10.0)
+    try:
+        headers = {"Content-Type": "application/octet-stream"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestShardWorkerHTTP:
+    @pytest.fixture()
+    def handle(self, tmp_path):
+        handle = worker_in_thread(str(tmp_path / "store"))
+        yield handle
+        handle.stop()
+
+    def test_healthz_reports_ok_with_counts(self, handle):
+        import json
+
+        status, raw = _http(handle, "GET", "/healthz")
+        payload = json.loads(raw)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["shards"] == 0
+
+    def test_stats_exposes_prometheus_text(self, handle):
+        status, raw = _http(handle, "GET", "/stats")
+        assert status == 200
+        assert b"repro_" in raw
+
+    def test_unknown_digest_is_a_404(self, handle):
+        body = encode_shard_request(
+            "not-a-digest",
+            struct.pack("<2d", 0.5, 0.5),
+            b"",
+            count_rows=1,
+            location_rows=0,
+            models=2,
+        )
+        status, _ = _http(handle, "POST", "/v1/shard", body)
+        assert status == 404
+
+    def test_garbage_body_is_a_400(self, handle):
+        status, _ = _http(handle, "POST", "/v1/shard", b"\xff" * 32)
+        assert status == 400
+
+    def test_unknown_path_is_a_404(self, handle):
+        status, _ = _http(handle, "GET", "/nope")
+        assert status == 404
+
+
+# --------------------------------------------------------------------- #
+# End to end: remote sweeps match the serial reference bit for bit
+# --------------------------------------------------------------------- #
+
+
+def fabric_sweep(tmp_path, name, worker_urls, fault_plan=None, **kwargs):
+    faults.clear()
+    service = SweepService(
+        store_dir=str(tmp_path / "store"),
+        shard_size=2,
+        remote_workers=worker_urls,
+        heartbeat_interval=0.2,
+        fault_plan=fault_plan,
+        **kwargs,
+    )
+    try:
+        rows = service.density_sweep(make_problem, DENSITIES, max_defects=3)
+        counters = service.registry.snapshot()["counters"]
+    finally:
+        service.close()
+        faults.clear()
+    return rows, counters
+
+
+class TestFabricEndToEnd:
+    @pytest.fixture()
+    def fabric(self, tmp_path):
+        store = str(tmp_path / "store")
+        workers = [worker_in_thread(store), worker_in_thread(store)]
+        yield workers
+        for handle in workers:
+            handle.stop()
+
+    def test_remote_sweep_is_bitexact_and_counted(self, tmp_path, fabric):
+        rows, counters = fabric_sweep(
+            tmp_path, "clean", [handle.url for handle in fabric]
+        )
+        assert rows == serial_reference()
+        assert counters.get("fabric.shards_dispatched", 0) > 0
+        assert counters.get("fabric.shards_completed", 0) > 0
+        assert counters.get("fabric.shards_failed", 0) == 0
+        # the workers resolved the structure from the shared store and
+        # shipped their own counters home with the results
+        assert counters.get("fabric.worker_structure_loads", 0) >= 1
+        assert counters.get("fabric.worker_shards", 0) > 0
+
+    def test_all_four_network_faults_are_absorbed(self, tmp_path, fabric):
+        plan = FaultPlan.from_spec(
+            {
+                "net.refuse": {"at": [1]},
+                "net.drop": {"at": [2]},
+                "net.delay": {"at": [1], "delay": 0.4},
+                "net.garbage": {"at": [1]},
+            }
+        )
+        rows, counters = fabric_sweep(
+            tmp_path, "chaos", [handle.url for handle in fabric], fault_plan=plan
+        )
+        assert rows == serial_reference()
+        for site in ("net.refuse", "net.drop", "net.delay", "net.garbage"):
+            assert counters.get("fault.injected.%s" % site, 0) == 1, site
+        assert counters.get("retry.attempts", 0) >= 3
+        assert counters.get("fabric.shards_failed", 0) == 0
+
+    def test_dead_fabric_degrades_to_the_local_path(self, tmp_path):
+        # ports 1/2: nothing listens, every contact is a connection error
+        rows, counters = fabric_sweep(
+            tmp_path, "dead", ["http://127.0.0.1:1", "http://127.0.0.1:2"]
+        )
+        assert rows == serial_reference()
+        assert counters.get("fault.degrade.remote", 0) >= 1
+        assert counters.get("heartbeat.evictions", 0) >= 2
+        assert counters.get("fabric.shards_completed", 0) == 0
+
+    def test_killing_every_worker_mid_run_still_completes(self, tmp_path, fabric):
+        store_urls = [handle.url for handle in fabric]
+        for handle in fabric:
+            handle.stop()  # the fabric is gone before the first shard
+        rows, counters = fabric_sweep(tmp_path, "killed", store_urls)
+        assert rows == serial_reference()
+        assert counters.get("fabric.shards_completed", 0) == 0
+
+    def test_heartbeat_probe_readmits_a_recovered_worker(self, tmp_path, fabric):
+        registry = MetricsRegistry()
+        worker = RemoteWorker(fabric[0].url)
+        monitor = HeartbeatMonitor([worker], registry, interval=0.2)
+        for _ in range(3):
+            worker.note_miss(3, registry)
+        assert not worker.alive
+        assert monitor.probe(worker)  # the process is actually fine
+        assert worker.alive
+        assert registry.counter("heartbeat.readmissions") == 1
+        assert registry.counter("heartbeat.probes") == 1
+
+    def test_scheduler_with_no_workers_hands_everything_back(self):
+        scheduler = FabricScheduler([], MetricsRegistry())
+        successes, failures = scheduler.dispatch([])
+        assert successes == [] and failures == []
+        scheduler.close()

@@ -122,6 +122,47 @@ class TestFaultPlan:
         assert exc.occurrence == 3
 
 
+class TestNetworkFaultSites:
+    """The four ``net.*`` sites the remote fabric is chaos-tested through."""
+
+    def test_refuse_and_drop_raise_injected_faults(self):
+        faults.install(FaultPlan.from_spec({"net.refuse": 1, "net.drop": 1}))
+        with pytest.raises(InjectedFault) as info:
+            faults.fire("net.refuse")
+        assert info.value.site == "net.refuse"
+        with pytest.raises(InjectedFault):
+            faults.fire("net.drop")
+
+    def test_delay_sleeps_then_reports_not_fired(self):
+        import time
+
+        faults.install(FaultPlan.from_spec({"net.delay": {"at": [1], "delay": 0.2}}))
+        started = time.perf_counter()
+        assert faults.fire("net.delay") is False  # caller proceeds normally
+        assert time.perf_counter() - started >= 0.2
+
+    def test_garbage_returns_true_for_caller_side_corruption(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        faults.install(FaultPlan.from_spec({"net.garbage": 1}))
+        assert faults.fire("net.garbage", registry) is True
+        assert registry.counter("fault.injected.net.garbage") == 1
+        assert faults.fire("net.garbage", registry) is False  # occurrence 2
+
+    def test_remote_is_the_first_ladder_rung(self):
+        ladder = DegradationLadder(cooldown=2)
+        assert ladder.preferred("remote") == "remote"
+        ladder.note_failure("remote")
+        assert ladder.blocked_routes() == ["remote"]
+        assert ladder.preferred("remote") == "shm"
+        # local successes pay the remote block down again
+        ladder.note_success("shm")
+        ladder.note_success("shm")
+        assert ladder.blocked_routes() == []
+        assert ladder.allows("remote")
+
+
 class TestBackoff:
     def test_delays_grow_exponentially_and_cap(self):
         backoff = Backoff(base=0.1, factor=2.0, cap=0.5, seed=7)
@@ -202,6 +243,52 @@ class TestShmJanitor:
         assert janitor.orphans() == []
         janitor.release(block, unlink=True)  # second release must not raise
         assert janitor.sweep() == 0
+
+    def test_sweep_reclaims_a_segment_leaked_by_a_dead_process(self, tmp_path):
+        """A child leaks a real segment; the parent's sweep returns it.
+
+        This is the janitor's actual production scenario — a SIGKILLed
+        worker never runs its cleanup — so the test crosses a real
+        process boundary instead of simulating the leak in-process.
+        """
+        shared_memory = pytest.importorskip("multiprocessing.shared_memory")
+        import subprocess
+        import sys
+
+        child = (
+            "import os, sys\n"
+            "from multiprocessing import resource_tracker, shared_memory\n"
+            "block = shared_memory.SharedMemory(create=True, size=128)\n"
+            "block.buf[:4] = b'leak'\n"
+            # stop the child's resource tracker from reclaiming the block
+            # at exit: the leak must be real, the parent's job to sweep
+            "try:\n"
+            "    resource_tracker.unregister(block._name, 'shared_memory')\n"
+            "except Exception:\n"
+            "    pass\n"
+            "print(block.name, flush=True)\n"
+            "os._exit(0)\n"  # no cleanup, like a killed worker
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", child],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        name = result.stdout.strip()
+        assert name
+
+        # the leak outlived its creator: the parent can still attach
+        leaked = shared_memory.SharedMemory(name=name)
+        assert bytes(leaked.buf[:4]) == b"leak"
+
+        janitor = ShmJanitor()
+        janitor.adopt(leaked)
+        assert janitor.orphans() == [name]
+        assert janitor.sweep() == 1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
 
 
 # --------------------------------------------------------------------- #

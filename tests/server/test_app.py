@@ -291,6 +291,47 @@ class TestAdmissionControl:
             service.close()
 
 
+class TestDegradedHealth:
+    """``/healthz`` distinguishes "up" from "well" (still HTTP 200)."""
+
+    def test_blocked_ladder_route_reports_degraded(self, served):
+        service, handle = served
+        service._ladder.note_failure("remote", service.registry)
+        status, payload = get_json(handle, "/healthz")
+        assert status == 200
+        assert payload["status"] == "degraded"
+        assert "remote" in payload["reason"]
+
+    def test_recent_pool_respawn_reports_degraded(self, served):
+        import time
+
+        service, handle = served
+        service._last_respawn = time.time()
+        status, payload = get_json(handle, "/healthz")
+        assert status == 200
+        assert payload["status"] == "degraded"
+        assert "respawned" in payload["reason"]
+
+    def test_old_respawn_is_healthy_again(self, served):
+        import time
+
+        service, handle = served
+        service._last_respawn = time.time() - 3600.0
+        status, payload = get_json(handle, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+    def test_recovered_ladder_is_healthy_again(self, served):
+        service, handle = served
+        ladder = service._ladder
+        ladder.note_failure("remote", service.registry)
+        ladder.note_success("shm", service.registry)
+        ladder.note_success("shm", service.registry)
+        status, payload = get_json(handle, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+
 class TestResilience:
     def test_healthz_stays_green_through_a_worker_kill(self):
         service = SweepService(workers=2, shard_size=2)
