@@ -1,11 +1,15 @@
-"""Fused kernel and zero-copy dispatch — the acceptance bars of this PR.
+"""Kernel ladder and zero-copy dispatch — the tier-2 acceptance bars.
 
-Two assertions on a 96-model single-group sweep (ESEN4x2, M=5):
+Assertions on a 96-model single-group sweep (ESEN4x2, M=5):
 
 * the fused kernel runs the whole-batch evaluation pass at least **2x**
   as fast as the layered numpy kernel (the model-uniform location levels
   of a density sweep collapse to width-1 evaluations; measured far above
   the bar), with bit-for-bit identical probabilities;
+* the native compiled kernel runs the same pass at least **3x** as fast
+  as the fused kernel (and its backward pass faster still), again
+  bit-for-bit identical — skipped, not failed, on hosts where the
+  library cannot be built;
 * with the structure store and shared-memory dispatch enabled, the
   pickled shard payload shrinks at least **10x** against the same sweep
   dispatched with shared memory disabled (problems ride in the block,
@@ -13,7 +17,8 @@ Two assertions on a 96-model single-group sweep (ESEN4x2, M=5):
 
 The measured numbers land in ``benchmarks/results/BENCH_kernel.json`` so
 CI archives a perf record per run, next to the other ``BENCH_*.json``
-artifacts.
+artifacts — and ``ci/print_benchmark_summary.py --gate`` compares them
+against the committed floors in ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import time
 import pytest
 
 from repro.core.method import YieldAnalyzer
+from repro.engine import native as native_backend
 from repro.engine.batch import HAVE_NUMPY
 from repro.engine.service import SweepService
 from repro.ordering import OrderingSpec
@@ -75,6 +81,29 @@ def test_fused_kernel_beats_layered_kernel(benchmark, tmp_path):
     )
     kernel_speedup = layered_seconds / max(fused_seconds, 1e-12)
 
+    # ---- native compiled backend vs the fused kernel ---- #
+    native_seconds = native_backward_seconds = native_speedup = None
+    native_backward_speedup = None
+    if native_backend.available():
+        assert linearized.evaluate(columns, MODELS, kernel="native") == fused
+        fused_backward = linearized.backward(columns, MODELS, kernel="fused")
+        assert (
+            linearized.backward(columns, MODELS, kernel="native") == fused_backward
+        )  # bit-for-bit, gradients included
+        native_seconds = _best_of(
+            lambda: linearized.evaluate(columns, MODELS, kernel="native")
+        )
+        native_speedup = fused_seconds / max(native_seconds, 1e-12)
+        fused_backward_seconds = _best_of(
+            lambda: linearized.backward(columns, MODELS, kernel="fused")
+        )
+        native_backward_seconds = _best_of(
+            lambda: linearized.backward(columns, MODELS, kernel="native")
+        )
+        native_backward_speedup = fused_backward_seconds / max(
+            native_backward_seconds, 1e-12
+        )
+
     # ---- zero-copy dispatch: pickled payload bytes, shm vs no shm ---- #
     def run_service(store_name, use_shared_memory):
         service = SweepService(
@@ -106,6 +135,18 @@ def test_fused_kernel_beats_layered_kernel(benchmark, tmp_path):
                 round(fused_seconds, 5),
                 "%.1fx" % kernel_speedup,
             ),
+            (
+                "native kernel pass (s)",
+                round(native_seconds, 5) if native_seconds else "n/a",
+                "%.1fx over fused" % native_speedup if native_speedup else "no compiler",
+            ),
+            (
+                "native backward pass (s)",
+                round(native_backward_seconds, 5) if native_backward_seconds else "n/a",
+                "%.1fx over fused" % native_backward_speedup
+                if native_backward_speedup
+                else "no compiler",
+            ),
             ("pickled shard payload (B)", pickled_stats.shard_payload_bytes, "1.0x"),
             (
                 "shm shard payload (B)",
@@ -131,6 +172,11 @@ def test_fused_kernel_beats_layered_kernel(benchmark, tmp_path):
         "layered_seconds": layered_seconds,
         "fused_seconds": fused_seconds,
         "kernel_speedup": kernel_speedup,
+        "native_available": native_backend.available(),
+        "native_seconds": native_seconds,
+        "native_speedup": native_speedup,
+        "native_backward_seconds": native_backward_seconds,
+        "native_backward_speedup": native_backward_speedup,
         "collapsed_layers": linearized.collapsed_layers,
         "shm_payload_bytes": shm_stats.shard_payload_bytes,
         "pickled_payload_bytes": pickled_stats.shard_payload_bytes,
@@ -147,8 +193,10 @@ def test_fused_kernel_beats_layered_kernel(benchmark, tmp_path):
     except OSError:  # pragma: no cover - reporting must never fail a benchmark
         pass
 
-    # the acceptance bars of the fused-kernel PR
+    # the acceptance bars of the fused-kernel and native-backend PRs
     assert kernel_speedup >= 2.0
+    if native_speedup is not None:
+        assert native_speedup >= 3.0
     if shm_stats.shards_dispatched == 0:
         pytest.skip("platform cannot spawn worker processes")
     assert shm_stats.shm_bytes > 0

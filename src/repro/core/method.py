@@ -192,6 +192,7 @@ class CompiledYield:
         *,
         reused: bool = False,
         use_numpy: Optional[bool] = None,
+        kernel: Optional[str] = None,
     ) -> List[YieldResult]:
         """Evaluate every defect model in one batched bottom-up pass.
 
@@ -199,9 +200,12 @@ class CompiledYield:
         names the structure was compiled from; only their defect models may
         differ.  The ROMDD is walked **once** for the whole batch (see
         :mod:`repro.engine.batch`), so K models cost one linearized pass
-        instead of K traversals.  The first result carries the build
-        diagnostics (``reused`` flag and build timings); the rest are marked
-        as structure reuses, mirroring the per-point route.
+        instead of K traversals.  ``kernel`` rides through to the pass
+        (and steers the column layout: matrix columns for the vectorized
+        and native kernels, tuple rows for the pure-Python one).  The
+        first result carries the build diagnostics (``reused`` flag and
+        build timings); the rest are marked as structure reuses,
+        mirroring the per-point route.
         """
         problems = list(problems)
         if not problems:
@@ -209,12 +213,15 @@ class CompiledYield:
 
         t0 = time.perf_counter()
         linearized = self.linearized()
-        use_numpy = linearized.resolve_numpy(use_numpy, len(problems))
+        if kernel in (None, "auto"):
+            use_numpy = linearized.resolve_numpy(use_numpy, len(problems))
+        else:
+            use_numpy = kernel != "python"
         lethal_distributions, columns = self._model_columns(
             problems, linearized, as_matrix=use_numpy
         )
         probabilities_failed = linearized.evaluate(
-            columns, len(problems), use_numpy=use_numpy
+            columns, len(problems), use_numpy=use_numpy, kernel=kernel
         )
         elapsed = time.perf_counter() - t0
         return self.package_results(
@@ -350,20 +357,24 @@ class CompiledYield:
         num_models: int,
         *,
         use_numpy: Optional[bool] = None,
+        kernel: Optional[str] = None,
     ) -> List[float]:
         """Run only the kernel pass over pre-assembled model matrices.
 
         The shared-memory shard protocol uses this in workers: the parent
         assembles (and validates) the matrices once for the whole group,
         the worker maps them out of a shared-memory block, slices its model
-        range and runs the fused pass — no problems, no distributions, no
-        pickled columns.
+        range and runs the pass on whatever kernel the payload requested
+        (each worker process resolves the native backend independently) —
+        no problems, no distributions, no pickled columns.
         """
         linearized = self.linearized()
         columns = columns_from_matrices(
             linearized, self.level_profile, count_matrix, location_matrix
         )
-        return linearized.evaluate(columns, num_models, use_numpy=use_numpy)
+        return linearized.evaluate(
+            columns, num_models, use_numpy=use_numpy, kernel=kernel
+        )
 
     def _model_columns(
         self,
@@ -412,6 +423,7 @@ class CompiledYield:
         problems: Sequence[YieldProblem],
         *,
         use_numpy: Optional[bool] = None,
+        kernel: Optional[str] = None,
     ) -> List[YieldGradients]:
         """Differentiate ``Y_M`` for every defect model in one extra pass.
 
@@ -439,12 +451,15 @@ class CompiledYield:
         if not problems:
             return []
         linearized = self.linearized()
-        use_numpy = linearized.resolve_numpy(use_numpy, len(problems))
+        if kernel in (None, "auto"):
+            use_numpy = linearized.resolve_numpy(use_numpy, len(problems))
+        else:
+            use_numpy = kernel != "python"
         lethal_distributions, columns = self._model_columns(
             problems, linearized, as_matrix=use_numpy
         )
         probabilities_failed, level_gradients = linearized.backward(
-            columns, len(problems), use_numpy=use_numpy
+            columns, len(problems), use_numpy=use_numpy, kernel=kernel
         )
         self.gradient_evaluations += len(problems)
 

@@ -14,10 +14,16 @@ reusable analysis engine — out of :mod:`repro.bdd` and :mod:`repro.mdd`:
   pipeline;
 * :mod:`repro.engine.batch` — the batched probability engine: linearize a
   ROMDD once into flat topological arrays and evaluate every defect model
-  of a sweep in a single bottom-up pass.  Three bit-for-bit identical
-  kernels: pure Python, the layered numpy oracle, and the fused CSR
-  kernel (blocked workspace accumulation plus model-uniform level
-  collapse) that production passes run on;
+  of a sweep in a single bottom-up pass.  Four bit-for-bit identical
+  kernels: pure Python, the layered numpy oracle, the fused CSR kernel
+  (blocked workspace accumulation plus model-uniform level collapse),
+  and the native compiled backend (:mod:`repro.engine.native`) that
+  large production passes run on;
+* :mod:`repro.engine.native` — the C backend behind ``kernel="native"``:
+  the in-repo kernel source is compiled on demand with the system ``cc``,
+  cached content-addressed under the store, loaded via ``ctypes`` and fed
+  the FusedSchedule arrays zero-copy; hosts without a working compiler
+  fall back to the fused kernel with identical results;
 * :mod:`repro.engine.service` — the batch evaluation service: build a
   decision diagram once per (structure, truncation, ordering), evaluate all
   of its defect models in one batched pass, shard the points of large
@@ -48,6 +54,8 @@ reusable analysis engine — out of :mod:`repro.bdd` and :mod:`repro.mdd`:
 from .batch import (
     HAVE_NUMPY,
     KERNELS,
+    NATIVE_AUTO_CELLS,
+    NUMPY_AUTO_CELLS,
     BatchEvalError,
     DeadlineExceeded,
     FusedSchedule,
@@ -89,6 +97,8 @@ __all__ = [
     "KERNELS",
     "KernelStats",
     "LinearizedDiagram",
+    "NATIVE_AUTO_CELLS",
+    "NUMPY_AUTO_CELLS",
     "ReorderStats",
     "ShardJob",
     "ShardSupervisor",

@@ -1,0 +1,330 @@
+/* Native fused-kernel backend for repro.engine.batch.
+ *
+ * Compiled on demand by repro/engine/native.py with the system C compiler
+ * and loaded via ctypes.  The functions here walk the *same* FusedSchedule
+ * arrays the numpy fused kernel walks (concatenated child-position-major
+ * `kids` array plus the (level, s0, s1, e0, e1, card) layer bounds table)
+ * and perform the *same* IEEE-754 operations in the *same* order, so the
+ * results are bit-for-bit identical to the fused kernel:
+ *
+ *  - per-node child-ordered accumulation:  out = c0*v0; out += c1*v1; ...
+ *  - model-uniform level collapse: a layer whose probability columns are
+ *    bitwise identical across all K models and whose children all carry
+ *    model-uniform values is evaluated once at width 1 and broadcast;
+ *  - reverse sweep: gather the layer adjoint, scatter to children in node
+ *    order (numpy's unbuffered np.add.at), then reduce the gradient rows
+ *    with numpy's accumulation order — a plain first-element-initialised
+ *    row sum for K >= 2, and numpy's pairwise summation (blocksize 128,
+ *    8-way unrolled) for K == 1, where the (n, 1) product matrix is
+ *    contiguous along the reduced axis and numpy switches algorithms.
+ *
+ * Must be compiled with -ffp-contract=off (no FMA contraction) and without
+ * -ffast-math: both would change rounding and break the bit-for-bit pin
+ * that tests/property/test_fused_equivalence.py enforces.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+#define REPRO_NATIVE_ABI 1
+
+/* numpy-compatible pairwise summation over a contiguous double vector.
+ * Mirrors numpy's pairwise_sum (numpy/_core/src/umath/loops.c.src):
+ * sequential below 8 elements, 8 accumulators up to the 128-element block
+ * size, and an 8-aligned recursive halving above it. */
+static double
+pairwise_sum(const double *a, int64_t n)
+{
+    if (n < 8) {
+        double res = 0.0;
+        for (int64_t i = 0; i < n; i++) {
+            res += a[i];
+        }
+        return res;
+    }
+    if (n <= 128) {
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        int64_t i = 8;
+        for (; i < n - (n % 8); i += 8) {
+            r0 += a[i + 0];
+            r1 += a[i + 1];
+            r2 += a[i + 2];
+            r3 += a[i + 3];
+            r4 += a[i + 4];
+            r5 += a[i + 5];
+            r6 += a[i + 6];
+            r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++) {
+            res += a[i];
+        }
+        return res;
+    }
+    int64_t n2 = n / 2;
+    n2 -= n2 % 8;
+    return pairwise_sum(a, n2) + pairwise_sum(a + n2, n - n2);
+}
+
+int
+repro_native_abi(void)
+{
+    return REPRO_NATIVE_ABI;
+}
+
+/* Bottom-up value pass over the fused schedule.
+ *
+ * kids          edge array, child-position major per layer
+ * bounds        nlayers x 6 rows of (level, s0, s1, e0, e1, card)
+ * cols          per-layer pointer to its contiguous (card x K) column matrix
+ * values        (num_slots x K) value table; only wide layers and the root
+ *               row are materialized (see below)
+ * narrow_values (num_slots) width-1 companion table for the collapse
+ * narrow        (num_slots) per-slot model-uniformity flags
+ * collapsed_out number of layers evaluated through the collapse path
+ *
+ * The fused numpy kernel broadcasts every collapsed layer's width-1 row
+ * into the wide value table.  Here the broadcast is *lazy*: a collapsed
+ * slot keeps only its scalar in narrow_values, and wide layers (and the
+ * gradient reductions) read that scalar directly wherever the fused
+ * kernel would have read K bitwise-identical copies of it.  The floats
+ * consumed are exactly the floats the broadcast would have produced, so
+ * results stay bit-for-bit identical — but a mostly-collapsed diagram
+ * (every density sweep) skips the dominant num_slots x K memory traffic.
+ * Rows of `values` whose narrow flag is set are therefore *garbage* and
+ * must never be read; the root row is materialized before returning.
+ */
+int
+repro_native_forward(
+    const int64_t *kids,
+    const int64_t *bounds,
+    int64_t nlayers,
+    const double *const *cols,
+    int64_t num_models,
+    int64_t root_slot,
+    double *values,
+    double *narrow_values,
+    uint8_t *narrow,
+    int64_t *collapsed_out)
+{
+    const int64_t K = num_models;
+    int64_t collapsed = 0;
+
+    for (int64_t k = 0; k < K; k++) {
+        values[k] = 0.0;
+        values[K + k] = 1.0;
+    }
+    narrow_values[0] = 0.0;
+    narrow_values[1] = 1.0;
+    narrow[0] = 1;
+    narrow[1] = 1;
+
+    for (int64_t l = 0; l < nlayers; l++) {
+        const int64_t *b = bounds + 6 * l;
+        const int64_t s0 = b[1], s1 = b[2], e0 = b[3], card = b[5];
+        const int64_t n = s1 - s0;
+        const double *col = cols[l];
+
+        /* model-uniform columns: every entry equals its row's first entry */
+        int uniform = 1;
+        if (K > 1) {
+            for (int64_t j = 0; j < card && uniform; j++) {
+                const double first = col[j * K];
+                for (int64_t k = 1; k < K; k++) {
+                    if (col[j * K + k] != first) {
+                        uniform = 0;
+                        break;
+                    }
+                }
+            }
+        }
+        int collapse = uniform;
+        if (collapse) {
+            const int64_t *edges = kids + e0;
+            const int64_t total = n * card;
+            for (int64_t t = 0; t < total; t++) {
+                if (!narrow[edges[t]]) {
+                    collapse = 0;
+                    break;
+                }
+            }
+        }
+
+        if (collapse) {
+            /* width-1 evaluation; the wide broadcast is deferred */
+            const int64_t *k0 = kids + e0;
+            for (int64_t i = 0; i < n; i++) {
+                double acc = narrow_values[k0[i]] * col[0];
+                for (int64_t j = 1; j < card; j++) {
+                    acc += narrow_values[kids[e0 + j * n + i]] * col[j * K];
+                }
+                narrow_values[s0 + i] = acc;
+                narrow[s0 + i] = 1;
+            }
+            collapsed++;
+            continue;
+        }
+
+        /* wide evaluation: child-ordered accumulation per node; children
+         * sit strictly deeper than the layer, so reading child rows while
+         * writing the layer's rows never aliases.  Narrow children read
+         * their scalar instead of a broadcast row — same floats. */
+        for (int64_t i = 0; i < n; i++) {
+            double *out = values + (s0 + i) * K;
+            const int64_t kid0 = kids[e0 + i];
+            if (narrow[kid0]) {
+                const double v = narrow_values[kid0];
+                for (int64_t k = 0; k < K; k++) {
+                    out[k] = v * col[k];
+                }
+            } else {
+                const double *v0 = values + kid0 * K;
+                for (int64_t k = 0; k < K; k++) {
+                    out[k] = v0[k] * col[k];
+                }
+            }
+            for (int64_t j = 1; j < card; j++) {
+                const int64_t kid = kids[e0 + j * n + i];
+                const double *cj = col + j * K;
+                if (narrow[kid]) {
+                    const double v = narrow_values[kid];
+                    for (int64_t k = 0; k < K; k++) {
+                        out[k] += v * cj[k];
+                    }
+                } else {
+                    const double *vj = values + kid * K;
+                    for (int64_t k = 0; k < K; k++) {
+                        out[k] += vj[k] * cj[k];
+                    }
+                }
+            }
+            narrow[s0 + i] = 0;
+        }
+    }
+
+    /* the caller reads the root row from the wide table */
+    if (narrow[root_slot]) {
+        const double v = narrow_values[root_slot];
+        double *out = values + root_slot * K;
+        for (int64_t k = 0; k < K; k++) {
+            out[k] = v;
+        }
+    }
+
+    *collapsed_out = collapsed;
+    return 0;
+}
+
+/* Forward pass plus the reverse adjoint sweep.
+ *
+ * adjoint  (num_slots x K) workspace, zeroed and seeded here
+ * grads    flat output: for each layer in bounds order, card x K gradient
+ *          rows (layer offsets are the running card*K prefix sums)
+ * scratch  (max layer width) workspace for the K == 1 pairwise reduction
+ */
+int
+repro_native_backward(
+    const int64_t *kids,
+    const int64_t *bounds,
+    int64_t nlayers,
+    const double *const *cols,
+    int64_t num_models,
+    int64_t num_slots,
+    int64_t root_slot,
+    double *values,
+    double *narrow_values,
+    uint8_t *narrow,
+    double *adjoint,
+    double *grads,
+    double *scratch,
+    int64_t *collapsed_out)
+{
+    const int64_t K = num_models;
+    int rc = repro_native_forward(
+        kids, bounds, nlayers, cols, K, root_slot, values, narrow_values,
+        narrow, collapsed_out);
+    if (rc != 0) {
+        return rc;
+    }
+
+    memset(adjoint, 0, (size_t)num_slots * (size_t)K * sizeof(double));
+    double *root_row = adjoint + root_slot * K;
+    for (int64_t k = 0; k < K; k++) {
+        root_row[k] = 1.0;
+    }
+
+    int64_t off = 0;
+    for (int64_t l = 0; l < nlayers; l++) {
+        off += bounds[6 * l + 5] * K;
+    }
+
+    /* reverse topological schedule: shallowest layer first */
+    for (int64_t l = nlayers - 1; l >= 0; l--) {
+        const int64_t *b = bounds + 6 * l;
+        const int64_t s0 = b[1], s1 = b[2], e0 = b[3], card = b[5];
+        const int64_t n = s1 - s0;
+        const double *cl = cols[l];
+        off -= card * K;
+
+        for (int64_t j = 0; j < card; j++) {
+            const int64_t *kj = kids + e0 + j * n;
+            const double *cj = cl + j * K;
+
+            /* adjoint scatter in node order (np.add.at); children sit
+             * strictly deeper, so the layer's own adjoint rows are never
+             * touched by the scatter */
+            for (int64_t i = 0; i < n; i++) {
+                const double *ai = adjoint + (s0 + i) * K;
+                double *ak = adjoint + kj[i] * K;
+                for (int64_t k = 0; k < K; k++) {
+                    ak[k] += cj[k] * ai[k];
+                }
+            }
+
+            /* gradient row: sum over the layer's nodes of value * adjoint;
+             * narrow children read their width-1 scalar (bitwise equal to
+             * the broadcast row the fused kernel reads) */
+            double *gj = grads + off + j * K;
+            if (K == 1) {
+                for (int64_t i = 0; i < n; i++) {
+                    const int64_t kid = kj[i];
+                    const double v =
+                        narrow[kid] ? narrow_values[kid] : values[kid];
+                    scratch[i] = v * adjoint[s0 + i];
+                }
+                gj[0] = pairwise_sum(scratch, n);
+            } else {
+                const int64_t kid0 = kj[0];
+                const double *a0 = adjoint + s0 * K;
+                if (narrow[kid0]) {
+                    const double v = narrow_values[kid0];
+                    for (int64_t k = 0; k < K; k++) {
+                        gj[k] = v * a0[k];
+                    }
+                } else {
+                    const double *v0 = values + kid0 * K;
+                    for (int64_t k = 0; k < K; k++) {
+                        gj[k] = v0[k] * a0[k];
+                    }
+                }
+                for (int64_t i = 1; i < n; i++) {
+                    const int64_t kid = kj[i];
+                    const double *ai = adjoint + (s0 + i) * K;
+                    if (narrow[kid]) {
+                        const double v = narrow_values[kid];
+                        for (int64_t k = 0; k < K; k++) {
+                            gj[k] += v * ai[k];
+                        }
+                    } else {
+                        const double *vi = values + kid * K;
+                        for (int64_t k = 0; k < K; k++) {
+                            gj[k] += vi[k] * ai[k];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return 0;
+}

@@ -24,21 +24,29 @@ This module removes all three costs:
   yields the *exact* gradient ``d P(root = 1) / d p(level, value)`` for
   every level, every value and every one of the K models.
 
-Three kernels execute the pass, all **bit-for-bit identical** (they perform
+Four kernels execute the pass, all **bit-for-bit identical** (they perform
 the same IEEE operations in the same child order per node):
 
 * ``python`` — the pure-Python row loop (no numpy required);
 * ``layered`` — the per-layer vectorized kernel (one numpy gather/multiply
   per child position per layer); survives as the vectorized oracle;
-* ``fused`` — the production kernel.  The diagram is compiled once into a
-  :class:`FusedSchedule` (one concatenated child-slot index array in
+* ``fused`` — the numpy production kernel.  The diagram is compiled once
+  into a :class:`FusedSchedule` (one concatenated child-slot index array in
   evaluation order, one CSR segment-offset array, a per-slot level mapping
   and a layer boundary table), and the pass walks precomputed array views:
   cache-blocked accumulation into a reused workspace (no per-step
   temporaries) and — the big win — **model-uniform level collapse**: a
   level whose probability columns are bitwise identical across all K
   models (every location level of a density sweep) is evaluated at width
-  1 and broadcast, instead of recomputing the same floats K times.
+  1 and broadcast, instead of recomputing the same floats K times;
+* ``native`` — the same schedule walked by compiled C
+  (:mod:`repro.engine.native`): the in-repo ``_native_kernel.c`` is built
+  on demand with the system ``cc``, cached content-addressed next to the
+  structure store, and called through ``ctypes`` on the FusedSchedule
+  arrays zero-copy.  It keeps the collapse and accumulation semantics of
+  the fused kernel (forward *and* backward are bit-for-bit identical) and
+  removes the per-layer interpreter dispatch entirely.  Hosts without a
+  working compiler fall back to ``fused`` cleanly.
 
 The kernel choice is made **once per pass** from the whole-diagram cell
 count (``num_models * node_count``); a pass can never mix kernels
@@ -51,6 +59,7 @@ worker shards consume zero-copy through ``mmap``.
 
 from __future__ import annotations
 
+import os as _os
 import threading as _threading
 import time as _time
 from contextlib import contextmanager as _contextmanager
@@ -67,10 +76,37 @@ except ImportError:  # pragma: no cover
 #: Whether the numpy fast path is available on this interpreter.
 HAVE_NUMPY = _np is not None
 
+
+def _cells_from_env(name: str, default: int) -> int:
+    """Read a cell-count threshold override from the environment.
+
+    Unset or unparsable values keep the documented default; the resolved
+    value lives in a module attribute so tests (and tuning experiments)
+    can also override it directly.
+    """
+    raw = _os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
 #: Auto mode uses numpy once a pass covers at least this many (node, model)
 #: cells — below it the array conversion overhead beats the vector win.
-#: The decision is made once per pass from the whole-diagram cell count.
-_NUMPY_AUTO_CELLS = 2048
+#: The decision is made once per pass from the whole-diagram cell count
+#: (``num_models * node_count``).  Override with ``REPRO_NUMPY_AUTO_CELLS``.
+NUMPY_AUTO_CELLS = _cells_from_env("REPRO_NUMPY_AUTO_CELLS", 2048)
+
+#: Auto mode prefers the native (compiled C) kernel once a pass covers at
+#: least this many (node, model) cells *and* the native library loads on
+#: this host — below it the ctypes call setup is not worth displacing the
+#: fused numpy kernel.  Override with ``REPRO_NATIVE_AUTO_CELLS``.
+NATIVE_AUTO_CELLS = _cells_from_env("REPRO_NATIVE_AUTO_CELLS", 65536)
+
+#: Backwards-compatible alias for the pre-override constant name.
+_NUMPY_AUTO_CELLS = NUMPY_AUTO_CELLS
 
 #: Node-block size of the fused kernel, in (node, model) cells: blocks are
 #: sized so the gather workspace stays cache-resident across the child loop.
@@ -78,7 +114,7 @@ _FUSED_BLOCK_CELLS = 49152
 
 #: The kernels a pass can run on (``None`` / ``"auto"`` resolve to one of
 #: these before the pass starts).
-KERNELS = ("python", "layered", "fused")
+KERNELS = ("python", "layered", "fused", "native")
 
 
 class BatchEvalError(ValueError):
@@ -154,7 +190,7 @@ class FusedSchedule:
     which the kernel consumes without copying.
     """
 
-    __slots__ = ("kids", "seg", "slot_levels", "bounds", "_walk")
+    __slots__ = ("kids", "seg", "slot_levels", "bounds", "_walk", "_native_ctx")
 
     def __init__(self, kids, seg, slot_levels, bounds) -> None:
         self.kids = kids
@@ -165,6 +201,8 @@ class FusedSchedule:
             for lv, s0, s1, e0, e1, card in bounds
         )
         self._walk = None
+        # per-schedule arrays prepared by repro.engine.native, at most once
+        self._native_ctx = None
 
     @classmethod
     def from_layers(cls, layers) -> "FusedSchedule":
@@ -338,10 +376,12 @@ class LinearizedDiagram:
         "python_passes",
         "numpy_passes",
         "fused_passes",
+        "native_passes",
         "collapsed_layers",
         "models_evaluated",
         "gradient_passes",
         "models_differentiated",
+        "last_kernel",
     )
 
     def __init__(
@@ -360,10 +400,15 @@ class LinearizedDiagram:
         self.python_passes = 0
         self.numpy_passes = 0
         self.fused_passes = 0
+        self.native_passes = 0
         self.collapsed_layers = 0
         self.models_evaluated = 0
         self.gradient_passes = 0
         self.models_differentiated = 0
+        #: The kernel the most recent pass resolved to (``None`` before
+        #: any pass); surfaced in service spans so traces show which
+        #: backend actually ran.
+        self.last_kernel: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -499,11 +544,14 @@ class LinearizedDiagram:
             ``None`` picks automatically.  Consulted only when ``kernel``
             is not given.
         kernel:
-            ``"python"``, ``"layered"``, ``"fused"``, or ``None``/
-            ``"auto"`` (the default: fused when the numpy route is chosen,
-            python otherwise).  All kernels accumulate children in the same
-            order, so the results are bit-for-bit identical.  The choice is
-            made here, once per pass — never per layer.
+            ``"python"``, ``"layered"``, ``"fused"``, ``"native"``, or
+            ``None``/``"auto"`` (the default: native when the compiled
+            backend loads and the pass clears :data:`NATIVE_AUTO_CELLS`,
+            else fused when the numpy route is chosen, python otherwise;
+            the ``REPRO_KERNEL`` environment variable overrides the
+            automatic choice).  All kernels accumulate children in the
+            same order, so the results are bit-for-bit identical.  The
+            choice is made here, once per pass — never per layer.
 
         Returns
         -------
@@ -521,7 +569,12 @@ class LinearizedDiagram:
         self._check_columns(level_columns)
         kernel = self._resolve_with_fallback(kernel, use_numpy, num_models)
         self.models_evaluated += num_models
-        if kernel == "fused":
+        if kernel == "native":
+            self.native_passes += 1
+            runner = lambda log=None: self._evaluate_native(
+                level_columns, num_models
+            )
+        elif kernel == "fused":
             self.numpy_passes += 1
             self.fused_passes += 1
             runner = lambda log=None: self._evaluate_fused(
@@ -591,7 +644,12 @@ class LinearizedDiagram:
         kernel = self._resolve_with_fallback(kernel, use_numpy, num_models)
         self.gradient_passes += 1
         self.models_differentiated += num_models
-        if kernel == "fused":
+        if kernel == "native":
+            self.native_passes += 1
+            runner = lambda log=None: self._backward_native(
+                level_columns, num_models
+            )
+        elif kernel == "fused":
             self.numpy_passes += 1
             self.fused_passes += 1
             runner = lambda log=None: self._backward_fused(
@@ -663,7 +721,7 @@ class LinearizedDiagram:
         plain tuple rows for the pure-Python kernel otherwise.
         """
         if use_numpy is None:
-            return HAVE_NUMPY and num_models * self.node_count >= _NUMPY_AUTO_CELLS
+            return HAVE_NUMPY and num_models * self.node_count >= NUMPY_AUTO_CELLS
         if use_numpy and not HAVE_NUMPY:
             raise BatchEvalError("numpy is not available on this interpreter")
         return bool(use_numpy)
@@ -673,21 +731,46 @@ class LinearizedDiagram:
     def resolve_kernel(
         self, kernel: Optional[str], use_numpy: Optional[bool], num_models: int
     ) -> str:
-        """Resolve the kernel a pass will run on — one decision per pass."""
+        """Resolve the kernel a pass will run on — one decision per pass.
+
+        ``None``/``"auto"`` honours the ``REPRO_KERNEL`` environment
+        override first, then resolves from the whole-diagram cell count:
+        ``native`` when the compiled backend loads and the pass clears
+        :data:`NATIVE_AUTO_CELLS`, else ``fused`` on the numpy route
+        (:data:`NUMPY_AUTO_CELLS`), else ``python``.
+        """
         if kernel is None or kernel == "auto":
-            return "fused" if self.resolve_numpy(use_numpy, num_models) else "python"
+            forced = _os.environ.get("REPRO_KERNEL", "").strip()
+            if forced and forced != "auto":
+                kernel = forced
+            else:
+                if not self.resolve_numpy(use_numpy, num_models):
+                    return "python"
+                if num_models * self.node_count >= NATIVE_AUTO_CELLS:
+                    from . import native as _native
+
+                    if _native.available():
+                        return "native"
+                return "fused"
         if kernel not in KERNELS:
             raise BatchEvalError(
                 "unknown kernel %r (expected one of %s)" % (kernel, ", ".join(KERNELS))
             )
-        if kernel in ("layered", "fused") and not HAVE_NUMPY:
+        if kernel in ("layered", "fused", "native") and not HAVE_NUMPY:
             raise BatchEvalError("numpy is not available on this interpreter")
         return kernel
 
     def _resolve_with_fallback(
         self, kernel: Optional[str], use_numpy: Optional[bool], num_models: int
     ) -> str:
-        """Resolve the pass kernel; auto-picked fused falls back to layered.
+        """Resolve the pass kernel, degrading down the backend ladder.
+
+        ``native`` degrades to ``fused`` whenever the compiled backend is
+        unavailable (no compiler on the host, a failed compile, a corrupt
+        cache entry) or the diagram has no fused schedule — even when
+        requested explicitly: a ``--kernel native`` sweep must complete
+        bit-identically on a compiler-less host.  Each degraded pass is
+        recorded in the ``native.fallbacks`` counter.
 
         Hand-constructed diagrams whose layer slots are not one contiguous
         range cannot be compiled into the fused schedule — the automatic
@@ -696,6 +779,21 @@ class LinearizedDiagram:
         """
         explicit = kernel not in (None, "auto")
         kernel = self.resolve_kernel(kernel, use_numpy, num_models)
+        if kernel == "native":
+            from . import native as _native
+
+            usable = _native.available()
+            if usable:
+                try:
+                    self.fused()  # the native kernel walks the fused arrays
+                except BatchEvalError:
+                    usable = False
+            if not usable:
+                _native.note_fallback()
+                kernel = "fused"
+                # a degraded native request keeps degrading cleanly: let a
+                # fused-incompatible diagram continue down to layered
+                explicit = False
         if kernel == "fused":
             try:
                 self.fused()  # compile (or fail) before any counters move
@@ -703,6 +801,7 @@ class LinearizedDiagram:
                 if explicit:
                     raise
                 kernel = "layered"
+        self.last_kernel = kernel
         return kernel
 
     # ------------------------------------------------------------------ #
@@ -934,6 +1033,36 @@ class LinearizedDiagram:
         return values[self.root_slot].tolist(), gradients
 
     # ------------------------------------------------------------------ #
+    # Native (compiled C) kernel
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_native(self, level_columns, num_models: int) -> List[float]:
+        """One compiled forward pass over the fused schedule.
+
+        Column normalization is shared with the fused kernel; the C side
+        (:func:`repro.engine.native.forward`) reproduces the collapse and
+        accumulation semantics exactly, so the floats match ``fused``
+        bit for bit.
+        """
+        from . import native as _native
+
+        columns_by_level = self._fused_columns(level_columns)
+        values, collapsed = _native.forward(self, columns_by_level, num_models)
+        self.collapsed_layers += collapsed
+        return values[self.root_slot].tolist()
+
+    def _backward_native(self, level_columns, num_models: int):
+        """Compiled forward plus adjoint sweep (gradients included)."""
+        from . import native as _native
+
+        columns_by_level = self._fused_columns(level_columns)
+        values, gradients, collapsed = _native.backward(
+            self, columns_by_level, num_models
+        )
+        self.collapsed_layers += collapsed
+        return values[self.root_slot].tolist(), gradients
+
+    # ------------------------------------------------------------------ #
     # Layered backward kernels
     # ------------------------------------------------------------------ #
 
@@ -1005,6 +1134,7 @@ class LinearizedDiagram:
             "python_passes": self.python_passes,
             "numpy_passes": self.numpy_passes,
             "fused_passes": self.fused_passes,
+            "native_passes": self.native_passes,
             "collapsed_layers": self.collapsed_layers,
             "models_evaluated": self.models_evaluated,
             "gradient_passes": self.gradient_passes,
@@ -1021,10 +1151,12 @@ class LinearizedDiagram:
         self.python_passes = state["python_passes"]
         self.numpy_passes = state["numpy_passes"]
         self.fused_passes = state.get("fused_passes", 0)
+        self.native_passes = state.get("native_passes", 0)
         self.collapsed_layers = state.get("collapsed_layers", 0)
         self.models_evaluated = state["models_evaluated"]
         self.gradient_passes = state.get("gradient_passes", 0)
         self.models_differentiated = state.get("models_differentiated", 0)
+        self.last_kernel = state.get("last_kernel")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "LinearizedDiagram(nodes=%d, levels=%d)" % (

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import struct
 import threading
 import time
@@ -63,7 +64,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
 from . import faults
-from .batch import HAVE_NUMPY, shard_deadline
+from . import native as _native
+from .batch import HAVE_NUMPY, KERNELS, shard_deadline
 from .supervise import Backoff
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
@@ -846,15 +848,26 @@ class ShardWorker:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        kernel: str = "auto",
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not HAVE_NUMPY:
             raise RuntimeError("the shard worker requires numpy")
+        if kernel not in ("auto",) + KERNELS:
+            raise ValueError(
+                "kernel must be one of %s" % ", ".join(("auto",) + KERNELS)
+            )
         from .store import StructureStore
 
         self.store_root = store_root
         self.host = host
         self.port = int(port)
+        #: Kernel request for every shard pass; the worker resolves the
+        #: native backend for its own host (compile/warm-start from the
+        #: store's `native/` cache, fused fallback when that fails).
+        self.kernel = kernel
+        _native.set_cache_dir(os.path.join(store_root, "native"))
+        self._native_state: Dict[str, int] = {}
         self.registry = registry if registry is not None else MetricsRegistry()
         self._store = StructureStore(store_root, registry=self.registry)
         self._structures: "OrderedDict[str, object]" = OrderedDict()
@@ -1020,8 +1033,20 @@ class ShardWorker:
             .reshape(int(header["location_rows"]), k)
             .copy()
         )
+        linearized_before = getattr(compiled, "_linearized", None)
+        native_before = (
+            linearized_before.native_passes if linearized_before is not None else 0
+        )
         with shard_deadline(header.get("deadline")):
-            probabilities = compiled.evaluate_probabilities(count, location, k)
+            probabilities = compiled.evaluate_probabilities(
+                count, location, k, kernel=self.kernel
+            )
+        linearized = getattr(compiled, "_linearized", None)
+        if linearized is not None and linearized.native_passes > native_before:
+            self.registry.inc(
+                "kernel.native_passes", linearized.native_passes - native_before
+            )
+        _native.publish_counters(self.registry, self._native_state)
         elapsed = time.perf_counter() - started
         self.shards_served += 1
         self.registry.inc("fabric.worker_shards")

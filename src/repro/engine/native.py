@@ -1,0 +1,620 @@
+"""Native compiled kernel backend behind the ``kernel=`` seam.
+
+The fused CSR schedule (:class:`repro.engine.batch.FusedSchedule`) is
+already the exact input format a compiled kernel wants: one concatenated
+child-position-major edge array, a layer bounds table, and contiguous
+float64 probability matrices.  This module compiles the C implementation
+shipped in-repo (``_native_kernel.c``) **on demand** with the system C
+compiler and calls it through :mod:`ctypes`, consuming the schedule
+arrays zero-copy.  No Numba/cffi/compiled-wheel dependency — a plain
+``cc`` is the only requirement, and its absence is a supported state:
+
+* no usable compiler (including ``CC=/nonexistent``), a failed compile,
+  or a checksum-mismatched cache entry never raises out of the kernel
+  chooser — the pass falls back to the fused numpy kernel and the
+  ``native.fallbacks`` counter records it;
+* the compiled ``.so`` is cached **content-addressed** (SHA-256 of the C
+  source + the compiler identity + the flags + the ABI tag) with a JSON
+  marker recording the shared object's own checksum, the same
+  verify-then-trust model the structure store uses.  Services and
+  ``repro worker`` shards point the cache under their store directory
+  (``<store>/native``), so every process on the host warm-starts the
+  library the way it warm-starts structures;
+* a freshly loaded library must pass a bit-exact smoke test (forward,
+  collapse, and backward on a handcrafted diagram) before it is ever
+  used for real passes.
+
+The C kernel mirrors the fused kernel operation-for-operation (including
+model-uniform level collapse and numpy's exact gradient-reduction
+accumulation order), so ``kernel="native"`` results are bit-for-bit
+identical to ``kernel="fused"`` — enforced by
+``tests/property/test_fused_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+try:  # pragma: no cover - exercised implicitly on both kinds of hosts
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "available",
+    "backward",
+    "cache_dir",
+    "counters",
+    "forward",
+    "load",
+    "note_fallback",
+    "publish_counters",
+    "reset",
+    "set_cache_dir",
+]
+
+#: The C source compiled into the backend (ships in-repo, read at build
+#: time — its SHA-256 is half of the cache key).
+SOURCE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "_native_kernel.c"
+)
+
+#: Compile flags.  ``-ffp-contract=off`` is load-bearing: FMA contraction
+#: would change rounding and break the bit-for-bit pin against the fused
+#: kernel.  ``-ffast-math`` is banned for the same reason.
+CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c99", "-ffp-contract=off")
+
+#: Bumped whenever the C call signatures change; part of the cache key
+#: and checked against ``repro_native_abi()`` after every load.
+ABI_VERSION = 1
+
+_c_double_p = ctypes.POINTER(ctypes.c_double)
+_c_int64_p = ctypes.POINTER(ctypes.c_int64)
+_c_uint8_p = ctypes.POINTER(ctypes.c_uint8)
+_c_double_pp = ctypes.POINTER(_c_double_p)
+
+_LOCK = threading.RLock()
+
+#: Process-wide backend state: the load is attempted at most once per
+#: process (``reset()`` re-arms it, for tests) and the result — a bound
+#: library or ``None`` — is cached.
+_STATE = {"lib": None, "attempted": False, "cache_dir": None}
+
+#: Monotone process-wide counters, published into metrics registries as
+#: ``native.compiles`` / ``native.loads`` / ``native.fallbacks`` via
+#: :func:`publish_counters`.
+_COUNTERS = {"compiles": 0, "loads": 0, "fallbacks": 0}
+
+
+class NativeError(RuntimeError):
+    """Raised when a loaded native library misbehaves mid-pass."""
+
+
+# --------------------------------------------------------------------- #
+# Configuration, counters
+# --------------------------------------------------------------------- #
+
+
+def set_cache_dir(path: str) -> None:
+    """Point the ``.so`` cache at ``path`` (typically ``<store>/native``).
+
+    Takes effect on the next load attempt; a library that is already
+    loaded stays loaded (the backend is process-wide).  The
+    ``REPRO_NATIVE_CACHE`` environment variable takes precedence so a
+    deployment can pin one host-wide cache for every process.
+    """
+    with _LOCK:
+        _STATE["cache_dir"] = path
+
+
+def cache_dir() -> str:
+    """The directory compiled libraries are cached in."""
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return env
+    with _LOCK:
+        if _STATE["cache_dir"]:
+            return _STATE["cache_dir"]
+    euid = getattr(os, "geteuid", lambda: 0)()
+    return os.path.join(tempfile.gettempdir(), "repro-native-%d" % euid)
+
+
+def counters() -> dict:
+    """A snapshot of the monotone backend counters."""
+    with _LOCK:
+        return dict(_COUNTERS)
+
+
+def note_fallback() -> None:
+    """Record one pass that wanted the native kernel but degraded."""
+    with _LOCK:
+        _COUNTERS["fallbacks"] += 1
+
+
+def publish_counters(registry, state: dict) -> None:
+    """Fold counter deltas since ``state`` into ``registry``.
+
+    ``state`` is the caller's private high-water dict (one per registry),
+    so several services in one process never double-publish the shared
+    process-wide totals.
+    """
+    for name, total in counters().items():
+        delta = total - state.get(name, 0)
+        if delta > 0:
+            registry.inc("native." + name, delta)
+            state[name] = total
+
+
+def reset() -> None:
+    """Forget the cached load outcome so the next pass retries (tests)."""
+    with _LOCK:
+        _STATE["lib"] = None
+        _STATE["attempted"] = False
+
+
+# --------------------------------------------------------------------- #
+# Compile + load
+# --------------------------------------------------------------------- #
+
+
+def _find_compiler():
+    """The C compiler to use, or ``None`` when the host has none.
+
+    ``CC`` is authoritative when set: pointing it at a non-executable
+    (``CC=/nonexistent``) deliberately simulates a compiler-less host.
+    """
+    cc = os.environ.get("CC")
+    if cc is not None:
+        cc = cc.strip()
+        if not cc:
+            return None
+        resolved = shutil.which(cc)
+        return resolved
+    for candidate in ("cc", "gcc", "clang"):
+        resolved = shutil.which(candidate)
+        if resolved:
+            return resolved
+    return None
+
+
+def _compiler_id(cc: str) -> str:
+    """A stable identity string for the compiler (half of the cache key)."""
+    try:
+        out = subprocess.run(
+            [cc, "--version"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            timeout=30,
+            check=False,
+        )
+        first = out.stdout.decode("utf-8", "replace").splitlines()
+        if out.returncode == 0 and first:
+            return first[0].strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    try:
+        st = os.stat(cc)
+        return "%s:%d:%d" % (cc, st.st_size, int(st.st_mtime))
+    except OSError:
+        return cc
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _cache_key(source: bytes, compiler_id: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(source)
+    digest.update(b"\0")
+    digest.update(compiler_id.encode("utf-8", "replace"))
+    digest.update(b"\0")
+    digest.update(" ".join(CFLAGS).encode("ascii"))
+    digest.update(b"\0abi=%d\0ptr=%d" % (ABI_VERSION, ctypes.sizeof(ctypes.c_void_p)))
+    return digest.hexdigest()
+
+
+class _Library:
+    """A loaded, bound, smoke-tested native library."""
+
+    __slots__ = ("cdll", "path", "forward", "backward")
+
+    def __init__(self, cdll, path):
+        self.cdll = cdll
+        self.path = path
+        self.forward = cdll.repro_native_forward
+        self.forward.restype = ctypes.c_int
+        self.forward.argtypes = [
+            _c_int64_p,  # kids
+            _c_int64_p,  # bounds
+            ctypes.c_int64,  # nlayers
+            _c_double_pp,  # cols
+            ctypes.c_int64,  # num_models
+            ctypes.c_int64,  # root_slot
+            _c_double_p,  # values
+            _c_double_p,  # narrow_values
+            _c_uint8_p,  # narrow
+            _c_int64_p,  # collapsed_out
+        ]
+        self.backward = cdll.repro_native_backward
+        self.backward.restype = ctypes.c_int
+        self.backward.argtypes = [
+            _c_int64_p,  # kids
+            _c_int64_p,  # bounds
+            ctypes.c_int64,  # nlayers
+            _c_double_pp,  # cols
+            ctypes.c_int64,  # num_models
+            ctypes.c_int64,  # num_slots
+            ctypes.c_int64,  # root_slot
+            _c_double_p,  # values
+            _c_double_p,  # narrow_values
+            _c_uint8_p,  # narrow
+            _c_double_p,  # adjoint
+            _c_double_p,  # grads
+            _c_double_p,  # scratch
+            _c_int64_p,  # collapsed_out
+        ]
+
+
+def _bind(path: str):
+    cdll = ctypes.CDLL(path)
+    abi = cdll.repro_native_abi
+    abi.restype = ctypes.c_int
+    abi.argtypes = []
+    if int(abi()) != ABI_VERSION:
+        raise OSError("native library ABI mismatch")
+    return _Library(cdll, path)
+
+
+def _dp(array):
+    return array.ctypes.data_as(_c_double_p)
+
+
+def _ip(array):
+    return array.ctypes.data_as(_c_int64_p)
+
+
+def _smoke_test(lib) -> bool:
+    """Bit-exact sanity check on a handcrafted one-layer diagram.
+
+    Root node (slot 2) with the FALSE/TRUE terminals as children: the
+    forward value is exactly ``columns[1]``, the gradient rows are
+    exactly ``[0, 1]`` per model, and a model-uniform column matrix must
+    take the collapse path.  Every expected float is exact in binary, so
+    any deviation means a miscompiled or foreign library.
+    """
+    kids = _np.array([0, 1], dtype=_np.int64)
+    bounds = _np.array([0, 2, 3, 0, 2, 2], dtype=_np.int64)
+    col = _np.array([[0.25, 0.5], [0.75, 0.5]], dtype=_np.float64)
+    cols = (_c_double_p * 1)(_dp(col))
+    values = _np.empty((3, 2), dtype=_np.float64)
+    narrow_values = _np.empty(3, dtype=_np.float64)
+    narrow = _np.empty(3, dtype=_np.uint8)
+    collapsed = ctypes.c_int64(-1)
+    rc = lib.forward(
+        _ip(kids), _ip(bounds), 1, cols, 2, 2,
+        _dp(values), _dp(narrow_values), narrow.ctypes.data_as(_c_uint8_p),
+        ctypes.byref(collapsed),
+    )
+    if rc != 0 or collapsed.value != 0 or narrow[2] != 0:
+        return False
+    if values[2, 0] != 0.75 or values[2, 1] != 0.5:
+        return False
+
+    adjoint = _np.empty((3, 2), dtype=_np.float64)
+    grads = _np.empty(4, dtype=_np.float64)
+    scratch = _np.empty(1, dtype=_np.float64)
+    rc = lib.backward(
+        _ip(kids), _ip(bounds), 1, cols, 2, 3, 2,
+        _dp(values), _dp(narrow_values), narrow.ctypes.data_as(_c_uint8_p),
+        _dp(adjoint), _dp(grads), _dp(scratch), ctypes.byref(collapsed),
+    )
+    if rc != 0 or grads.tolist() != [0.0, 0.0, 1.0, 1.0]:
+        return False
+
+    uniform = _np.array([[0.5, 0.5], [0.5, 0.5]], dtype=_np.float64)
+    cols_u = (_c_double_p * 1)(_dp(uniform))
+    rc = lib.forward(
+        _ip(kids), _ip(bounds), 1, cols_u, 2, 2,
+        _dp(values), _dp(narrow_values), narrow.ctypes.data_as(_c_uint8_p),
+        ctypes.byref(collapsed),
+    )
+    return (
+        rc == 0
+        and collapsed.value == 1
+        and narrow[2] == 1
+        and values[2, 0] == 0.5
+        and values[2, 1] == 0.5
+    )
+
+
+def _load_cached(so_path: str, marker_path: str):
+    """Load a cached entry, verifying the marker checksum first.
+
+    A mismatched or unreadable entry is a cache **miss** (the caller
+    recompiles); it must never be trusted.
+    """
+    try:
+        with open(marker_path, "r", encoding="utf-8") as handle:
+            marker = json.load(handle)
+        expected = marker.get("so_sha256")
+        if not expected or _file_sha256(so_path) != expected:
+            return None
+        return _bind(so_path)
+    except (OSError, ValueError):
+        return None
+
+
+def _compile(cc: str, source_path: str, so_path: str, marker: dict):
+    """Compile the source and commit ``.so`` + marker atomically."""
+    directory = os.path.dirname(so_path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".so.tmp")
+    os.close(fd)
+    try:
+        result = subprocess.run(
+            [cc, *CFLAGS, "-o", tmp, source_path],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            timeout=120,
+            check=False,
+        )
+        if result.returncode != 0:
+            return None
+        marker = dict(marker, so_sha256=_file_sha256(tmp))
+        os.replace(tmp, so_path)
+        tmp = None
+        fd, mtmp = tempfile.mkstemp(dir=directory, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(marker, handle, sort_keys=True)
+            os.replace(mtmp, marker_path_for(so_path))
+        except OSError:
+            try:
+                os.unlink(mtmp)
+            except OSError:
+                pass
+            return None
+        return _bind(so_path)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def marker_path_for(so_path: str) -> str:
+    return so_path[: -len(".so")] + ".json"
+
+
+def load():
+    """Return the bound native library, or ``None`` when unavailable.
+
+    The full compile-or-load decision runs at most once per process;
+    every later call is a dict read.  All failure modes — no numpy, no
+    source, no compiler, compile error, checksum mismatch with no way to
+    recompile, ABI mismatch, smoke-test failure — yield ``None``, which
+    the kernel chooser translates into a clean fused fallback.
+    """
+    with _LOCK:
+        if _STATE["attempted"]:
+            return _STATE["lib"]
+        _STATE["attempted"] = True
+        _STATE["lib"] = _load_locked()
+        if _STATE["lib"] is not None:
+            _COUNTERS["loads"] += 1
+        return _STATE["lib"]
+
+
+def _load_locked():
+    if _np is None:
+        return None
+    try:
+        with open(SOURCE_PATH, "rb") as handle:
+            source = handle.read()
+    except OSError:
+        return None
+    cc = _find_compiler()
+    compiler_id = _compiler_id(cc) if cc else "no-compiler"
+    key = _cache_key(source, compiler_id)
+    directory = cache_dir()
+    so_path = os.path.join(directory, key + ".so")
+    marker_path = marker_path_for(so_path)
+
+    lib = None
+    if os.path.exists(so_path):
+        lib = _load_cached(so_path, marker_path)
+    if lib is None and cc is not None:
+        marker = {
+            "abi": ABI_VERSION,
+            "cflags": list(CFLAGS),
+            "compiler": compiler_id,
+            "source_sha256": hashlib.sha256(source).hexdigest(),
+        }
+        lib = _compile(cc, SOURCE_PATH, so_path, marker)
+        if lib is not None:
+            _COUNTERS["compiles"] += 1
+    if lib is not None and not _smoke_test(lib):
+        lib = None
+    return lib
+
+
+def available() -> bool:
+    """Whether native passes can run in this process (loads on demand)."""
+    return load() is not None
+
+
+# --------------------------------------------------------------------- #
+# Pass execution
+# --------------------------------------------------------------------- #
+
+
+class _ScheduleContext:
+    """The per-schedule arrays the C kernel consumes, prepared once.
+
+    ``kids`` and ``bounds`` come straight from the FusedSchedule — when
+    the schedule holds contiguous 8-byte integer arrays (the store's v2
+    mmap included) they are passed zero-copy; anything else is converted
+    exactly once and cached here.
+    """
+
+    __slots__ = (
+        "kids",
+        "bounds",
+        "nlayers",
+        "levels",
+        "cards",
+        "max_width",
+        "sum_cards",
+    )
+
+    def __init__(self, schedule):
+        kids = schedule.kids
+        if not (
+            isinstance(kids, _np.ndarray)
+            and kids.dtype.kind == "i"
+            and kids.dtype.itemsize == 8
+            and kids.flags["C_CONTIGUOUS"]
+        ):
+            kids = _np.ascontiguousarray(kids, dtype=_np.int64)
+        self.kids = kids
+        self.bounds = _np.ascontiguousarray(
+            _np.asarray(schedule.bounds, dtype=_np.int64)
+        )
+        self.nlayers = len(schedule.bounds)
+        self.levels = tuple(b[0] for b in schedule.bounds)
+        self.cards = tuple(b[5] for b in schedule.bounds)
+        self.max_width = max(b[2] - b[1] for b in schedule.bounds)
+        self.sum_cards = sum(self.cards)
+
+
+def _context(schedule) -> _ScheduleContext:
+    ctx = getattr(schedule, "_native_ctx", None)
+    if ctx is None:
+        ctx = _ScheduleContext(schedule)
+        schedule._native_ctx = ctx
+    return ctx
+
+
+def _column_ptrs(ctx, columns_by_level, num_models):
+    """Per-layer contiguous column-matrix pointers, deduplicated.
+
+    Different levels usually share one matrix object (every location
+    level points at the same ``C x K`` block), so contiguity conversion
+    happens once per distinct matrix, not once per layer.
+    """
+    contiguous = {}
+    keep = []
+    ptrs = (_c_double_p * ctx.nlayers)()
+    for index, level in enumerate(ctx.levels):
+        columns = columns_by_level[level]
+        entry = contiguous.get(id(columns))
+        if entry is None:
+            entry = _np.ascontiguousarray(columns, dtype=_np.float64)
+            contiguous[id(columns)] = entry
+            keep.append(columns)
+        if entry.ndim != 2 or entry.shape[1] != num_models:
+            raise NativeError(
+                "level %d columns have shape %r, expected (%d, %d)"
+                % (index, entry.shape, ctx.cards[index], num_models)
+            )
+        ptrs[index] = _dp(entry)
+    # `contiguous` holds the converted arrays alive for the call; `keep`
+    # pins the originals so id() keys stay unique
+    return ptrs, (contiguous, keep)
+
+
+def forward(diagram, columns_by_level, num_models):
+    """Run the native bottom-up pass; returns ``(values, collapsed)``.
+
+    ``values`` is the per-slot value matrix; the root row and every
+    wide-layer row hold exactly the fused kernel's floats, while rows of
+    collapsed (model-uniform) slots are deliberately unmaterialized —
+    their scalar lives in the C side's width-1 table.  ``collapsed`` is
+    the number of layers that took the collapse path.
+    """
+    lib = load()
+    if lib is None:
+        raise NativeError("native backend is not loaded")
+    ctx = _context(diagram.fused())
+    ptrs, _hold = _column_ptrs(ctx, columns_by_level, num_models)
+    values = _np.empty((diagram.num_slots, num_models), dtype=_np.float64)
+    narrow_values = _np.empty(diagram.num_slots, dtype=_np.float64)
+    narrow = _np.empty(diagram.num_slots, dtype=_np.uint8)
+    collapsed = ctypes.c_int64(0)
+    rc = lib.forward(
+        _ip(ctx.kids),
+        _ip(ctx.bounds),
+        ctx.nlayers,
+        ptrs,
+        num_models,
+        diagram.root_slot,
+        _dp(values),
+        _dp(narrow_values),
+        narrow.ctypes.data_as(_c_uint8_p),
+        ctypes.byref(collapsed),
+    )
+    if rc != 0:
+        raise NativeError("native forward pass failed with status %d" % rc)
+    return values, int(collapsed.value)
+
+
+def backward(diagram, columns_by_level, num_models):
+    """Native forward + reverse sweep.
+
+    Returns ``(values, gradients, collapsed)`` where ``gradients`` has
+    the exact shape and float contents of the fused kernel's result:
+    ``{level: (per-value gradient row tuples)}``.
+    """
+    lib = load()
+    if lib is None:
+        raise NativeError("native backend is not loaded")
+    ctx = _context(diagram.fused())
+    ptrs, _hold = _column_ptrs(ctx, columns_by_level, num_models)
+    K = num_models
+    values = _np.empty((diagram.num_slots, K), dtype=_np.float64)
+    narrow_values = _np.empty(diagram.num_slots, dtype=_np.float64)
+    narrow = _np.empty(diagram.num_slots, dtype=_np.uint8)
+    adjoint = _np.empty((diagram.num_slots, K), dtype=_np.float64)
+    grads = _np.empty(ctx.sum_cards * K, dtype=_np.float64)
+    scratch = _np.empty(ctx.max_width, dtype=_np.float64)
+    collapsed = ctypes.c_int64(0)
+    rc = lib.backward(
+        _ip(ctx.kids),
+        _ip(ctx.bounds),
+        ctx.nlayers,
+        ptrs,
+        K,
+        diagram.num_slots,
+        diagram.root_slot,
+        _dp(values),
+        _dp(narrow_values),
+        narrow.ctypes.data_as(_c_uint8_p),
+        _dp(adjoint),
+        _dp(grads),
+        _dp(scratch),
+        ctypes.byref(collapsed),
+    )
+    if rc != 0:
+        raise NativeError("native backward pass failed with status %d" % rc)
+    gradients = {}
+    offset = 0
+    for level, card in zip(ctx.levels, ctx.cards):
+        block = grads[offset : offset + card * K].reshape(card, K)
+        gradients[level] = tuple(tuple(row) for row in block.tolist())
+        offset += card * K
+    return values, gradients, int(collapsed.value)

@@ -67,7 +67,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import faults
-from .batch import HAVE_NUMPY, shard_deadline
+from . import native as _native
+from .batch import HAVE_NUMPY, KERNELS, shard_deadline
 from .supervise import Backoff, DegradationLadder, ShardJob, ShardSupervisor, janitor
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
@@ -123,6 +124,25 @@ def _fused_passes_of(compiled) -> int:
     """
     linearized = getattr(compiled, "_linearized", None)
     return linearized.fused_passes if linearized is not None else 0
+
+
+def _native_passes_of(compiled) -> int:
+    """Current native-pass count of a structure's linearization (0 if none)."""
+    linearized = getattr(compiled, "_linearized", None)
+    return linearized.native_passes if linearized is not None else 0
+
+
+def _annotate_kernel(span, compiled) -> None:
+    """Record which kernel the pass actually ran into its span.
+
+    The chooser resolves ``auto`` per pass, so traces must carry the
+    *resolved* backend (``linearized.last_kernel``) — otherwise a trace
+    cannot show whether a pass took the native or the fused path.
+    """
+    linearized = getattr(compiled, "_linearized", None)
+    kernel = getattr(linearized, "last_kernel", None)
+    if kernel is not None:
+        span.set(kernel=kernel)
 
 
 def _publish_kernel_caches(registry, compiled) -> None:
@@ -197,6 +217,8 @@ _COUNTER_METRICS = {
     "shm_bytes": "dispatch.shm_bytes",
     # Fused-kernel passes executed (parent and worker processes).
     "fused_passes": "kernel.fused_passes",
+    # Native compiled-kernel passes executed (parent and worker processes).
+    "native_passes": "kernel.native_passes",
 }
 
 #: Timing attribute -> registry histogram.  One naming scheme for every
@@ -402,6 +424,14 @@ class SweepService:
         least ``2 * shard_size`` points is split into up to ``workers``
         chunks so a single large group can saturate the pool; smaller
         groups stay whole (one batched pass each).
+    kernel:
+        Kernel request forwarded to every evaluate/gradient pass:
+        ``auto`` (default) lets the per-pass chooser pick — the native
+        compiled backend when it loads and the pass is large enough,
+        else the fused numpy kernel; ``native``/``fused``/``layered``/
+        ``python`` pin a backend (``native`` still degrades to ``fused``
+        on hosts where the library cannot be built).  Workers receive
+        the same request and resolve the native backend independently.
     cache_dir:
         Optional directory for the on-disk result cache (created on
         demand).  Results are pickled per key; corrupt or unreadable
@@ -450,6 +480,7 @@ class SweepService:
         epsilon: float = 1e-4,
         workers: int = 0,
         shard_size: int = 16,
+        kernel: str = "auto",
         cache_dir: Optional[str] = None,
         store_dir: Optional[str] = None,
         use_shared_memory: bool = True,
@@ -469,14 +500,26 @@ class SweepService:
             raise ValueError("max_results must be at least 1")
         if shard_size < 1:
             raise ValueError("shard_size must be at least 1")
+        if kernel not in ("auto",) + KERNELS:
+            raise ValueError(
+                "kernel must be one of %s" % ", ".join(("auto",) + KERNELS)
+            )
         from ..ordering.strategies import OrderingSpec
 
         self.ordering = ordering or OrderingSpec("w", "ml")
         self.epsilon = float(epsilon)
         self.workers = int(workers)
         self.shard_size = int(shard_size)
+        #: Kernel request forwarded to every pass (``auto`` lets the
+        #: chooser in :mod:`repro.engine.batch` pick per pass; workers
+        #: resolve the native backend independently on their own hosts).
+        self.kernel = kernel
         self.cache_dir = cache_dir
         self.store_dir = store_dir
+        #: High-water marks for the native backend's process-wide
+        #: compile/load/fallback counters, so several services in one
+        #: process publish each event into their registry exactly once.
+        self._native_state: Dict[str, int] = {}
         #: One metrics registry per service: every stats counter lives here
         #: under a namespaced metric, worker deltas merge into it, and
         #: ``registry.expose_text()`` serves ``--metrics`` / future ``/stats``.
@@ -488,6 +531,10 @@ class SweepService:
             self._store: Optional["StructureStore"] = StructureStore(
                 store_dir, registry=self.registry
             )
+            # the native backend caches its compiled `.so` next to the
+            # structures, so services and worker shards warm-start both
+            # from the same directory tree
+            _native.set_cache_dir(os.path.join(store_dir, "native"))
         else:
             self._store = None
         self.use_shared_memory = bool(use_shared_memory)
@@ -654,11 +701,16 @@ class SweepService:
                     builds_before = compiled.linearize_builds
                     reuses_before = compiled.linearize_reuses
                     fused_before = _fused_passes_of(compiled)
+                    native_before = _native_passes_of(compiled)
                     started = time.perf_counter()
-                    with obs_trace.span("service.gradients", models=len(indices)):
+                    with obs_trace.span(
+                        "service.gradients", models=len(indices)
+                    ) as span:
                         gradients = compiled.gradients_many(
-                            [points[idx].problem for idx in indices]
+                            [points[idx].problem for idx in indices],
+                            kernel=self.kernel,
                         )
+                        _annotate_kernel(span, compiled)
                     self.stats.gradient_seconds += time.perf_counter() - started
                     self.stats.gradient_passes += 1
                     self.stats.points_differentiated += len(indices)
@@ -669,6 +721,10 @@ class SweepService:
                         compiled.linearize_reuses - reuses_before
                     )
                     self.stats.fused_passes += _fused_passes_of(compiled) - fused_before
+                    self.stats.native_passes += (
+                        _native_passes_of(compiled) - native_before
+                    )
+                    _native.publish_counters(self.registry, self._native_state)
                 for idx, gradient in zip(indices, gradients):
                     results[idx] = gradient
         return results  # type: ignore[return-value]
@@ -973,14 +1029,20 @@ class SweepService:
         builds_before = compiled.linearize_builds
         reuses_before = compiled.linearize_reuses
         fused_before = _fused_passes_of(compiled)
+        native_before = _native_passes_of(compiled)
         started = time.perf_counter()
-        with obs_trace.span("service.evaluate", models=len(problems)):
-            results = compiled.evaluate_many(problems, reused=reused)
+        with obs_trace.span("service.evaluate", models=len(problems)) as span:
+            results = compiled.evaluate_many(
+                problems, reused=reused, kernel=self.kernel
+            )
+            _annotate_kernel(span, compiled)
         self.stats.evaluate_seconds += time.perf_counter() - started
         self.stats.batched_passes += 1
         self.stats.linearize_builds += compiled.linearize_builds - builds_before
         self.stats.linearize_reuses += compiled.linearize_reuses - reuses_before
         self.stats.fused_passes += _fused_passes_of(compiled) - fused_before
+        self.stats.native_passes += _native_passes_of(compiled) - native_before
+        _native.publish_counters(self.registry, self._native_state)
         return results
 
     def _store_structure(self, skey: Tuple, compiled) -> None:
@@ -1380,6 +1442,7 @@ class SweepService:
                             "models": shm_group["models"],
                             "store_root": store_root,
                             "trace": obs_trace.active() is not None,
+                            "kernel": self.kernel,
                         }
                     )
                     sharded_payloads += 1
@@ -1578,6 +1641,7 @@ class SweepService:
             store_root,
             adopt,
             obs_trace.active() is not None,
+            self.kernel,
         )
 
     # ------------------------------------------------------------------ #
@@ -1654,6 +1718,25 @@ def _worker_structure_put(skey, compiled) -> None:
         _WORKER_STRUCTURES.popitem(last=False)
 
 
+#: Per-worker-process high-water marks for the native backend counters:
+#: each shard's registry snapshot carries only the deltas since the
+#: previous shard in this process, so merging every snapshot into the
+#: parent sums to the process totals exactly once.
+_WORKER_NATIVE_STATE: Dict[str, int] = {}
+
+
+def _worker_native_setup(store_root) -> None:
+    """Point a worker's native `.so` cache at the shared store.
+
+    Workers pick the backend independently: each process compiles or
+    warm-starts the library itself (content-addressed, so concurrent
+    workers converge on one cache entry) and falls back to the fused
+    kernel on its own if this host cannot build it.
+    """
+    if store_root:
+        _native.set_cache_dir(os.path.join(store_root, "native"))
+
+
 def _evaluate_shard(payload, deadline=None):
     """Worker entry point: evaluate one shard of a structure group.
 
@@ -1713,7 +1796,9 @@ def _evaluate_shard_pickled(payload):
         store_root,
         adopt,
         _trace,
-    ) = payload
+    ) = payload[:12]
+    kernel = payload[12] if len(payload) > 12 else "auto"
+    _worker_native_setup(store_root)
     registry = MetricsRegistry()
     wstats = SweepServiceStats(registry)
     built = False
@@ -1759,13 +1844,16 @@ def _evaluate_shard_pickled(payload):
         builds_before = compiled.linearize_builds
         reuses_before = compiled.linearize_reuses
         fused_before = _fused_passes_of(compiled)
+        native_before = _native_passes_of(compiled)
         started = time.perf_counter()
-        results = compiled.evaluate_many(problems, reused=not fresh)
+        results = compiled.evaluate_many(problems, reused=not fresh, kernel=kernel)
         wstats.worker_evaluate_seconds += time.perf_counter() - started
         wstats.batched_passes += 1
         wstats.linearize_builds += compiled.linearize_builds - builds_before
         wstats.linearize_reuses += compiled.linearize_reuses - reuses_before
         wstats.fused_passes += _fused_passes_of(compiled) - fused_before
+        wstats.native_passes += _native_passes_of(compiled) - native_before
+        _native.publish_counters(registry, _WORKER_NATIVE_STATE)
     shard_stats = {
         "built": built,
         "models": len(problems),
@@ -1795,6 +1883,8 @@ def _evaluate_shard_columns(payload):
     """
     skey = payload["skey"]
     a, b = payload["span"]
+    kernel = payload.get("kernel", "auto")
+    _worker_native_setup(payload.get("store_root"))
     registry = MetricsRegistry()
     wstats = SweepServiceStats(registry)
     shard_stats = {
@@ -1849,9 +1939,10 @@ def _evaluate_shard_columns(payload):
             builds_before = compiled.linearize_builds
             reuses_before = compiled.linearize_reuses
             fused_before = _fused_passes_of(compiled)
+            native_before = _native_passes_of(compiled)
             started = time.perf_counter()
             vector[a:b] = compiled.evaluate_probabilities(
-                count[:, a:b], location[:, a:b], b - a
+                count[:, a:b], location[:, a:b], b - a, kernel=kernel
             )
             seconds = time.perf_counter() - started
             shard_stats["evaluate_seconds"] = seconds
@@ -1860,6 +1951,8 @@ def _evaluate_shard_columns(payload):
             wstats.linearize_builds += compiled.linearize_builds - builds_before
             wstats.linearize_reuses += compiled.linearize_reuses - reuses_before
             wstats.fused_passes += _fused_passes_of(compiled) - fused_before
+            wstats.native_passes += _native_passes_of(compiled) - native_before
+            _native.publish_counters(registry, _WORKER_NATIVE_STATE)
             shard_stats["ok"] = True
         finally:
             count = location = vector = None

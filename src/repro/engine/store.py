@@ -136,6 +136,11 @@ class StructureStore:
     #: Subdirectory corrupt entries are moved into by the quarantine path.
     QUARANTINE_DIR = "quarantine"
 
+    #: Subdirectory the native kernel backend caches its compiled `.so`
+    #: libraries in (:mod:`repro.engine.native`).  Not structure entries:
+    #: listing and verification skip it like the quarantine.
+    NATIVE_DIR = "native"
+
     def __init__(self, root: str, registry=None) -> None:
         if not root:
             raise StoreError("the structure store needs a directory")
@@ -562,7 +567,7 @@ class StructureStore:
         digests = []
         if os.path.isdir(self.root):
             for shard in sorted(os.listdir(self.root)):
-                if shard == self.QUARANTINE_DIR:
+                if shard in (self.QUARANTINE_DIR, self.NATIVE_DIR):
                     continue
                 shard_dir = os.path.join(self.root, shard)
                 if not os.path.isdir(shard_dir):
@@ -598,7 +603,7 @@ class StructureStore:
         if not os.path.isdir(self.root):
             return out
         for shard in sorted(os.listdir(self.root)):
-            if shard == self.QUARANTINE_DIR:
+            if shard in (self.QUARANTINE_DIR, self.NATIVE_DIR):
                 continue
             shard_dir = os.path.join(self.root, shard)
             if not os.path.isdir(shard_dir):

@@ -1,14 +1,18 @@
-"""Property tests: the fused kernel IS the layered kernel IS the reference.
+"""Property tests: native IS the fused kernel IS the layered kernel.
 
 The fused CSR schedule (blocked workspace accumulation plus model-uniform
-level collapse) must not change a single bit of any result: for every
-diagram shape the engine produces — pipeline ROMDDs compiled through the
-full method, sifted multi-valued layouts, chains far deeper than the
-recursion limit, degenerate 0/1 probability columns — the fused kernel's
-``evaluate`` *and* ``backward`` outputs are compared ``==`` (never approx)
-against the layered numpy kernel, the pure-Python kernel and the original
-recursive traversal.  The store round-trip leg additionally pins format
-v2 (and the v1 compatibility reader) to the same bit-for-bit bar.
+level collapse) and the native compiled backend behind it must not change
+a single bit of any result: for every diagram shape the engine produces —
+pipeline ROMDDs compiled through the full method, sifted multi-valued
+layouts, chains far deeper than the recursion limit, degenerate 0/1
+probability columns — the fused and native kernels' ``evaluate`` *and*
+``backward`` outputs are compared ``==`` (never approx) against the
+layered numpy kernel, the pure-Python kernel and the original recursive
+traversal.  On hosts without a working C compiler ``kernel="native"``
+degrades to the fused kernel, so the native leg still runs (and still
+compares ``==``) — it just exercises the fallback instead.  The store
+round-trip leg additionally pins format v2 (and the v1 compatibility
+reader) to the same bit-for-bit bar.
 """
 
 import json
@@ -24,6 +28,7 @@ from repro.distributions import (
     NegativeBinomialDefectDistribution,
     PoissonDefectDistribution,
 )
+from repro.engine import native as native_backend
 from repro.engine.batch import HAVE_NUMPY, LinearizedDiagram
 from repro.engine.service import structure_key
 from repro.engine.store import StructureStore, digest_of
@@ -95,17 +100,19 @@ def model_columns(compiled, problems):
 
 
 def assert_kernels_agree(linearized, columns, num_models, expected=None):
-    """Evaluate + backward on all three kernels, compared ``==``.
+    """Evaluate + backward on all four kernels, compared ``==``.
 
     Probabilities are bit-for-bit identical across every kernel (and the
     recursive reference, when given).  Gradients are bit-for-bit identical
-    between the fused and layered kernels — the guarantee the fused
-    rework must uphold; the pure-Python backward accumulates shared-child
-    adjoints in node order rather than child-position order, so its
-    gradients agree to the last ulp only, as before this PR.
+    between the native, fused and layered kernels — the guarantee the
+    compiled backend must uphold; the pure-Python backward accumulates
+    shared-child adjoints in node order rather than child-position order,
+    so its gradients agree to the last ulp only, as before.  The native
+    leg runs even where the library cannot load: it then exercises the
+    documented fused fallback, whose results are the fused results.
     """
     results = {}
-    for kernel in ("python", "layered", "fused"):
+    for kernel in ("python", "layered", "fused", "native"):
         probabilities = linearized.evaluate(columns, num_models, kernel=kernel)
         grad_probabilities, gradients = linearized.backward(
             columns, num_models, kernel=kernel
@@ -115,6 +122,7 @@ def assert_kernels_agree(linearized, columns, num_models, expected=None):
     python = results["python"]
     assert results["layered"][0] == python[0]  # bit-for-bit, not approx
     assert results["fused"] == results["layered"]  # bit-for-bit, not approx
+    assert results["native"] == results["fused"]  # bit-for-bit, not approx
     for level, python_rows in python[1].items():
         layered_rows = results["layered"][1][level]
         for python_row, layered_row in zip(python_rows, layered_rows):
@@ -172,9 +180,17 @@ def test_fused_matches_reference_on_sifted_layouts(expr, weights, mean, truncati
         for d in distributions
     ]
     fused_before = linearized.fused_passes
+    native_before = linearized.native_passes
     collapsed_before = linearized.collapsed_layers
     assert_kernels_agree(linearized, columns, len(problems), expected)
-    assert linearized.fused_passes - fused_before == 2  # evaluate + backward
+    # evaluate + backward per kernel; the native legs either ran natively
+    # or (no compiler on this host) degraded into two more fused passes
+    native_delta = linearized.native_passes - native_before
+    fused_delta = linearized.fused_passes - fused_before
+    if native_backend.available():
+        assert native_delta == 2 and fused_delta == 2
+    else:
+        assert native_delta == 0 and fused_delta == 4
     # the deepest layer's children are terminals, so when its columns are
     # model-uniform (every location level of this density-style batch) the
     # fused passes must have collapsed it to a width-1 evaluation
